@@ -1,0 +1,65 @@
+"""Ablation bench: HDAC hyper-parameters (alpha, beta) around the
+paper's (200, 0.5) on Condition A.
+
+DESIGN.md calls the paper's f() "only an example"; this bench quantifies
+how sensitive the F1 gain is to the two constants.  The paper's setting
+must be within noise of the best sweep point at small thresholds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cam.array import CamArray
+from repro.core.matcher import AsmCapMatcher, MatcherConfig
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.ground_truth import label_dataset
+from repro.eval.reporting import format_table
+
+ALPHAS = (50.0, 200.0, 800.0)
+BETAS = (0.25, 0.5, 1.0)
+THRESHOLDS = (1, 2, 3)
+
+
+def _mean_f1(dataset, truth, config, seed=0):
+    array = CamArray(rows=dataset.n_segments, cols=dataset.read_length,
+                     domain="charge", noisy=True, seed=seed)
+    array.store(dataset.segments)
+    matcher = AsmCapMatcher(array, dataset.model, config, seed=seed + 1)
+    scores = []
+    for threshold in THRESHOLDS:
+        matrix = ConfusionMatrix()
+        labels = truth.labels(threshold)
+        for index, record in enumerate(dataset.reads):
+            decisions = matcher.match(record.read.codes, threshold).decisions
+            matrix.update(decisions, labels[index])
+        scores.append(matrix.f1)
+    return float(np.mean(scores))
+
+
+def bench_hdac_alpha_beta_sweep(benchmark, bench_dataset_a):
+    dataset = bench_dataset_a
+    truth = label_dataset(dataset, max(THRESHOLDS))
+
+    def sweep():
+        rows = []
+        for alpha in ALPHAS:
+            for beta in BETAS:
+                config = MatcherConfig(enable_tasr=False, hdac_alpha=alpha,
+                                       hdac_beta=beta)
+                rows.append((alpha, beta, _mean_f1(dataset, truth, config)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    baseline = _mean_f1(dataset, truth, MatcherConfig.plain())
+    paper_point = next(f1 for a, b, f1 in rows if a == 200.0 and b == 0.5)
+    best = max(f1 for _, _, f1 in rows)
+    # The paper's setting must beat no-HDAC and sit near the sweep's best.
+    assert paper_point > baseline
+    assert paper_point >= best - 0.08
+    print()
+    print(format_table(
+        ["alpha", "beta", "mean F1 (T=1..3)"],
+        rows + [("(no HDAC)", "-", baseline)],
+        title="HDAC ablation, Condition A",
+    ))

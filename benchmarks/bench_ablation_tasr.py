@@ -1,0 +1,75 @@
+"""Ablation bench: TASR parameters on Condition B.
+
+Sweeps NR (rotations per direction), the rotation direction, and gamma
+(which sets Tl), including gamma = 0 — which degenerates TASR into
+EDAM's unconditional SR and must reproduce SR's small-T false
+positives (the Fig. 6 motivation for threshold awareness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cam.array import CamArray
+from repro.core.matcher import AsmCapMatcher, MatcherConfig
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.ground_truth import label_dataset
+from repro.eval.reporting import format_table
+
+THRESHOLDS = (2, 4, 6, 8, 10, 12, 14, 16)
+
+
+def _f1_series(dataset, truth, config, seed=0):
+    array = CamArray(rows=dataset.n_segments, cols=dataset.read_length,
+                     domain="charge", noisy=True, seed=seed)
+    array.store(dataset.segments)
+    matcher = AsmCapMatcher(array, dataset.model, config, seed=seed + 1)
+    series = []
+    for threshold in THRESHOLDS:
+        matrix = ConfusionMatrix()
+        labels = truth.labels(threshold)
+        for index, record in enumerate(dataset.reads):
+            decisions = matcher.match(record.read.codes, threshold).decisions
+            matrix.update(decisions, labels[index])
+        series.append(matrix.f1)
+    return np.array(series)
+
+
+def bench_tasr_parameters(benchmark, bench_dataset_b):
+    dataset = bench_dataset_b
+    truth = label_dataset(dataset, max(THRESHOLDS))
+
+    configs = {
+        "no TASR": MatcherConfig(enable_hdac=False, enable_tasr=False),
+        "TASR NR=1": MatcherConfig(enable_hdac=False, tasr_nr=1),
+        "TASR NR=2 (paper)": MatcherConfig(enable_hdac=False),
+        "TASR NR=4": MatcherConfig(enable_hdac=False, tasr_nr=4),
+        "TASR left-only": MatcherConfig(enable_hdac=False,
+                                        tasr_direction="left"),
+        "SR (gamma=0)": MatcherConfig(enable_hdac=False, tasr_gamma=0.0),
+    }
+
+    def sweep():
+        return {name: _f1_series(dataset, truth, config, seed=i)
+                for i, (name, config) in enumerate(configs.items())}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    thresholds = np.array(THRESHOLDS)
+    above = thresholds >= 6  # Tl = 6 in Condition B
+
+    paper = results["TASR NR=2 (paper)"]
+    plain = results["no TASR"]
+    sr = results["SR (gamma=0)"]
+
+    # TASR must lift the rotating region.
+    assert paper[above].mean() > plain[above].mean()
+    # Threshold awareness: at T < Tl TASR == plain (no rotations), while
+    # unconditional SR may only lose F1 there (the Fig. 6 FP risk).
+    assert np.allclose(paper[~above], plain[~above], atol=1e-9)
+    assert sr[~above].mean() <= paper[~above].mean() + 1e-9
+    print()
+    print(format_table(
+        ["variant"] + [f"T={t}" for t in THRESHOLDS],
+        [(name, *np.round(series, 3)) for name, series in results.items()],
+        title="TASR ablation, Condition B",
+    ))

@@ -1,0 +1,19 @@
+"""Bench: regenerate the Section V-B area/power breakdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.breakdown import compute_breakdown
+
+
+def bench_breakdown(benchmark):
+    result = benchmark(compute_breakdown)
+    assert result.area_mm2 == pytest.approx(1.58, abs=0.02)
+    assert result.power.total_w * 1e3 == pytest.approx(7.67, rel=1e-3)
+    fractions = result.power.fractions
+    assert fractions["cells"] == pytest.approx(0.75, abs=0.02)
+    assert fractions["shift_registers"] == pytest.approx(0.19, abs=0.02)
+    assert fractions["sense_amps"] == pytest.approx(0.06, abs=0.02)
+    print()
+    print(result.render())

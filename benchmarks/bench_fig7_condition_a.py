@@ -1,0 +1,35 @@
+"""Bench: regenerate Fig. 7, Condition A (substitution-dominant).
+
+F1 and normalized F1 vs threshold for EDAM / ASMCap w/o / ASMCap w/.
+One Monte-Carlo round per invocation (the artifact is the printed
+series, not a hot loop).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import (
+    SYSTEM_EDAM,
+    SYSTEM_FULL,
+    SYSTEM_PLAIN,
+    run_fig7,
+)
+
+
+def bench_fig7_condition_a(benchmark):
+    result = benchmark.pedantic(
+        run_fig7,
+        kwargs=dict(condition="A", n_runs=2, n_reads=64, n_segments=64,
+                    seed=11),
+        rounds=1, iterations=1,
+    )
+    # Shape checks mirroring the paper's Condition-A claims.
+    assert result.sweep.mean_ratio(SYSTEM_FULL, SYSTEM_EDAM) > 1.0
+    max_ratio, at_threshold = result.sweep.max_ratio(SYSTEM_FULL,
+                                                     SYSTEM_EDAM)
+    assert at_threshold <= 3          # biggest gain at the smallest T
+    assert max_ratio > 1.15
+    full = result.sweep.systems[SYSTEM_FULL].mean
+    plain = result.sweep.systems[SYSTEM_PLAIN].mean
+    assert full[0] >= plain[0]        # HDAC lifts T = 1
+    print()
+    print(result.render())

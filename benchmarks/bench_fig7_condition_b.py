@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig. 7, Condition B (indel-dominant).
+
+TASR's gains must concentrate at thresholds >= Tl = 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig7 import (
+    SYSTEM_EDAM,
+    SYSTEM_FULL,
+    SYSTEM_PLAIN,
+    run_fig7,
+)
+
+
+def bench_fig7_condition_b(benchmark):
+    result = benchmark.pedantic(
+        run_fig7,
+        kwargs=dict(condition="B", n_runs=2, n_reads=64, n_segments=64,
+                    seed=12),
+        rounds=1, iterations=1,
+    )
+    assert result.sweep.mean_ratio(SYSTEM_FULL, SYSTEM_EDAM) > 1.0
+    thresholds = np.array(result.thresholds)
+    full = result.sweep.systems[SYSTEM_FULL].mean
+    plain = result.sweep.systems[SYSTEM_PLAIN].mean
+    above = thresholds >= 6
+    assert (full[above] - plain[above]).mean() > \
+        (full[~above] - plain[~above]).mean()
+    print()
+    print(result.render())

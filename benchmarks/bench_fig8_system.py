@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 8 (system-level speedup and energy bars).
+
+Checks ordering and that every measured ratio sits within 3x of the
+paper's reported anchor.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.experiments.fig8 import SYSTEMS, compute_fig8
+
+
+def bench_fig8(benchmark):
+    result = benchmark(compute_fig8)
+    latencies = [result.costs[name].latency_ns for name in SYSTEMS[:5]]
+    assert all(a > b for a, b in zip(latencies, latencies[1:]))
+    for name, key in (("CM-CPU", "cm_cpu"), ("ReSMA", "resma"),
+                      ("SaVI", "savi"), ("EDAM", "edam")):
+        measured = result.speedup_over(name, "ASMCap w/o H&T")
+        anchor = constants.FIG8_SPEEDUP_NO_STRATEGY[key]
+        assert anchor / 3 <= measured <= anchor * 3
+        measured_e = result.energy_efficiency_over(name, "ASMCap w/o H&T")
+        anchor_e = constants.FIG8_ENERGY_EFF_NO_STRATEGY[key]
+        assert anchor_e / 3 <= measured_e <= anchor_e * 3
+    print()
+    print(result.render())

@@ -1,0 +1,68 @@
+"""Microbenchmarks of the distance kernels.
+
+Not a paper artifact, but the foundation of every experiment's runtime:
+ED* (vectorised vs per-row), the batched banded DP, Myers, and the full
+DP, all on paper-sized 256-base data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distance.ed_star import ed_star_batch, mismatch_counts_all_reads
+from repro.distance.edit_distance import (
+    banded_edit_distance_batch,
+    edit_distance,
+)
+from repro.distance.hamming import hamming_distance_batch
+from repro.distance.myers import myers_edit_distance
+from repro.genome.sequence import DnaSequence
+
+
+@pytest.fixture(scope="module")
+def workload(bench_rng):
+    segments = bench_rng.integers(0, 4, (256, 256)).astype(np.uint8)
+    reads = bench_rng.integers(0, 4, (16, 256)).astype(np.uint8)
+    return segments, reads
+
+
+def bench_ed_star_one_read_vs_array(benchmark, workload):
+    segments, reads = workload
+    counts = benchmark(ed_star_batch, segments, reads[0])
+    assert counts.shape == (256,)
+
+
+def bench_ed_star_all_reads(benchmark, workload):
+    segments, reads = workload
+    matrix = benchmark(mismatch_counts_all_reads, segments, reads)
+    assert matrix.shape == (16, 256)
+
+
+def bench_hamming_one_read_vs_array(benchmark, workload):
+    segments, reads = workload
+    counts = benchmark(hamming_distance_batch, segments, reads[0])
+    assert counts.shape == (256,)
+
+
+def bench_banded_batch_ground_truth(benchmark, workload):
+    segments, reads = workload
+    distances = benchmark.pedantic(
+        banded_edit_distance_batch, args=(segments, reads, 18),
+        rounds=2, iterations=1,
+    )
+    assert distances.shape == (16, 256)
+
+
+def bench_myers_single_pair(benchmark, bench_rng):
+    a = DnaSequence(bench_rng.integers(0, 4, 256).astype(np.uint8))
+    b = DnaSequence(bench_rng.integers(0, 4, 256).astype(np.uint8))
+    distance = benchmark(myers_edit_distance, a, b)
+    assert distance == edit_distance(a, b)
+
+
+def bench_full_dp_single_pair(benchmark, bench_rng):
+    a = DnaSequence(bench_rng.integers(0, 4, 256).astype(np.uint8))
+    b = DnaSequence(bench_rng.integers(0, 4, 256).astype(np.uint8))
+    distance = benchmark(edit_distance, a, b)
+    assert distance > 0

@@ -1,0 +1,72 @@
+"""Bench: read-length scaling via fragmentation.
+
+Sweeps the read length from one array width (no fragmentation) to 4x
+(four fragments) and reports origin-recovery rate and per-read search
+cost — the practical face of the paper's read-length discussion
+(Section V-D): wider arrays (possible in the charge domain) need fewer
+fragments and recover more reads at the same total edit budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cam.array import CamArray
+from repro.core.fragmentation import FragmentedMatcher
+from repro.eval.reporting import format_table
+from repro.genome.edits import ErrorModel
+from repro.genome.generator import generate_reference
+from repro.genome.reads import ReadSampler
+
+ARRAY_WIDTH = 128
+N_SEGMENTS = 12
+N_READS = 24
+THRESHOLD_PER_256 = 6  # edit budget scales with read length
+
+
+def _recovery(n_fragments: int, seed: int = 0) -> tuple[float, int]:
+    read_length = ARRAY_WIDTH * n_fragments
+    reference = generate_reference(N_SEGMENTS * read_length + 1024,
+                                   seed=seed, with_repeats=False)
+    segments = np.stack([
+        reference.codes[i * read_length : (i + 1) * read_length]
+        for i in range(N_SEGMENTS)
+    ])
+    array = CamArray(rows=N_SEGMENTS * n_fragments, cols=ARRAY_WIDTH,
+                     domain="charge", seed=seed)
+    matcher = FragmentedMatcher(array, segments,
+                                min_fragment_matches=n_fragments)
+    model = ErrorModel(substitution=0.008)
+    sampler = ReadSampler(reference, read_length, model, seed=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    threshold = max(1, THRESHOLD_PER_256 * read_length // 256)
+    recovered = 0
+    searches = 0
+    for _ in range(N_READS):
+        origin = int(rng.integers(0, N_SEGMENTS))
+        record = sampler.sample_at(origin * read_length)
+        outcome = matcher.match(record.read.codes, threshold)
+        recovered += int(outcome.decisions[origin])
+        searches += outcome.n_searches
+    return recovered / N_READS, searches // N_READS
+
+
+def bench_read_length_scaling(benchmark):
+    def sweep():
+        return {n: _recovery(n) for n in (1, 2, 4)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (ARRAY_WIDTH * n, n, rate * 100, searches)
+        for n, (rate, searches) in results.items()
+    ]
+    # Search count scales linearly with fragments; recovery must stay
+    # usable at every length.
+    assert results[1][1] == 1
+    assert results[4][1] == 4
+    assert all(rate >= 0.5 for rate, _ in results.values())
+    print()
+    print(format_table(
+        ["read length", "fragments", "recovery %", "searches/read"],
+        rows, title="Read-length scaling via fragmentation",
+    ))

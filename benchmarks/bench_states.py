@@ -1,0 +1,15 @@
+"""Bench: regenerate the Section V-D distinguishable-states analysis."""
+
+from __future__ import annotations
+
+from repro.experiments.states import compute_states
+
+
+def bench_states(benchmark):
+    result = benchmark(compute_states)
+    assert result.edam_states == 44
+    assert result.asmcap_states == 566
+    assert result.asmcap_supports_read
+    assert not result.edam_supports_read
+    print()
+    print(result.render())

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table I (circuit-level EDAM vs ASMCap).
+
+Asserts the paper's headline ratios while timing the model evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import compute_table1
+
+
+def bench_table1(benchmark):
+    result = benchmark(compute_table1)
+    assert result.area_ratio == pytest.approx(1.4, abs=0.05)
+    assert result.search_time_ratio == pytest.approx(2.67, abs=0.1)
+    assert result.power_ratio == pytest.approx(8.5, abs=0.3)
+    print()
+    print(result.render())

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one paper artifact (table or figure)
+under pytest-benchmark; run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Slow Monte-Carlo benches use ``benchmark.pedantic`` with a single round
+so the harness prints the artifact once per invocation instead of
+re-simulating it dozens of times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.genome.datasets import build_dataset
+
+
+@pytest.fixture(scope="session")
+def bench_dataset_a():
+    """The Condition-A workload used by the accuracy benches."""
+    return build_dataset("A", n_reads=48, read_length=256, n_segments=64,
+                         seed=1)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset_b():
+    """The Condition-B workload used by the accuracy benches."""
+    return build_dataset("B", n_reads=48, read_length=256, n_segments=64,
+                         seed=2)
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(999)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Long reads via fragmentation — and why EDAM needs it sooner.
+
+The array width caps the read a single search can handle; longer reads
+are split into fragments whose decisions are combined (Fig. 4(a)'s
+"entire reads or k-mers" path).  Crucially, the *sensing* technology
+sets its own ceiling: EDAM's current-domain chain distinguishes only 44
+states, so even a 256-base read already exceeds what one EDAM row can
+sense reliably, while ASMCap's 566 states cover it with margin
+(Section V-D).
+
+This example matches 512-base reads on a 256-wide array (2 fragments),
+then repeats the experiment on a 64-wide array (8 fragments) to show
+the accuracy cost of finer fragmentation: every fragment boundary is a
+place where the per-fragment edit budget quantises.
+
+Run:  python examples/long_read_fragmentation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cam import CamArray
+from repro.core import FragmentedMatcher
+from repro.distance import edit_distance
+from repro.genome import DnaSequence, ErrorModel, ReadSampler, generate_reference
+
+N_SEGMENTS = 16
+LONG_READ = 512
+THRESHOLD = 12
+
+
+def run(array_width: int, segments: np.ndarray, reads, origins) -> float:
+    """Fraction of reads recovering their origin at this fragmentation."""
+    n_fragments = LONG_READ // array_width
+    array = CamArray(rows=N_SEGMENTS * n_fragments, cols=array_width,
+                     domain="charge", seed=1)
+    matcher = FragmentedMatcher(array, segments,
+                                min_fragment_matches=n_fragments)
+    recovered = 0
+    for read, origin in zip(reads, origins):
+        outcome = matcher.match(read.codes, THRESHOLD)
+        if outcome.decisions[origin]:
+            recovered += 1
+    print(f"  width {array_width:4d} ({n_fragments} fragments, "
+          f"per-fragment T = {matcher.per_fragment_threshold(THRESHOLD)}): "
+          f"{recovered}/{len(reads)} reads recovered")
+    return recovered / len(reads)
+
+
+def main() -> None:
+    reference = generate_reference(N_SEGMENTS * LONG_READ + 2048, seed=31,
+                                   with_repeats=False)
+    segments = np.stack([
+        reference.codes[i * LONG_READ : (i + 1) * LONG_READ]
+        for i in range(N_SEGMENTS)
+    ])
+
+    model = ErrorModel(substitution=0.018, insertion=0.0005,
+                       deletion=0.0005)
+    sampler = ReadSampler(reference, LONG_READ, model, seed=32)
+    rng = np.random.default_rng(33)
+    reads, origins = [], []
+    for _ in range(32):
+        origin = int(rng.integers(0, N_SEGMENTS))
+        record = sampler.sample_at(origin * LONG_READ)
+        reads.append(record.read)
+        origins.append(origin)
+    mean_ed = np.mean([
+        edit_distance(DnaSequence(segments[o]), r)
+        for r, o in zip(reads, origins)
+    ])
+    print(f"{len(reads)} reads of {LONG_READ} bases, "
+          f"mean true edit distance {mean_ed:.1f}, read-level T={THRESHOLD}")
+
+    print("fragmentation sweep (requiring every fragment to match):")
+    coarse = run(256, segments, reads, origins)
+    fine = run(64, segments, reads, origins)
+
+    assert coarse >= fine, (
+        "coarser fragments have more budget slack per fragment"
+    )
+    assert coarse >= 0.8
+    print("OK: fragmentation works; fewer, wider fragments match better —")
+    print("    which is exactly why ASMCap's higher sensing ceiling "
+          "(566 vs 44 states) matters.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""System architecture: configuration, timing, power, interconnect.
+
+* :mod:`repro.arch.config` — geometry/electrical configuration;
+* :mod:`repro.arch.timing` — cycle-level latency model;
+* :mod:`repro.arch.power` — Section V-B area/power breakdown;
+* :mod:`repro.arch.htree` — read-broadcast H-tree;
+* :mod:`repro.arch.buffer` — global buffer and controller;
+* :mod:`repro.arch.accelerator` — the assembled multi-array system.
+"""
+
+from repro.arch.accelerator import (
+    AsmCapAccelerator,
+    ReadCostEstimate,
+    SystemMatch,
+)
+from repro.arch.buffer import Controller, GlobalBuffer
+from repro.arch.config import ArchConfig
+from repro.arch.htree import HTreeModel
+from repro.arch.power import (
+    PowerBreakdown,
+    array_area_mm2,
+    array_power_breakdown,
+    cell_area_fraction,
+    cell_area_um2,
+    component_energies_per_search,
+    steady_state_search_period_ns,
+)
+from repro.arch.scheduler import BatchSchedule, BatchScheduler
+from repro.arch.timing import TimingModel
+
+__all__ = [
+    "ArchConfig",
+    "AsmCapAccelerator",
+    "BatchSchedule",
+    "BatchScheduler",
+    "Controller",
+    "GlobalBuffer",
+    "HTreeModel",
+    "PowerBreakdown",
+    "ReadCostEstimate",
+    "SystemMatch",
+    "TimingModel",
+    "array_area_mm2",
+    "array_power_breakdown",
+    "cell_area_fraction",
+    "cell_area_um2",
+    "component_energies_per_search",
+    "steady_state_search_period_ns",
+]

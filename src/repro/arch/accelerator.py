@@ -1,0 +1,266 @@
+"""The assembled accelerator: arrays + buffer + H-tree + controller.
+
+:class:`AsmCapAccelerator` offers two complementary paths:
+
+* a **functional path** (``match_read`` / ``match_batch``): reads are
+  broadcast to every array, each array searches its stored segments
+  (with full strategy support through per-array matchers), and the
+  result maps global segment indices to decisions.  Use moderate array
+  counts here — it simulates every cell.
+
+* an **analytic path** (``estimate_read_cost``): closed-form per-read
+  latency/energy at full system scale (512 arrays) from the timing and
+  energy models plus strategy statistics (how many searches per read on
+  average).  Fig. 8 uses this, with strategy statistics measured on the
+  functional path at small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import constants
+from repro.arch.buffer import Controller, GlobalBuffer
+from repro.arch.config import ArchConfig
+from repro.arch.htree import HTreeModel
+from repro.arch.timing import TimingModel
+from repro.cam.array import CamArray
+from repro.cam.energy import search_energy_per_row
+from repro.core.matcher import AsmCapMatcher, MatcherConfig, MatchOutcome
+from repro.errors import ArchConfigError
+from repro.genome.edits import ErrorModel
+
+
+@dataclass(frozen=True)
+class SystemMatch:
+    """One read's system-level result.
+
+    ``matches`` maps global segment index -> True for every matched
+    stored segment across all arrays.
+    """
+
+    matches: np.ndarray
+    latency_ns: float
+    energy_joules: float
+    n_searches: int
+
+
+@dataclass(frozen=True)
+class ReadCostEstimate:
+    """Analytic per-read cost at full system scale."""
+
+    latency_ns: float
+    energy_joules: float
+    searches_per_read: float
+    reads_per_second: float
+
+    @property
+    def reads_per_joule(self) -> float:
+        if self.energy_joules == 0.0:
+            return float("inf")
+        return 1.0 / self.energy_joules
+
+
+class AsmCapAccelerator:
+    """Multi-array accelerator with system-level cost accounting.
+
+    Parameters
+    ----------
+    config:
+        Architecture geometry/domain.
+    error_model:
+        Workload error rates (drives the strategies).
+    matcher_config:
+        Strategy configuration shared by all arrays.
+    n_functional_arrays:
+        How many arrays to actually instantiate for the functional
+        path; defaults to ``config.n_arrays`` (cap it for speed).
+    """
+
+    def __init__(self, config: "ArchConfig | None" = None,
+                 error_model: "ErrorModel | None" = None,
+                 matcher_config: "MatcherConfig | None" = None,
+                 n_functional_arrays: "int | None" = None,
+                 seed: int = 0,
+                 noisy: bool = True):
+        self._config = config or ArchConfig.paper_system()
+        self._model = error_model or ErrorModel.condition_a()
+        self._matcher_config = matcher_config or MatcherConfig()
+        n_func = (self._config.n_arrays if n_functional_arrays is None
+                  else n_functional_arrays)
+        if not 1 <= n_func <= self._config.n_arrays:
+            raise ArchConfigError(
+                f"n_functional_arrays must be in 1..{self._config.n_arrays}, "
+                f"got {n_func}"
+            )
+        self._arrays = [
+            CamArray(rows=self._config.array_rows,
+                     cols=self._config.array_cols,
+                     domain=self._config.domain,
+                     noisy=noisy, seed=seed + i)
+            for i in range(n_func)
+        ]
+        self._matchers = [
+            AsmCapMatcher(array, self._model, self._matcher_config,
+                          seed=seed + 1000 + i)
+            for i, array in enumerate(self._arrays)
+        ]
+        self._htree = HTreeModel(self._config.n_arrays)
+        self._buffer = GlobalBuffer()
+        self._controller = Controller()
+        self._timing = TimingModel(domain=self._config.domain)
+        self._loaded_segments = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def config(self) -> ArchConfig:
+        return self._config
+
+    @property
+    def arrays(self) -> list[CamArray]:
+        return self._arrays
+
+    @property
+    def timing(self) -> TimingModel:
+        return self._timing
+
+    @property
+    def n_functional_arrays(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def loaded_segments(self) -> int:
+        return self._loaded_segments
+
+    # -- data loading ------------------------------------------------------
+
+    def load_reference(self, segments: np.ndarray) -> None:
+        """Distribute reference segments across the functional arrays.
+
+        Segments fill array 0's rows first, then array 1, etc.
+        """
+        segments = np.asarray(segments, dtype=np.uint8)
+        if segments.ndim != 2 or segments.shape[1] != self._config.array_cols:
+            raise ArchConfigError(
+                f"segments shape {segments.shape} does not fit column width "
+                f"{self._config.array_cols}"
+            )
+        capacity = self.n_functional_arrays * self._config.array_rows
+        if segments.shape[0] > capacity:
+            raise ArchConfigError(
+                f"{segments.shape[0]} segments exceed functional capacity "
+                f"{capacity}"
+            )
+        rows = self._config.array_rows
+        for index, array in enumerate(self._arrays):
+            chunk = segments[index * rows : (index + 1) * rows]
+            if chunk.shape[0] == 0:
+                break
+            array.store(chunk)
+        self._loaded_segments = int(segments.shape[0])
+
+    # -- functional path ------------------------------------------------
+
+    def match_read(self, read: np.ndarray, threshold: int) -> SystemMatch:
+        """Broadcast one read to all arrays and merge decisions."""
+        if self._loaded_segments == 0:
+            raise ArchConfigError("no reference loaded")
+        read = np.asarray(read, dtype=np.uint8)
+        decisions: list[np.ndarray] = []
+        array_energy = 0.0
+        array_latency = 0.0
+        n_searches = 0
+        for matcher in self._matchers:
+            if matcher.array.plane.n_written == 0:
+                break
+            outcome: MatchOutcome = matcher.match(read, threshold)
+            decisions.append(outcome.decisions)
+            array_energy += outcome.energy_joules
+            # Arrays operate in parallel: latency is the max, and all
+            # arrays issue the same search schedule, so any one works.
+            array_latency = max(array_latency, outcome.latency_ns)
+            n_searches = max(n_searches, outcome.n_searches)
+        merged = np.concatenate(decisions)[: self._loaded_segments]
+        fetch_latency = self._buffer.fetch_latency_ns()
+        broadcast_latency = self._htree.broadcast_latency_ns()
+        dispatch_latency = self._controller.dispatch_latency_ns(n_searches)
+        fetch_energy = self._buffer.fetch_energy_joules(self._config.read_bits)
+        broadcast_energy = self._htree.broadcast_energy_joules(
+            self._config.read_bits
+        )
+        dispatch_energy = self._controller.dispatch_energy_joules(n_searches)
+        return SystemMatch(
+            matches=merged,
+            latency_ns=(fetch_latency + broadcast_latency + dispatch_latency
+                        + array_latency),
+            energy_joules=(fetch_energy + broadcast_energy + dispatch_energy
+                           + array_energy),
+            n_searches=n_searches,
+        )
+
+    def match_batch(self, reads: "list[np.ndarray]",
+                    threshold: int) -> list[SystemMatch]:
+        """Match a batch of reads sequentially."""
+        return [self.match_read(read, threshold) for read in reads]
+
+    # -- analytic path ------------------------------------------------------
+
+    def estimate_read_cost(self, searches_per_read: float = 1.0,
+                           rotation_cycles_per_read: float = 0.0,
+                           mismatch_fraction: float =
+                           constants.TYPICAL_ED_STAR_MISMATCH_FRACTION
+                           ) -> ReadCostEstimate:
+        """Closed-form per-read cost at full configured scale.
+
+        Parameters
+        ----------
+        searches_per_read:
+            Average searches issued per read (1 for plain ED*; higher
+            with HDAC/TASR — measure it on the functional path).
+        rotation_cycles_per_read:
+            Average shift-register cycles per read.
+        mismatch_fraction:
+            Typical per-row ED* mismatch fraction for the energy model.
+        """
+        if searches_per_read <= 0.0:
+            raise ArchConfigError("searches_per_read must be positive")
+        cols = self._config.array_cols
+        rows = self._config.array_rows
+        n_arrays = self._config.n_arrays
+
+        latency = (
+            self._buffer.fetch_latency_ns()
+            + self._htree.broadcast_latency_ns()
+            + self._controller.dispatch_latency_ns(1) * searches_per_read
+            + self._timing.read_match_latency_ns(1) * searches_per_read
+            + rotation_cycles_per_read * self._timing.shift_cycle_ns
+        )
+
+        n_mis = np.full(rows, mismatch_fraction * cols)
+        if self._config.domain == "charge":
+            array_energy = float(
+                search_energy_per_row(n_mis, cols, vdd=self._config.vdd).sum()
+            )
+        else:
+            array_energy = (
+                constants.EDAM_ML_PRECHARGE_CAP_F * self._config.vdd**2 * rows
+                + constants.EDAM_DISCHARGE_ENERGY_PER_MISMATCH_J
+                * float(n_mis.sum())
+            )
+        array_energy += constants.SA_ENERGY_PER_ROW_J * rows
+        array_energy += constants.SHIFT_REGISTER_ENERGY_PER_SEARCH_J
+        energy = (
+            self._buffer.fetch_energy_joules(self._config.read_bits)
+            + self._htree.broadcast_energy_joules(self._config.read_bits)
+            + self._controller.dispatch_energy_joules(1) * searches_per_read
+            + array_energy * n_arrays * searches_per_read
+        )
+        return ReadCostEstimate(
+            latency_ns=latency,
+            energy_joules=energy,
+            searches_per_read=searches_per_read,
+            reads_per_second=1e9 / latency,
+        )

@@ -1,0 +1,67 @@
+"""Global buffer and controller models (Fig. 4(a)).
+
+The global buffer stages reads (or k-mers) fetched from memory before
+broadcasting them into the H-tree; the controller sequences search
+operations according to host instructions.  Both are small, simple cost
+contributors — SRAM-buffer access energy per bit and a fixed per-search
+control overhead — but modelling them keeps the system-level accounting
+honest (ASMCap's speedups over the non-CAM baselines are so large that
+ignoring peripheral overheads would overstate them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchConfigError
+
+#: SRAM buffer access energy per bit (65 nm class).
+BUFFER_ENERGY_PER_BIT_J = 5e-15
+
+#: Buffer access latency per read fetch.
+BUFFER_LATENCY_NS = 0.3
+
+#: Controller decode/dispatch overhead per issued search.
+CONTROL_LATENCY_NS = 0.1
+
+#: Controller energy per issued search.
+CONTROL_ENERGY_J = 50e-15
+
+
+@dataclass(frozen=True)
+class GlobalBuffer:
+    """Read-staging buffer cost model."""
+
+    energy_per_bit_j: float = BUFFER_ENERGY_PER_BIT_J
+    latency_ns: float = BUFFER_LATENCY_NS
+
+    def fetch_energy_joules(self, n_bits: int) -> float:
+        """Energy to stage *n_bits* for broadcast."""
+        if n_bits < 0:
+            raise ArchConfigError(f"n_bits must be non-negative, got {n_bits}")
+        return n_bits * self.energy_per_bit_j
+
+    def fetch_latency_ns(self) -> float:
+        return self.latency_ns
+
+
+@dataclass(frozen=True)
+class Controller:
+    """Search-sequencing controller cost model."""
+
+    latency_per_search_ns: float = CONTROL_LATENCY_NS
+    energy_per_search_j: float = CONTROL_ENERGY_J
+
+    def dispatch_latency_ns(self, n_searches: int) -> float:
+        if n_searches < 0:
+            raise ArchConfigError(
+                f"n_searches must be non-negative, got {n_searches}"
+            )
+        return n_searches * self.latency_per_search_ns
+
+    def dispatch_energy_joules(self, n_searches: int) -> float:
+        if n_searches < 0:
+            raise ArchConfigError(
+                f"n_searches must be non-negative, got {n_searches}"
+            )
+        return n_searches * self.energy_per_search_j

@@ -1,0 +1,94 @@
+"""Accelerator architecture configuration (Fig. 4(a), Section V-A).
+
+The evaluated system: 512 arrays of 256 x 256 ASMCap cells (64 Mb of
+reference capacity — enough to hold small virus genomes such as
+SARS-CoV-2 entirely), a global buffer feeding reads through an H-tree,
+and a controller taking instructions from the host CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ArchConfigError
+from repro.genome import alphabet
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Geometry and electrical configuration of one accelerator.
+
+    Defaults reproduce the paper's evaluated system.
+    """
+
+    array_rows: int = constants.ARRAY_ROWS
+    array_cols: int = constants.ARRAY_COLS
+    n_arrays: int = constants.ARRAY_COUNT
+    vdd: float = constants.VDD_VOLTS
+    technology_nm: int = constants.TECHNOLOGY_NM
+    domain: str = "charge"
+
+    def __post_init__(self) -> None:
+        if self.array_rows <= 0 or self.array_cols <= 0:
+            raise ArchConfigError(
+                f"array geometry must be positive, got "
+                f"{self.array_rows}x{self.array_cols}"
+            )
+        if self.n_arrays <= 0:
+            raise ArchConfigError(
+                f"n_arrays must be positive, got {self.n_arrays}"
+            )
+        if self.vdd <= 0.0:
+            raise ArchConfigError(f"vdd must be positive, got {self.vdd}")
+        if self.domain not in ("charge", "current"):
+            raise ArchConfigError(
+                f"domain must be 'charge' or 'current', got {self.domain!r}"
+            )
+
+    # -- capacity ------------------------------------------------------
+
+    @property
+    def cells_per_array(self) -> int:
+        return self.array_rows * self.array_cols
+
+    @property
+    def total_cells(self) -> int:
+        return self.cells_per_array * self.n_arrays
+
+    @property
+    def total_segments(self) -> int:
+        """Reference segments the whole system can hold."""
+        return self.array_rows * self.n_arrays
+
+    @property
+    def capacity_bases(self) -> int:
+        return self.total_cells
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.total_cells * alphabet.BITS_PER_BASE
+
+    @property
+    def capacity_mb(self) -> float:
+        """Capacity in megabits (the paper quotes 64 Mb)."""
+        return self.capacity_bits / (1 << 20)
+
+    @property
+    def read_bits(self) -> int:
+        """Bits per broadcast read (2 bits/base)."""
+        return self.array_cols * alphabet.BITS_PER_BASE
+
+    def fits_reference(self, reference_length: int) -> bool:
+        """Whether a reference of this length fits entirely on-chip."""
+        return reference_length <= self.capacity_bases
+
+    @classmethod
+    def paper_system(cls) -> "ArchConfig":
+        """The exact evaluated configuration (512 x 256 x 256, 1.2 V)."""
+        return cls()
+
+    @classmethod
+    def edam_system(cls) -> "ArchConfig":
+        """EDAM with the same geometry (Section V-A: both 256x256x512)."""
+        return cls(domain="current")

@@ -1,0 +1,60 @@
+"""H-tree distribution network model (Fig. 4(a)).
+
+Reads travel from the global buffer to the arrays through a balanced
+H-tree.  A broadcast traverses ``log2(n_arrays)`` levels; each level
+adds repeater latency and wire energy proportional to the bits moved.
+The constants are modest 65 nm-class estimates; the H-tree is a small
+contributor next to the search itself, matching the paper's focus on
+the array cost (the system-level numbers fold it in regardless).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ArchConfigError
+
+#: Repeater + wire latency per H-tree level.
+LEVEL_LATENCY_NS = 0.05
+
+#: Wire + repeater energy per bit per level (65 nm class, ~50 fJ/bit/mm
+#: at sub-mm segment lengths).
+LEVEL_ENERGY_PER_BIT_J = 20e-15
+
+
+@dataclass(frozen=True)
+class HTreeModel:
+    """Cost model of the read-broadcast H-tree."""
+
+    n_arrays: int
+    level_latency_ns: float = LEVEL_LATENCY_NS
+    level_energy_per_bit_j: float = LEVEL_ENERGY_PER_BIT_J
+
+    def __post_init__(self) -> None:
+        if self.n_arrays <= 0:
+            raise ArchConfigError(
+                f"n_arrays must be positive, got {self.n_arrays}"
+            )
+
+    @property
+    def levels(self) -> int:
+        """Tree depth: ceil(log2(n_arrays)), at least 1."""
+        return max(1, math.ceil(math.log2(self.n_arrays)))
+
+    def broadcast_latency_ns(self) -> float:
+        """Latency for one read to reach every array."""
+        return self.levels * self.level_latency_ns
+
+    def broadcast_energy_joules(self, n_bits: int) -> float:
+        """Energy to broadcast *n_bits* to all arrays.
+
+        Each level doubles the fan-out, so the bits are driven over
+        ``2^1 + 2^2 + ... + 2^levels - 1`` segments; we charge the
+        standard ``(2 * n_arrays - 2)`` segment count of a balanced
+        binary H-tree.
+        """
+        if n_bits < 0:
+            raise ArchConfigError(f"n_bits must be non-negative, got {n_bits}")
+        n_segments = max(1, 2 * self.n_arrays - 2)
+        return n_bits * self.level_energy_per_bit_j * n_segments / self.levels

@@ -1,0 +1,174 @@
+"""Batch scheduler: reference loading plus pipelined read streams.
+
+The Fig. 8 numbers charge only the steady-state search path; a real
+deployment also pays to *load* the reference (one row write per
+segment) and to stream reads through the buffer/H-tree front end while
+arrays search.  This scheduler models a complete batch:
+
+1. **Load phase** — writes every segment row (decoder + WL driver +
+   SRAM write per row; rows across arrays load in parallel, rows within
+   an array serialise).
+2. **Stream phase** — reads issue back-to-back; the front end (fetch +
+   broadcast) of read ``i+1`` overlaps the array search of read ``i``
+   (classic two-stage pipeline), so batch latency is
+   ``front_end + n_reads * max(front_end, search_path)``.
+
+The model exposes amortised per-read costs so users can judge when a
+reference is worth loading (many reads) versus mapping on CPU (few).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.arch.buffer import Controller, GlobalBuffer
+from repro.arch.config import ArchConfig
+from repro.arch.htree import HTreeModel
+from repro.arch.power import component_energies_per_search
+from repro.arch.timing import TimingModel
+from repro.errors import ArchConfigError
+
+#: Row-write latency (decode + WL pulse + SRAM write), 65 nm class.
+ROW_WRITE_NS = 2.0
+
+#: Energy per row write (512 SRAM bits plus drivers).
+ROW_WRITE_ENERGY_J = 1.5e-12
+
+
+@dataclass(frozen=True)
+class BatchSchedule:
+    """Cost breakdown of one scheduled batch."""
+
+    n_reads: int
+    n_segments: int
+    load_latency_ns: float
+    load_energy_joules: float
+    stream_latency_ns: float
+    stream_energy_joules: float
+
+    @property
+    def total_latency_ns(self) -> float:
+        return self.load_latency_ns + self.stream_latency_ns
+
+    @property
+    def total_energy_joules(self) -> float:
+        return self.load_energy_joules + self.stream_energy_joules
+
+    @property
+    def amortised_latency_per_read_ns(self) -> float:
+        return self.total_latency_ns / self.n_reads
+
+    @property
+    def amortised_energy_per_read_joules(self) -> float:
+        return self.total_energy_joules / self.n_reads
+
+    @property
+    def reads_per_second(self) -> float:
+        return self.n_reads / (self.total_latency_ns * 1e-9)
+
+
+class BatchScheduler:
+    """Load-then-stream batch cost model for one accelerator.
+
+    Parameters
+    ----------
+    config:
+        The accelerator configuration.
+    searches_per_read:
+        Average searches issued per read (strategy overhead).
+    """
+
+    def __init__(self, config: "ArchConfig | None" = None,
+                 searches_per_read: float = 1.0):
+        self._config = config or ArchConfig.paper_system()
+        if searches_per_read <= 0:
+            raise ArchConfigError(
+                f"searches_per_read must be positive, got {searches_per_read}"
+            )
+        self._searches_per_read = searches_per_read
+        self._buffer = GlobalBuffer()
+        self._htree = HTreeModel(self._config.n_arrays)
+        self._controller = Controller()
+        self._timing = TimingModel(domain=self._config.domain)
+
+    def load_cost(self, n_segments: int) -> tuple[float, float]:
+        """(latency_ns, energy_joules) to write *n_segments* rows.
+
+        Arrays load concurrently; the slowest array writes
+        ``ceil(n_segments / n_arrays)`` rows... rows are distributed
+        round-robin in practice, but the accelerator fills array 0
+        first, so the bound is rows-in-fullest-array.
+        """
+        if n_segments <= 0:
+            raise ArchConfigError(
+                f"n_segments must be positive, got {n_segments}"
+            )
+        if n_segments > self._config.total_segments:
+            raise ArchConfigError(
+                f"{n_segments} segments exceed system capacity "
+                f"{self._config.total_segments}"
+            )
+        rows_in_fullest = min(n_segments, self._config.array_rows)
+        latency = rows_in_fullest * ROW_WRITE_NS
+        energy = n_segments * ROW_WRITE_ENERGY_J
+        return latency, energy
+
+    def front_end_latency_ns(self) -> float:
+        """Fetch + broadcast + dispatch for one read."""
+        return (self._buffer.fetch_latency_ns()
+                + self._htree.broadcast_latency_ns()
+                + self._controller.dispatch_latency_ns(1))
+
+    def search_path_latency_ns(self) -> float:
+        """Array-side latency per read (all its searches)."""
+        return self._timing.read_match_latency_ns(
+            max(1, round(self._searches_per_read))
+        )
+
+    def schedule(self, n_reads: int, n_segments: int) -> BatchSchedule:
+        """Cost a full load-then-stream batch."""
+        if n_reads <= 0:
+            raise ArchConfigError(f"n_reads must be positive, got {n_reads}")
+        load_latency, load_energy = self.load_cost(n_segments)
+
+        front = self.front_end_latency_ns()
+        search = self.search_path_latency_ns()
+        stage = max(front, search)
+        stream_latency = front + n_reads * stage
+
+        per_array = sum(component_energies_per_search().values())
+        read_bits = self._config.read_bits
+        per_read_energy = (
+            self._buffer.fetch_energy_joules(read_bits)
+            + self._htree.broadcast_energy_joules(read_bits)
+            + self._controller.dispatch_energy_joules(1)
+            + per_array * self._config.n_arrays * self._searches_per_read
+        )
+        return BatchSchedule(
+            n_reads=n_reads,
+            n_segments=n_segments,
+            load_latency_ns=load_latency,
+            load_energy_joules=load_energy,
+            stream_latency_ns=stream_latency,
+            stream_energy_joules=per_read_energy * n_reads,
+        )
+
+    def break_even_reads(self, n_segments: int,
+                         per_read_alternative_ns: float) -> int:
+        """Reads needed before loading beats an alternative mapper.
+
+        Solves ``load + n * stage <= n * alternative`` for the smallest
+        integer ``n`` (returns a large sentinel when the alternative is
+        faster per read and loading never pays off).
+        """
+        if per_read_alternative_ns <= 0:
+            raise ArchConfigError("alternative latency must be positive")
+        load_latency, _ = self.load_cost(n_segments)
+        stage = max(self.front_end_latency_ns(),
+                    self.search_path_latency_ns())
+        if per_read_alternative_ns <= stage:
+            return 1 << 62
+        import math
+        return max(1, math.ceil(load_latency
+                                / (per_read_alternative_ns - stage)))

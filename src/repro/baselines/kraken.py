@@ -1,0 +1,105 @@
+"""Kraken2-like exact k-mer classifier — the paper's F1 normalizer.
+
+The paper normalises F1 scores by ``F1(Kraken2)`` (Section V-A).
+Kraken2 classifies a read by looking up each of its k-mers in a
+reference database and requiring a sufficient fraction of hits
+("confidence").  Exact k-mer matching is the crucial property: a single
+edit breaks every k-mer spanning it, so with k around 35 even the
+paper's mild error conditions destroy most k-mers — which is precisely
+why exact matching scores so much lower than ASM on erroneous reads
+(the 4.5-7.7x normalized-F1 headroom of Fig. 7).
+
+This model reproduces that mechanism with a per-(read, segment)
+decision so it plugs into the same confusion-matrix evaluation as the
+CAM matchers: a segment is called a match when enough of the read's
+k-mers occur in that segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError, ThresholdError
+from repro.genome.kmer import iter_kmers, kmer_profile
+from repro.genome.sequence import DnaSequence
+
+#: Kraken2's default k-mer length.
+DEFAULT_K = 35
+
+
+@dataclass(frozen=True)
+class KrakenOutcome:
+    """Per-segment hit fractions for one read."""
+
+    hit_fractions: np.ndarray
+    decisions: np.ndarray
+    n_kmers: int
+
+
+class KrakenLikeClassifier:
+    """Exact k-mer membership classifier over stored segments.
+
+    Parameters
+    ----------
+    segments:
+        ``(M, L)`` uint8 matrix of stored reference segments.
+    k:
+        k-mer length (Kraken2 default 35).
+    confidence:
+        Minimum fraction of the read's k-mers that must occur in a
+        segment for a match call (Kraken2's confidence threshold).  The
+        default 0.9 makes the classifier behave like Kraken2 on a
+        single-reference database: one interior edit already destroys
+        ~k of the read's k-mers (fraction drops to ~0.84 for k = 35 on
+        256-base reads), so only near-exact reads classify — which is
+        what makes exact matching score so poorly on erroneous reads.
+    """
+
+    def __init__(self, segments: np.ndarray, k: int = DEFAULT_K,
+                 confidence: float = 0.9):
+        segments = np.asarray(segments, dtype=np.uint8)
+        if segments.ndim != 2:
+            raise DatasetError("segments must be a 2-D matrix")
+        if not 0.0 < confidence <= 1.0:
+            raise ThresholdError(
+                f"confidence must be in (0, 1], got {confidence}"
+            )
+        if k > segments.shape[1]:
+            raise DatasetError(
+                f"k = {k} exceeds segment length {segments.shape[1]}"
+            )
+        self._k = k
+        self._confidence = confidence
+        self._segment_kmers = [
+            frozenset(kmer_profile(DnaSequence(row), k))
+            for row in segments
+        ]
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segment_kmers)
+
+    def classify(self, read: DnaSequence) -> KrakenOutcome:
+        """Hit fractions and match decisions against every segment."""
+        if len(read) < self._k:
+            raise DatasetError(
+                f"read of length {len(read)} shorter than k = {self._k}"
+            )
+        read_kmers = [kmer for _, kmer in iter_kmers(read, self._k)]
+        n_kmers = len(read_kmers)
+        hits = np.array([
+            sum(1 for kmer in read_kmers if kmer in segment_set)
+            for segment_set in self._segment_kmers
+        ], dtype=float)
+        fractions = hits / n_kmers
+        return KrakenOutcome(
+            hit_fractions=fractions,
+            decisions=fractions >= self._confidence,
+            n_kmers=n_kmers,
+        )

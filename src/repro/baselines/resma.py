@@ -1,0 +1,104 @@
+"""ReSMA baseline (DAC 2022): RRAM-crossbar comparison-matrix PIM.
+
+ReSMA computes the comparison matrix in ReRAM crossbars, exploiting the
+independence of anti-diagonal wavefronts, after an RRAM-CAM filtering
+stage prunes candidate locations.  Two characteristics drive its cost model
+(Section II-B of the ASMCap paper):
+
+* latency scales with the number of wavefronts (``n + m - 1``), each
+  one crossbar cycle;
+* energy is dominated by writing intermediate DP values back into the
+  crossbars — RRAM write-verify energy per cell update dwarfs the read
+  energy ("incurs massive intermediate data and updates the crossbars
+  frequently").
+
+The functional path runs the real anti-diagonal traversal
+(:mod:`repro.distance.comparison_matrix`) so decisions are exact, and
+its measured work statistics feed the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.distance.comparison_matrix import AntiDiagonalTraversal
+from repro.errors import ThresholdError
+from repro.genome.sequence import DnaSequence
+
+
+@dataclass(frozen=True)
+class ResmaOutcome:
+    """One read's exact decision and modelled crossbar cost."""
+
+    distance: int
+    decision: bool
+    n_wavefronts: int
+    cell_updates: int
+    latency_ns: float
+    energy_joules: float
+
+
+class ResmaBaseline:
+    """Anti-diagonal CM on RRAM crossbars, with CAM pre-filtering.
+
+    Parameters
+    ----------
+    wavefront_ns:
+        Crossbar cycle per anti-diagonal wavefront.
+    cell_update_energy_j:
+        Energy per DP cell update (RRAM write-verify dominated).
+    """
+
+    def __init__(self,
+                 wavefront_ns: float = constants.RESMA_WAVEFRONT_NS,
+                 cell_update_energy_j: float =
+                 constants.RESMA_CELL_UPDATE_ENERGY_J,
+                 filter_ns: float = constants.RESMA_FILTER_NS,
+                 filter_energy_j: float = constants.RESMA_FILTER_ENERGY_J):
+        if wavefront_ns <= 0.0:
+            raise ThresholdError(
+                f"wavefront_ns must be positive, got {wavefront_ns}"
+            )
+        if cell_update_energy_j <= 0.0:
+            raise ThresholdError("cell_update_energy_j must be positive")
+        self._wavefront_ns = wavefront_ns
+        self._cell_energy = cell_update_energy_j
+        self._filter_ns = filter_ns
+        self._filter_energy = filter_energy_j
+
+    def match(self, segment: DnaSequence, read: DnaSequence,
+              threshold: int) -> ResmaOutcome:
+        """Exact decision with crossbar work statistics and costs."""
+        if threshold < 0:
+            raise ThresholdError(
+                f"threshold must be non-negative, got {threshold}"
+            )
+        traversal = AntiDiagonalTraversal.run(segment, read)
+        stats = traversal.stats
+        latency = (self._filter_ns
+                   + stats.n_wavefronts * self._wavefront_ns)
+        energy = (self._filter_energy
+                  + stats.total_cell_updates * self._cell_energy)
+        return ResmaOutcome(
+            distance=traversal.distance,
+            decision=traversal.distance <= threshold,
+            n_wavefronts=stats.n_wavefronts,
+            cell_updates=stats.total_cell_updates,
+            latency_ns=latency,
+            energy_joules=energy,
+        )
+
+    def read_latency_ns(self, read_length: int) -> float:
+        """Modelled per-read latency (filter + one crossbar CM)."""
+        if read_length <= 0:
+            raise ThresholdError(
+                f"read_length must be positive, got {read_length}"
+            )
+        wavefronts = 2 * read_length - 1
+        return self._filter_ns + wavefronts * self._wavefront_ns
+
+    def read_energy_joules(self, read_length: int) -> float:
+        """Modelled per-read energy."""
+        updates = read_length * read_length
+        return self._filter_energy + updates * self._cell_energy

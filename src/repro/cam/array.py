@@ -1,0 +1,279 @@
+"""CAM array model: M x N cells, write and search operations (Fig. 4(b)).
+
+:class:`CamArray` ties the pieces together:
+
+* an :class:`~repro.cam.sram.SramPlane` holding the reference segments;
+* vectorised cell logic (the ``O_L/O_C/O_R`` planes of
+  :mod:`repro.distance.ed_star` — bit-exact with
+  :class:`~repro.cam.cell.AsmCapCell`);
+* a matchline transfer function (charge or current domain);
+* a variation model that perturbs the analog voltage;
+* a bank of sense amplifiers that turn voltages into match decisions;
+* shift registers for TASR rotations;
+* energy/latency accounting per search.
+
+The same class models both ASMCap (``domain="charge"``) and EDAM
+(``domain="current"``); the EDAM baseline wraps it with EDAM's
+parameters.  A *search* compares one read against every stored row in
+parallel and returns a :class:`SearchResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import constants
+from repro.cam.cell import MatchMode
+from repro.cam.matchline import ChargeDomainMatchline, CurrentDomainMatchline
+from repro.cam.sense_amp import SenseAmplifier
+from repro.cam.shift_register import ShiftRegisterBank
+from repro.cam.sram import SramPlane
+from repro.cam.variation import ChargeDomainVariation, CurrentDomainVariation
+from repro.cam.energy import search_energy_per_row
+from repro.distance.ed_star import match_planes
+from repro.errors import CamConfigError, ThresholdError
+
+_DOMAINS = ("charge", "current")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Everything one parallel search produced.
+
+    Attributes
+    ----------
+    matches:
+        Per-row boolean decisions (True = 'match', i.e. the SA fired).
+    mismatch_counts:
+        The *digital* per-row mismatch counts (ED* or HD) — what an
+        ideal, variation-free array would measure.
+    v_ml:
+        The noisy analog matchline voltages the SAs actually saw.
+    threshold:
+        The threshold ``T`` the search used.
+    mode:
+        ED*/HD mode of this search.
+    energy_joules:
+        Array energy spent on this search.
+    latency_ns:
+        Search latency.
+    """
+
+    matches: np.ndarray
+    mismatch_counts: np.ndarray
+    v_ml: np.ndarray
+    threshold: int
+    mode: MatchMode
+    energy_joules: float
+    latency_ns: float
+
+
+@dataclass
+class SearchStats:
+    """Cumulative per-array counters (benchmark bookkeeping)."""
+
+    n_searches: int = 0
+    n_rotation_cycles: int = 0
+    total_energy_joules: float = 0.0
+    total_latency_ns: float = 0.0
+
+    def record(self, result: SearchResult) -> None:
+        self.n_searches += 1
+        self.total_energy_joules += result.energy_joules
+        self.total_latency_ns += result.latency_ns
+
+
+class CamArray:
+    """One ML-CAM array in either the charge or the current domain.
+
+    Parameters
+    ----------
+    rows, cols:
+        Geometry (M segments of N bases); the paper uses 256 x 256.
+    domain:
+        ``"charge"`` (ASMCap) or ``"current"`` (EDAM).
+    sigma_rel:
+        Relative device variation; defaults to the paper's value for
+        the chosen domain (1.4 % capacitor / 2.5 % current).
+    noisy:
+        Master switch for variation noise (False = ideal array).
+    seed:
+        Seed for the noise generator.
+    strict_paper_vref:
+        Use the literal ``V_ref = T/N*VDD`` rule (see
+        :mod:`repro.cam.sense_amp`).
+    """
+
+    def __init__(self, rows: int = constants.ARRAY_ROWS,
+                 cols: int = constants.ARRAY_COLS,
+                 domain: str = "charge",
+                 sigma_rel: "float | None" = None,
+                 noisy: bool = True,
+                 seed: int = 0,
+                 strict_paper_vref: bool = False,
+                 vdd: float = constants.VDD_VOLTS):
+        if domain not in _DOMAINS:
+            raise CamConfigError(
+                f"domain must be one of {_DOMAINS}, got {domain!r}"
+            )
+        self._domain = domain
+        self._plane = SramPlane(rows, cols)
+        self._registers = ShiftRegisterBank(cols)
+        self._registers.enable()
+        self._noisy = noisy
+        self._rng = np.random.default_rng(seed)
+        self._vdd = vdd
+        if domain == "charge":
+            sigma = (constants.ASMCAP_CAPACITOR_SIGMA
+                     if sigma_rel is None else sigma_rel)
+            self._variation = ChargeDomainVariation(sigma_rel=sigma, vdd=vdd)
+            self._matchline = ChargeDomainMatchline(vdd=vdd)
+            self._sense_amp = SenseAmplifier(
+                vdd=vdd, rising=True, strict_paper_rule=strict_paper_vref
+            )
+            self._search_time_ns = constants.ASMCAP_SEARCH_TIME_NS
+        else:
+            sigma = (constants.EDAM_CURRENT_SIGMA
+                     if sigma_rel is None else sigma_rel)
+            self._variation = CurrentDomainVariation(sigma_rel=sigma, vdd=vdd)
+            self._matchline = CurrentDomainMatchline(vdd=vdd)
+            self._sense_amp = SenseAmplifier(
+                vdd=vdd, rising=False, strict_paper_rule=strict_paper_vref
+            )
+            self._search_time_ns = constants.EDAM_SEARCH_TIME_NS
+        self.stats = SearchStats()
+
+    # -- configuration ----------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self._plane.rows
+
+    @property
+    def cols(self) -> int:
+        return self._plane.cols
+
+    @property
+    def domain(self) -> str:
+        return self._domain
+
+    @property
+    def noisy(self) -> bool:
+        return self._noisy
+
+    @property
+    def search_time_ns(self) -> float:
+        return self._search_time_ns
+
+    @property
+    def plane(self) -> SramPlane:
+        return self._plane
+
+    @property
+    def registers(self) -> ShiftRegisterBank:
+        return self._registers
+
+    @property
+    def sense_amp(self) -> SenseAmplifier:
+        return self._sense_amp
+
+    @property
+    def variation(self):
+        return self._variation
+
+    # -- data path --------------------------------------------------------
+
+    def store(self, segments: np.ndarray) -> None:
+        """Write reference segments into the rows (row 0 upward)."""
+        self._plane.write_all(segments)
+
+    def stored_segments(self) -> np.ndarray:
+        """The valid stored rows as an ``(n_written, N)`` matrix."""
+        mask = self._plane.written_mask
+        return self._plane.data[mask]
+
+    def mismatch_counts(self, read: np.ndarray, mode: MatchMode) -> np.ndarray:
+        """Digital per-row mismatch counts for *read* (no analog path)."""
+        read = self._check_read(read)
+        segments = self.stored_segments()
+        if segments.shape[0] == 0:
+            raise CamConfigError("search issued against an empty array")
+        o_l, o_c, o_r = match_planes(segments, read)
+        if mode is MatchMode.ED_STAR:
+            matched = o_l | o_c | o_r
+        else:
+            matched = o_c
+        return np.count_nonzero(~matched, axis=1)
+
+    def search(self, read: np.ndarray, threshold: int,
+               mode: MatchMode = MatchMode.ED_STAR) -> SearchResult:
+        """One parallel search of *read* against all stored rows."""
+        if not 0 <= threshold <= self.cols:
+            raise ThresholdError(
+                f"threshold {threshold} out of range 0..{self.cols}"
+            )
+        counts = self.mismatch_counts(read, mode)
+
+        if self._domain == "charge":
+            v_ideal = self._matchline.ideal_voltage(counts, self.cols)
+        else:
+            v_ideal = self._matchline.sampled_voltage(counts, self.cols)
+        if self._noisy:
+            noise = self._variation.sample_noise(counts, self.cols, self._rng)
+            if self._domain == "current":
+                noise = -noise  # droop noise subtracts from the sampled level
+            v_ml = v_ideal + noise
+        else:
+            v_ml = v_ideal.astype(float)
+
+        matches = self._sense_amp.decide(v_ml, threshold, self.cols)
+        energy = self._search_energy(counts)
+        result = SearchResult(
+            matches=matches, mismatch_counts=counts, v_ml=v_ml,
+            threshold=threshold, mode=mode, energy_joules=energy,
+            latency_ns=self._search_time_ns,
+        )
+        self.stats.record(result)
+        return result
+
+    def search_rotated(self, read: np.ndarray, threshold: int, rotation: int,
+                       mode: MatchMode = MatchMode.ED_STAR) -> SearchResult:
+        """Search with the read rotated through the shift registers.
+
+        Positive *rotation* rotates left; each base of rotation costs
+        one register cycle which the stats record (TASR's overhead,
+        Section IV-B).
+        """
+        read = self._check_read(read)
+        self._registers.load(read)
+        if rotation != 0:
+            self._registers.rotate_left(rotation)
+            self.stats.n_rotation_cycles += abs(int(rotation))
+        return self.search(self._registers.contents(), threshold, mode)
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_read(self, read: np.ndarray) -> np.ndarray:
+        read = np.asarray(read, dtype=np.uint8)
+        if read.shape != (self.cols,):
+            raise CamConfigError(
+                f"read shape {read.shape} does not fit array width {self.cols}"
+            )
+        return read
+
+    def _search_energy(self, counts: np.ndarray) -> float:
+        """Array energy for one search with the given per-row counts."""
+        n_rows = counts.shape[0]
+        if self._domain == "charge":
+            cells = float(search_energy_per_row(counts, self.cols,
+                                                vdd=self._vdd).sum())
+        else:
+            precharge = (constants.EDAM_ML_PRECHARGE_CAP_F
+                         * self._vdd**2 * n_rows)
+            discharge = (constants.EDAM_DISCHARGE_ENERGY_PER_MISMATCH_J
+                         * float(counts.sum()))
+            cells = precharge + discharge
+        peripherals = constants.SA_ENERGY_PER_ROW_J * n_rows
+        return cells + peripherals

@@ -1,0 +1,123 @@
+"""Array-level defect injection for robustness studies.
+
+Manufacturing defects and wear leave CAM arrays with broken elements;
+an accelerator deployed for "task-intensive but accuracy-insensitive"
+screening (Section V-E) must degrade gracefully rather than fail.  The
+models here inject the three defect classes that matter to a search
+array, as post-processing on a :class:`~repro.cam.array.CamArray`
+search result or its stored data:
+
+* **stuck rows** — a matchline shorted high or low: the row always or
+  never reports 'match' regardless of data;
+* **dead sense amplifiers** — the row's comparator output is frozen at
+  its last value; modelled as stuck-mismatch (conservative);
+* **storage bit flips** — delegated to
+  :meth:`repro.cam.sram.SramPlane.inject_bit_flips`.
+
+:class:`DefectModel` wraps an array and applies row defects to every
+search result, so experiments can sweep defect density and measure the
+F1 cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cam.array import CamArray, SearchResult
+from repro.cam.cell import MatchMode
+from repro.errors import CamConfigError
+
+
+@dataclass
+class DefectMap:
+    """Which rows are broken, and how."""
+
+    stuck_match: np.ndarray
+    stuck_mismatch: np.ndarray
+
+    @classmethod
+    def sample(cls, n_rows: int, stuck_match_rate: float,
+               stuck_mismatch_rate: float,
+               rng: np.random.Generator) -> "DefectMap":
+        """Draw independent row defects at the given rates."""
+        for name, rate in (("stuck_match_rate", stuck_match_rate),
+                           ("stuck_mismatch_rate", stuck_mismatch_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise CamConfigError(f"{name} must be in [0, 1], got {rate}")
+        draws = rng.random(n_rows)
+        stuck_match = draws < stuck_match_rate
+        stuck_mismatch = ((draws >= stuck_match_rate)
+                          & (draws < stuck_match_rate + stuck_mismatch_rate))
+        return cls(stuck_match=stuck_match, stuck_mismatch=stuck_mismatch)
+
+    @property
+    def n_defective(self) -> int:
+        return int(self.stuck_match.sum() + self.stuck_mismatch.sum())
+
+    def apply(self, matches: np.ndarray) -> np.ndarray:
+        """Overlay the row defects on a decision vector."""
+        matches = np.asarray(matches, dtype=bool)
+        if matches.shape != self.stuck_match.shape:
+            raise CamConfigError(
+                f"decision shape {matches.shape} != defect map shape "
+                f"{self.stuck_match.shape}"
+            )
+        out = matches.copy()
+        out[self.stuck_match] = True
+        out[self.stuck_mismatch] = False
+        return out
+
+
+class DefectiveArray:
+    """A CamArray wrapper that overlays row defects on every search."""
+
+    def __init__(self, array: CamArray, defects: DefectMap):
+        if defects.stuck_match.shape != (array.rows,):
+            raise CamConfigError(
+                f"defect map covers {defects.stuck_match.shape[0]} rows, "
+                f"array has {array.rows}"
+            )
+        self._array = array
+        self._defects = defects
+
+    @property
+    def array(self) -> CamArray:
+        return self._array
+
+    @property
+    def defects(self) -> DefectMap:
+        return self._defects
+
+    @property
+    def rows(self) -> int:
+        return self._array.rows
+
+    @property
+    def cols(self) -> int:
+        return self._array.cols
+
+    def store(self, segments: np.ndarray) -> None:
+        self._array.store(segments)
+
+    def search(self, read: np.ndarray, threshold: int,
+               mode: MatchMode = MatchMode.ED_STAR) -> SearchResult:
+        """Search, with defective rows overriding their decisions."""
+        result = self._array.search(read, threshold, mode)
+        # Trim/pad: decisions only cover written rows.
+        n = result.matches.shape[0]
+        defects = DefectMap(
+            stuck_match=self._defects.stuck_match[:n],
+            stuck_mismatch=self._defects.stuck_mismatch[:n],
+        )
+        patched = defects.apply(result.matches)
+        return SearchResult(
+            matches=patched,
+            mismatch_counts=result.mismatch_counts,
+            v_ml=result.v_ml,
+            threshold=result.threshold,
+            mode=result.mode,
+            energy_joules=result.energy_joules,
+            latency_ns=result.latency_ns,
+        )

@@ -1,0 +1,82 @@
+"""Sense amplifier: threshold comparison on the matchline voltage.
+
+The SAs compare ``V_ML`` with a reference voltage ``V_ref`` and output
+'match' when the mismatch count implied by the voltage is at most the
+threshold ``T`` (Section III-B).  Polarity differs per domain:
+
+* charge domain — ``V_ML`` *rises* with mismatches, match when
+  ``V_ML <= V_ref``;
+* current domain — the sampled voltage *falls* with mismatches, match
+  when ``V_ML >= V_ref``.
+
+**Boundary placement.**  The paper sets ``V_ref = T/N * VDD``, which
+puts the reference exactly *on* the level of a row with ``n_mis == T``.
+Any amount of noise then misjudges about half of the exactly-``T`` rows.
+We default to the mid-point between levels ``T`` and ``T+1``
+(``V_ref = (T + 1/2)/N * VDD``), which is what a designer would
+calibrate to; ``strict_paper_rule=True`` reproduces the literal paper
+equation.  This choice is recorded in DESIGN.md.
+
+An optional input-referred offset models SA imperfection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ThresholdError
+
+
+@dataclass(frozen=True)
+class SenseAmplifier:
+    """Threshold comparator bank for one CAM array.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage.
+    rising:
+        True for the charge domain (V_ML rises with mismatches), False
+        for the sampled current domain.
+    offset_sigma:
+        Input-referred offset standard deviation in volts (0 = ideal).
+    strict_paper_rule:
+        Place ``V_ref`` exactly at ``T/N*VDD`` instead of the midpoint.
+    """
+
+    vdd: float = constants.VDD_VOLTS
+    rising: bool = True
+    offset_sigma: float = 0.0
+    strict_paper_rule: bool = False
+
+    def reference_voltage(self, threshold: int, n_cells: int) -> float:
+        """``V_ref`` for deciding ``n_mis <= threshold``."""
+        if n_cells <= 0:
+            raise ThresholdError(f"n_cells must be positive, got {n_cells}")
+        if not 0 <= threshold <= n_cells:
+            raise ThresholdError(
+                f"threshold {threshold} out of range 0..{n_cells}"
+            )
+        level = threshold if self.strict_paper_rule else threshold + 0.5
+        mismatch_fraction = level / n_cells
+        if self.rising:
+            return mismatch_fraction * self.vdd
+        return (1.0 - mismatch_fraction) * self.vdd
+
+    def decide(self, v_ml: np.ndarray, threshold: int, n_cells: int,
+               rng: "np.random.Generator | None" = None) -> np.ndarray:
+        """Match decisions for a vector of matchline voltages."""
+        v_ml = np.asarray(v_ml, dtype=float)
+        v_ref = self.reference_voltage(threshold, n_cells)
+        if self.offset_sigma > 0.0:
+            if rng is None:
+                raise ThresholdError(
+                    "offset_sigma > 0 requires an rng for offset sampling"
+                )
+            v_ml = v_ml + rng.normal(0.0, self.offset_sigma, size=v_ml.shape)
+        if self.rising:
+            return v_ml <= v_ref
+        return v_ml >= v_ref

@@ -1,0 +1,97 @@
+"""Shift registers with enable signal — the TASR rotation hardware.
+
+The search data path of an ASMCap array includes shift registers that
+can rotate the input read left or right base-by-base (Fig. 4(b)); the
+TASR strategy re-issues the search with the rotated read, one extra
+cycle per rotation (Section IV-B).  This model tracks the register
+contents and counts shift cycles so the timing model can charge them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CamConfigError
+from repro.genome import alphabet
+
+
+class ShiftRegisterBank:
+    """Rotating register bank holding one read."""
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise CamConfigError(f"register width must be positive, got {width}")
+        self._width = width
+        self._data: np.ndarray | None = None
+        self._enabled = False
+        self._shift_cycles = 0
+        self._net_rotation = 0
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def shift_cycles(self) -> int:
+        """Total single-base shift cycles performed (timing model input)."""
+        return self._shift_cycles
+
+    @property
+    def net_rotation(self) -> int:
+        """Current rotation relative to the loaded read (left-positive)."""
+        return self._net_rotation
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def load(self, codes: np.ndarray) -> None:
+        """Load a read; resets the rotation state."""
+        codes = np.asarray(codes, dtype=np.uint8)
+        if codes.shape != (self._width,):
+            raise CamConfigError(
+                f"read shape {codes.shape} does not fit register width "
+                f"{self._width}"
+            )
+        if codes.size and int(codes.max()) >= alphabet.ALPHABET_SIZE:
+            raise CamConfigError("read codes must be 2-bit (0..3)")
+        self._data = codes.copy()
+        self._net_rotation = 0
+
+    def contents(self) -> np.ndarray:
+        """Current register contents (copy)."""
+        if self._data is None:
+            raise CamConfigError("shift registers have not been loaded")
+        return self._data.copy()
+
+    def rotate_left(self, steps: int = 1) -> np.ndarray:
+        """Rotate left *steps* bases (one cycle per base)."""
+        return self._rotate(steps)
+
+    def rotate_right(self, steps: int = 1) -> np.ndarray:
+        """Rotate right *steps* bases (one cycle per base)."""
+        return self._rotate(-steps)
+
+    def _rotate(self, steps: int) -> np.ndarray:
+        if self._data is None:
+            raise CamConfigError("shift registers have not been loaded")
+        if not self._enabled:
+            raise CamConfigError(
+                "shift registers are disabled; call enable() before rotating"
+            )
+        if steps == 0:
+            return self.contents()
+        self._data = np.roll(self._data, -steps)
+        self._shift_cycles += abs(int(steps))
+        self._net_rotation = (self._net_rotation + steps) % self._width
+        return self.contents()
+
+    def reset_counters(self) -> None:
+        """Zero the cycle counters (e.g. between benchmark iterations)."""
+        self._shift_cycles = 0

@@ -1,0 +1,85 @@
+"""Hamming-Distance Aid Correction — Algorithm 1 (Section IV-A).
+
+**The misjudgment.** When edits are substitution-dominant, the ED*
+neighbour comparisons *hide* real edits: a substituted base often still
+matches a neighbour by chance, so ED* underestimates the true distance
+and EDAM produces false positives whenever ``ED* <= T < ED``.
+
+**The correction.** Search twice — once in ED* mode, once in HD mode
+(one extra cycle; the array's mode MUX makes this free in area) — and,
+when the two decisions disagree, trust the Hamming decision with
+probability ``p`` (:func:`repro.core.policy.hdac_probability`).
+
+The correction is applied independently per row (each row's SA produced
+its own pair of decisions), with one uniform draw per disagreeing row,
+exactly as Algorithm 1 generates ``X ~ U(0, 1)`` per matching result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ThresholdError
+
+
+@dataclass(frozen=True)
+class HdacOutcome:
+    """Result of applying Algorithm 1 to one search's row decisions.
+
+    Attributes
+    ----------
+    decisions:
+        Final per-row match decisions.
+    n_disagreements:
+        Rows where the HD and ED* decisions differed.
+    n_hd_selected:
+        Disagreeing rows where the Hamming decision won the draw.
+    """
+
+    decisions: np.ndarray
+    n_disagreements: int
+    n_hd_selected: int
+
+
+def hdac_correct(ed_star_decisions: np.ndarray,
+                 hamming_decisions: np.ndarray,
+                 p: float,
+                 rng: np.random.Generator) -> HdacOutcome:
+    """Apply Algorithm 1 to paired per-row decisions.
+
+    Parameters
+    ----------
+    ed_star_decisions:
+        Boolean per-row ED* match decisions (``O_ED*``).
+    hamming_decisions:
+        Boolean per-row HD match decisions (``O_HD``).
+    p:
+        Probability of selecting the Hamming decision on disagreement.
+    rng:
+        Random generator for the per-row uniform draws.
+    """
+    ed_star_decisions = np.asarray(ed_star_decisions, dtype=bool)
+    hamming_decisions = np.asarray(hamming_decisions, dtype=bool)
+    if ed_star_decisions.shape != hamming_decisions.shape:
+        raise ThresholdError(
+            f"decision shapes differ: {ed_star_decisions.shape} vs "
+            f"{hamming_decisions.shape}"
+        )
+    if not 0.0 <= p <= 1.0:
+        raise ThresholdError(f"p must be a probability, got {p}")
+
+    disagree = ed_star_decisions != hamming_decisions
+    n_disagreements = int(disagree.sum())
+    decisions = ed_star_decisions.copy()
+    n_hd_selected = 0
+    if n_disagreements and p > 0.0:
+        draws = rng.random(n_disagreements) < p
+        n_hd_selected = int(draws.sum())
+        selected = np.zeros_like(disagree)
+        selected[np.flatnonzero(disagree)[draws]] = True
+        decisions[selected] = hamming_decisions[selected]
+    return HdacOutcome(decisions=decisions,
+                       n_disagreements=n_disagreements,
+                       n_hd_selected=n_hd_selected)

@@ -1,0 +1,196 @@
+"""The assembled ASMCap matcher: ED* base search + HDAC + TASR.
+
+:class:`AsmCapMatcher` drives one :class:`~repro.cam.array.CamArray`
+through the full decision flow of Sections III-IV:
+
+1. issue the ED* search (``S = 1``);
+2. if HDAC is enabled and ``p`` is worth the extra cycle, issue the HD
+   search (``S = 0``) and apply Algorithm 1;
+3. if TASR is enabled and ``T >= Tl``, issue the rotated ED* searches
+   through the shift registers and OR them in (Algorithm 2).
+
+Every analog effect (variation noise, sense-amp behaviour) lives inside
+the array; the matcher only sequences searches and combines their
+decisions, mirroring the controller's role in Fig. 4(a).  All energy
+and latency of the extra searches is accounted in the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import constants
+from repro.cam.array import CamArray
+from repro.cam.cell import MatchMode
+from repro.core import policy
+from repro.core.hdac import HdacOutcome, hdac_correct
+from repro.core.tasr import TasrOutcome, tasr_correct
+from repro.errors import CamConfigError
+from repro.genome.edits import ErrorModel
+
+
+@dataclass(frozen=True)
+class MatcherConfig:
+    """Strategy configuration for :class:`AsmCapMatcher`.
+
+    Defaults are the paper's evaluated setting: both strategies on,
+    alpha = 200, beta = 0.5, NR = 2, gamma = 2e-4.
+    """
+
+    enable_hdac: bool = True
+    enable_tasr: bool = True
+    hdac_alpha: float = constants.HDAC_ALPHA
+    hdac_beta: float = constants.HDAC_BETA
+    hdac_disable_threshold: float = constants.HDAC_DISABLE_THRESHOLD
+    tasr_nr: int = constants.TASR_NR
+    tasr_gamma: float = constants.TASR_GAMMA
+    tasr_direction: str = "both"
+
+    @classmethod
+    def plain(cls) -> "MatcherConfig":
+        """ASMCap without HDAC and TASR ('w/o H. and T.' in Fig. 7/8)."""
+        return cls(enable_hdac=False, enable_tasr=False)
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """Decisions and cost accounting for matching one read.
+
+    Attributes
+    ----------
+    decisions:
+        Final per-row boolean match decisions.
+    threshold:
+        The threshold ``T`` used.
+    n_searches:
+        Total search operations issued (base + HD + rotations).
+    energy_joules / latency_ns:
+        Summed over all issued searches (plus rotation cycles are
+        folded into the rotated searches' latency by the array model).
+    hdac_probability:
+        The ``p`` used this call (0 when HDAC was skipped).
+    tasr_lower_bound:
+        The ``Tl`` in force.
+    hdac / tasr:
+        Detailed strategy outcomes (None when the strategy was off or
+        did not trigger).
+    """
+
+    decisions: np.ndarray
+    threshold: int
+    n_searches: int
+    energy_joules: float
+    latency_ns: float
+    hdac_probability: float
+    tasr_lower_bound: int
+    hdac: "HdacOutcome | None" = None
+    tasr: "TasrOutcome | None" = None
+
+
+class AsmCapMatcher:
+    """Full ASMCap matching flow over one CAM array.
+
+    Parameters
+    ----------
+    array:
+        The (charge-domain) CAM array holding reference segments.
+    error_model:
+        The workload's error rates — HDAC's ``p`` and TASR's ``Tl`` are
+        functions of these (the paper pre-processes them off-line).
+    config:
+        Strategy configuration.
+    seed:
+        Seed for HDAC's uniform draws.
+    """
+
+    def __init__(self, array: CamArray, error_model: ErrorModel,
+                 config: "MatcherConfig | None" = None, seed: int = 0):
+        self._array = array
+        self._model = error_model
+        self._config = config or MatcherConfig()
+        self._rng = np.random.default_rng(seed)
+        if self._config.tasr_direction not in ("both", "left", "right"):
+            raise CamConfigError(
+                f"invalid tasr_direction {self._config.tasr_direction!r}"
+            )
+
+    @property
+    def array(self) -> CamArray:
+        return self._array
+
+    @property
+    def config(self) -> MatcherConfig:
+        return self._config
+
+    @property
+    def error_model(self) -> ErrorModel:
+        return self._model
+
+    def hdac_probability(self, threshold: int) -> float:
+        """The off-line pre-processed ``p`` for this workload."""
+        return policy.hdac_probability_for_model(
+            self._model, threshold,
+            alpha=self._config.hdac_alpha, beta=self._config.hdac_beta,
+        )
+
+    def tasr_lower_bound(self) -> int:
+        """The off-line pre-processed ``Tl`` for this workload."""
+        return policy.tasr_lower_bound_for_model(
+            self._model, self._array.cols, gamma=self._config.tasr_gamma,
+        )
+
+    def match(self, read: np.ndarray, threshold: int) -> MatchOutcome:
+        """Match one read against all stored rows at threshold ``T``."""
+        read = np.asarray(read, dtype=np.uint8)
+        base = self._array.search(read, threshold, MatchMode.ED_STAR)
+        decisions = base.matches.copy()
+        n_searches = 1
+        energy = base.energy_joules
+        latency = base.latency_ns
+
+        # --- HDAC (Algorithm 1) -----------------------------------------
+        hdac_outcome: HdacOutcome | None = None
+        p = 0.0
+        if self._config.enable_hdac:
+            p_raw = self.hdac_probability(threshold)
+            if policy.hdac_enabled(p_raw, self._config.hdac_disable_threshold):
+                p = p_raw
+                hd = self._array.search(read, threshold, MatchMode.HAMMING)
+                n_searches += 1
+                energy += hd.energy_joules
+                latency += hd.latency_ns
+                hdac_outcome = hdac_correct(decisions, hd.matches, p, self._rng)
+                decisions = hdac_outcome.decisions
+
+        # --- TASR (Algorithm 2) -------------------------------------------
+        tasr_outcome: TasrOutcome | None = None
+        lower_bound = self.tasr_lower_bound()
+        if self._config.enable_tasr:
+            rotation_costs: list[tuple[float, float]] = []
+
+            def rotated_search(offset: int) -> np.ndarray:
+                result = self._array.search_rotated(
+                    read, threshold, offset, MatchMode.ED_STAR
+                )
+                rotation_costs.append((result.energy_joules, result.latency_ns))
+                return result.matches
+
+            tasr_outcome = tasr_correct(
+                decisions, rotated_search, threshold, lower_bound,
+                nr=self._config.tasr_nr,
+                direction=self._config.tasr_direction,
+            )
+            decisions = tasr_outcome.decisions
+            n_searches += tasr_outcome.n_extra_searches
+            for rot_energy, rot_latency in rotation_costs:
+                energy += rot_energy
+                latency += rot_latency
+
+        return MatchOutcome(
+            decisions=decisions, threshold=threshold, n_searches=n_searches,
+            energy_joules=energy, latency_ns=latency,
+            hdac_probability=p, tasr_lower_bound=lower_bound,
+            hdac=hdac_outcome, tasr=tasr_outcome,
+        )

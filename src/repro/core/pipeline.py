@@ -1,0 +1,113 @@
+"""Read-mapping pipeline: batch matching with aggregate reporting.
+
+:class:`ReadMappingPipeline` runs a matcher over a batch of reads and
+collects per-read match locations plus aggregate cost statistics —
+the read-mapping loop of Fig. 4(a) (sequencing machine -> memory ->
+global buffer -> arrays) at the algorithmic level.  System-level
+latency/energy with H-tree and buffer overheads lives in
+:mod:`repro.arch.accelerator`; this pipeline charges array-level costs
+only, which is what the per-read diagnostics need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.matcher import AsmCapMatcher, MatchOutcome
+from repro.errors import CamConfigError
+from repro.genome.reads import ReadRecord
+
+
+@dataclass(frozen=True)
+class ReadMapping:
+    """One read's mapping result."""
+
+    read_index: int
+    matched_rows: tuple[int, ...]
+    outcome: MatchOutcome
+
+    @property
+    def is_mapped(self) -> bool:
+        return bool(self.matched_rows)
+
+    @property
+    def is_unique(self) -> bool:
+        return len(self.matched_rows) == 1
+
+
+@dataclass
+class MappingReport:
+    """Aggregate statistics for one pipeline run."""
+
+    n_reads: int = 0
+    n_mapped: int = 0
+    n_unique: int = 0
+    n_searches: int = 0
+    total_energy_joules: float = 0.0
+    total_latency_ns: float = 0.0
+    mappings: list[ReadMapping] = field(default_factory=list)
+
+    @property
+    def mapped_fraction(self) -> float:
+        return self.n_mapped / self.n_reads if self.n_reads else 0.0
+
+    @property
+    def unique_fraction(self) -> float:
+        return self.n_unique / self.n_reads if self.n_reads else 0.0
+
+    @property
+    def mean_energy_per_read_joules(self) -> float:
+        return (self.total_energy_joules / self.n_reads
+                if self.n_reads else 0.0)
+
+    @property
+    def mean_latency_per_read_ns(self) -> float:
+        return (self.total_latency_ns / self.n_reads
+                if self.n_reads else 0.0)
+
+    @property
+    def reads_per_second(self) -> float:
+        """Sequential-throughput estimate from the summed latency."""
+        if self.total_latency_ns == 0.0:
+            return 0.0
+        return self.n_reads / (self.total_latency_ns * 1e-9)
+
+
+class ReadMappingPipeline:
+    """Batch read mapping over one matcher."""
+
+    def __init__(self, matcher: AsmCapMatcher):
+        self._matcher = matcher
+
+    @property
+    def matcher(self) -> AsmCapMatcher:
+        return self._matcher
+
+    def map_read(self, read: "np.ndarray | ReadRecord",
+                 threshold: int, index: int = 0) -> ReadMapping:
+        """Map a single read; returns its matched row indices."""
+        codes = read.read.codes if isinstance(read, ReadRecord) else np.asarray(read)
+        outcome = self._matcher.match(codes, threshold)
+        matched_rows = tuple(int(i) for i in np.flatnonzero(outcome.decisions))
+        return ReadMapping(read_index=index, matched_rows=matched_rows,
+                           outcome=outcome)
+
+    def run(self, reads: "Sequence[np.ndarray] | Sequence[ReadRecord]",
+            threshold: int) -> MappingReport:
+        """Map every read and aggregate the statistics."""
+        if not len(reads):
+            raise CamConfigError("pipeline invoked with an empty read batch")
+        report = MappingReport()
+        for index, read in enumerate(reads):
+            mapping = self.map_read(read, threshold, index=index)
+            report.mappings.append(mapping)
+            report.n_reads += 1
+            report.n_mapped += int(mapping.is_mapped)
+            report.n_unique += int(mapping.is_unique)
+            report.n_searches += mapping.outcome.n_searches
+            report.total_energy_joules += mapping.outcome.energy_joules
+            report.total_latency_ns += mapping.outcome.latency_ns
+        return report

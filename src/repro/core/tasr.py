@@ -1,0 +1,126 @@
+"""Threshold-Aware Sequence Rotation — Algorithm 2 (Section IV-B).
+
+**The misjudgment.** Consecutive insertions or deletions shift the rest
+of the read by several positions, which the one-base neighbour window of
+ED* cannot absorb: ED* becomes much larger than the true edit distance
+and EDAM produces false negatives whenever ``ED < T < ED*``.
+
+**Plain SR and its flaw.** EDAM's Sequence Rotation re-searches with
+the read rotated base-by-base and ORs the results.  But a rotation can
+also *underestimate* distance (the rotated read happens to line up
+spuriously), creating false positives precisely when ``T`` is small.
+
+**The TASR fix.** Only rotate when ``T >= Tl`` with
+``Tl = ceil(gamma/eid * m)`` — at small thresholds the FP risk outweighs
+the FN correction, at large thresholds (or high indel rates) rotation
+pays off.  Rotation costs one extra search cycle per rotation, which the
+timing model charges.
+
+The rotation direction is configurable: the paper rotates "left (right)"
+— we default to exploring both directions (``NR`` each way), with
+left-only and right-only modes for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ThresholdError
+
+#: Valid rotation direction modes.
+DIRECTIONS = ("both", "left", "right")
+
+
+def rotation_offsets(nr: int = constants.TASR_NR,
+                     direction: str = "both") -> tuple[int, ...]:
+    """The rotation amounts Algorithm 2 tries, excluding 0.
+
+    Positive = left rotation, negative = right rotation.  The unrotated
+    search (i = 0 in the paper's loop) is the caller's base search.
+    """
+    if nr < 0:
+        raise ThresholdError(f"NR must be non-negative, got {nr}")
+    if direction not in DIRECTIONS:
+        raise ThresholdError(
+            f"direction must be one of {DIRECTIONS}, got {direction!r}"
+        )
+    left = tuple(range(1, nr + 1))
+    right = tuple(-i for i in range(1, nr + 1))
+    if direction == "left":
+        return left
+    if direction == "right":
+        return right
+    return left + right
+
+
+@dataclass(frozen=True)
+class TasrOutcome:
+    """Result of applying Algorithm 2.
+
+    Attributes
+    ----------
+    decisions:
+        Final per-row decisions (OR over the base and rotated searches).
+    triggered:
+        Whether ``T >= Tl`` allowed rotations at all.
+    n_extra_searches:
+        Rotated searches issued (0 when not triggered).
+    rotation_cycles:
+        Total shift-register cycles spent on rotations.
+    """
+
+    decisions: np.ndarray
+    triggered: bool
+    n_extra_searches: int
+    rotation_cycles: int
+
+
+def tasr_correct(base_decisions: np.ndarray,
+                 rotated_search: Callable[[int], np.ndarray],
+                 threshold: int,
+                 lower_bound: int,
+                 nr: int = constants.TASR_NR,
+                 direction: str = "both") -> TasrOutcome:
+    """Apply Algorithm 2 on top of an existing base search.
+
+    Parameters
+    ----------
+    base_decisions:
+        Per-row decisions of the unrotated ED* search (i = 0).
+    rotated_search:
+        Callback issuing an ED* search with the read rotated by the
+        given offset (positive = left) and returning per-row decisions.
+        The matcher wires this to the array's shift registers.
+    threshold, lower_bound:
+        ``T`` and ``Tl``; rotations fire only when ``T >= Tl``.
+    nr:
+        Rotations per direction.
+    direction:
+        ``"both"`` / ``"left"`` / ``"right"``.
+    """
+    base_decisions = np.asarray(base_decisions, dtype=bool)
+    if threshold < 0:
+        raise ThresholdError(f"threshold must be non-negative, got {threshold}")
+    if threshold < lower_bound:
+        return TasrOutcome(decisions=base_decisions.copy(), triggered=False,
+                           n_extra_searches=0, rotation_cycles=0)
+
+    decisions = base_decisions.copy()
+    n_extra = 0
+    cycles = 0
+    for offset in rotation_offsets(nr, direction):
+        rotated = np.asarray(rotated_search(offset), dtype=bool)
+        if rotated.shape != decisions.shape:
+            raise ThresholdError(
+                f"rotated decisions shape {rotated.shape} != base "
+                f"{decisions.shape}"
+            )
+        decisions |= rotated
+        n_extra += 1
+        cycles += abs(offset)
+    return TasrOutcome(decisions=decisions, triggered=True,
+                       n_extra_searches=n_extra, rotation_cycles=cycles)

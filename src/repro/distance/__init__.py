@@ -1,0 +1,69 @@
+"""String-distance kernels: ground truth (ED), HD, and the ED* estimate.
+
+* :mod:`repro.distance.hamming` — Hamming distance (CAM HD mode);
+* :mod:`repro.distance.edit_distance` — full / banded / batched DP;
+* :mod:`repro.distance.myers` — bit-parallel oracle;
+* :mod:`repro.distance.comparison_matrix` — anti-diagonal CM (ReSMA);
+* :mod:`repro.distance.ed_star` — the EDAM/ASMCap neighbour-tolerant
+  mismatch count.
+"""
+
+from repro.distance.alignment import Alignment, align, cigar_edit_count
+from repro.distance.comparison_matrix import (
+    AntiDiagonalTraversal,
+    TraversalStats,
+    comparison_matrix_distance,
+)
+from repro.distance.ed_star import (
+    ed_star,
+    ed_star_batch,
+    match_planes,
+    mismatch_counts_all_reads,
+)
+from repro.distance.edit_distance import (
+    banded_edit_distance,
+    banded_edit_distance_batch,
+    edit_distance,
+    edit_distance_matrix,
+)
+from repro.distance.hamming import (
+    hamming_distance,
+    hamming_distance_batch,
+    hamming_matches,
+)
+from repro.distance.landau_vishkin import landau_vishkin, lv_within
+from repro.distance.myers import myers_distance_to_all, myers_edit_distance
+from repro.distance.semiglobal import (
+    SemiglobalHit,
+    best_semiglobal_hit,
+    occurrences_within,
+    semiglobal_distances,
+)
+
+__all__ = [
+    "Alignment",
+    "AntiDiagonalTraversal",
+    "align",
+    "cigar_edit_count",
+    "SemiglobalHit",
+    "TraversalStats",
+    "best_semiglobal_hit",
+    "landau_vishkin",
+    "lv_within",
+    "occurrences_within",
+    "semiglobal_distances",
+    "banded_edit_distance",
+    "banded_edit_distance_batch",
+    "comparison_matrix_distance",
+    "ed_star",
+    "ed_star_batch",
+    "edit_distance",
+    "edit_distance_matrix",
+    "hamming_distance",
+    "hamming_distance_batch",
+    "hamming_matches",
+    "match_planes",
+    "mismatch_counts_all_reads",
+    "myers_distance_to_all",
+    "myers_edit_distance",
+]

@@ -1,0 +1,135 @@
+"""Global alignment with traceback: edit scripts and CIGAR strings.
+
+The accelerator answers *whether* a read matches a segment; downstream
+genomics tooling wants *how* — which bases were substituted, inserted
+or deleted.  This module runs the unit-cost DP with traceback and emits
+the standard CIGAR representation (``=`` match, ``X`` mismatch, ``I``
+insertion into the read, ``D`` deletion from the read).
+
+Traceback tie-breaking prefers diagonal moves (match/mismatch), then
+deletion, then insertion — the convention most aligners use, and it
+keeps indels left-shifted in homopolymer runs for deterministic output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance.edit_distance import edit_distance_matrix
+from repro.errors import SequenceError
+from repro.genome.sequence import DnaSequence
+
+#: CIGAR opcodes in this module's extended (``=``/``X``) form.
+CIGAR_OPS = ("=", "X", "I", "D")
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A traced global alignment.
+
+    Attributes
+    ----------
+    distance:
+        The edit distance (number of X/I/D columns).
+    cigar:
+        Run-length encoded operations, e.g. ``"12=1X5=2D8="``.
+    aligned_a / aligned_b:
+        Gapped alignment rows (``-`` marks gaps).
+    """
+
+    distance: int
+    cigar: str
+    aligned_a: str
+    aligned_b: str
+
+    def operations(self) -> list[tuple[int, str]]:
+        """Decode the CIGAR into ``(count, op)`` pairs."""
+        out: list[tuple[int, str]] = []
+        count = ""
+        for ch in self.cigar:
+            if ch.isdigit():
+                count += ch
+            else:
+                if ch not in CIGAR_OPS:
+                    raise SequenceError(f"invalid CIGAR op {ch!r}")
+                out.append((int(count), ch))
+                count = ""
+        return out
+
+
+def align(a: DnaSequence, b: DnaSequence) -> Alignment:
+    """Globally align *a* (reference role) and *b* (read role).
+
+    ``I`` means a base present in *b* but not *a*; ``D`` the reverse.
+    """
+    table = edit_distance_matrix(a, b)
+    x, y = a.codes, b.codes
+    i, j = len(x), len(y)
+    ops: list[str] = []
+    row_a: list[str] = []
+    row_b: list[str] = []
+    text_a, text_b = str(a), str(b)
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            diagonal = table[i - 1, j - 1] + (x[i - 1] != y[j - 1])
+            if table[i, j] == diagonal:
+                ops.append("=" if x[i - 1] == y[j - 1] else "X")
+                row_a.append(text_a[i - 1])
+                row_b.append(text_b[j - 1])
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and table[i, j] == table[i - 1, j] + 1:
+            ops.append("D")
+            row_a.append(text_a[i - 1])
+            row_b.append("-")
+            i -= 1
+            continue
+        ops.append("I")
+        row_a.append("-")
+        row_b.append(text_b[j - 1])
+        j -= 1
+    ops.reverse()
+    row_a.reverse()
+    row_b.reverse()
+    return Alignment(
+        distance=int(table[-1, -1]),
+        cigar=_run_length(ops),
+        aligned_a="".join(row_a),
+        aligned_b="".join(row_b),
+    )
+
+
+def _run_length(ops: list[str]) -> str:
+    if not ops:
+        return ""
+    chunks: list[str] = []
+    current = ops[0]
+    count = 1
+    for op in ops[1:]:
+        if op == current:
+            count += 1
+        else:
+            chunks.append(f"{count}{current}")
+            current = op
+            count = 1
+    chunks.append(f"{count}{current}")
+    return "".join(chunks)
+
+
+def cigar_edit_count(cigar: str) -> int:
+    """Total edits implied by a CIGAR (X + I + D columns)."""
+    total = 0
+    count = ""
+    for ch in cigar:
+        if ch.isdigit():
+            count += ch
+        else:
+            if ch not in CIGAR_OPS:
+                raise SequenceError(f"invalid CIGAR op {ch!r}")
+            if ch != "=":
+                total += int(count)
+            count = ""
+    return total

@@ -1,0 +1,68 @@
+"""Hamming distance kernels.
+
+Hamming distance (HD) counts positions where two equal-length sequences
+differ.  The ASMCap array computes HD natively when the mode-select
+signal ``S`` is 0 (the MUX passes only the co-located comparison
+``O_C``, Fig. 4(c)); the HDAC strategy compares the HD decision with the
+ED* decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.genome.sequence import DnaSequence
+
+
+def hamming_distance(a: DnaSequence, b: DnaSequence) -> int:
+    """Hamming distance between two equal-length sequences.
+
+    Raises
+    ------
+    SequenceError
+        If the sequences have different lengths (HD is undefined then).
+    """
+    if len(a) != len(b):
+        raise SequenceError(
+            f"Hamming distance needs equal lengths, got {len(a)} and {len(b)}"
+        )
+    return int(np.count_nonzero(a.codes != b.codes))
+
+
+def hamming_distance_batch(segments: np.ndarray, read: np.ndarray) -> np.ndarray:
+    """Hamming distance of one read against many stored segments.
+
+    Parameters
+    ----------
+    segments:
+        ``(M, N)`` uint8 matrix of stored rows.
+    read:
+        ``(N,)`` uint8 read codes.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(M,)`` int array of distances.
+    """
+    segments = np.asarray(segments)
+    read = np.asarray(read)
+    if segments.ndim != 2:
+        raise SequenceError(f"segments must be 2-D, got shape {segments.shape}")
+    if read.ndim != 1 or read.shape[0] != segments.shape[1]:
+        raise SequenceError(
+            f"read shape {read.shape} incompatible with segments "
+            f"{segments.shape}"
+        )
+    return np.count_nonzero(segments != read[None, :], axis=1)
+
+
+def hamming_matches(segments: np.ndarray, read: np.ndarray) -> np.ndarray:
+    """Boolean per-cell co-located match matrix ``(M, N)``.
+
+    This is the ``O_C`` plane of the ASMCap cell logic: entry ``[i, j]``
+    is True when stored base ``j`` of row ``i`` equals read base ``j``.
+    """
+    segments = np.asarray(segments)
+    read = np.asarray(read)
+    return segments == read[None, :]

@@ -1,0 +1,96 @@
+"""Landau-Vishkin k-bounded edit distance (Landau & Vishkin, 1989).
+
+The LV algorithm answers "is ED(a, b) <= k?" in ``O(k^2 + k*n)`` time by
+extending matches greedily along diagonals: ``L(d, e)`` is the furthest
+row ``i`` reachable on diagonal ``d = j - i`` with exactly ``e`` edits,
+and each step slides along the run of exact matches for free.
+
+Roles in this library:
+
+* a fourth independent oracle for the exact-ED kernels (row DP, Myers
+  and the CM traversal are cross-checked against it in the tests);
+* the asymptotically right tool when thresholds are tiny — the
+  ground-truth labeller uses the banded DP because it vectorises across
+  pairs, but single-pair callers with small ``k`` are faster here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ThresholdError
+from repro.genome.sequence import DnaSequence
+
+_SENTINEL = -10**9
+
+
+def _extend(a: np.ndarray, b: np.ndarray, i: int, j: int) -> int:
+    """Length of the exact-match run starting at ``a[i:]`` vs ``b[j:]``."""
+    limit = min(len(a) - i, len(b) - j)
+    if limit <= 0:
+        return 0
+    window_a = a[i : i + limit]
+    window_b = b[j : j + limit]
+    mismatches = np.nonzero(window_a != window_b)[0]
+    return int(mismatches[0]) if mismatches.size else limit
+
+
+def landau_vishkin(a: DnaSequence, b: DnaSequence, k: int) -> int:
+    """Edit distance if it is ``<= k``, else ``k + 1``.
+
+    Parameters
+    ----------
+    a, b:
+        The two sequences (any lengths).
+    k:
+        Edit bound; the answer is exact whenever the true distance is
+        at most ``k``.
+    """
+    if k < 0:
+        raise ThresholdError(f"k must be non-negative, got {k}")
+    x, y = a.codes, b.codes
+    n, m = len(x), len(y)
+    if abs(n - m) > k:
+        return k + 1
+
+    # previous[d + k + 1] = L(d, e-1); guard cells at both ends.
+    previous = np.full(2 * k + 3, _SENTINEL, dtype=np.int64)
+
+    run = _extend(x, y, 0, 0)
+    if run >= n and run >= m:
+        return 0
+    previous[k + 1] = run
+
+    for e in range(1, k + 1):
+        current = np.full_like(previous, _SENTINEL)
+        for d in range(-min(e, k), min(e, k) + 1):
+            offset = d + k + 1
+            # Predecessors, each spending one edit:
+            #  - substitution: same diagonal, advance one row;
+            #  - insertion (consume b only): diagonal d-1, same row;
+            #  - deletion (consume a only): diagonal d+1, advance one row.
+            best = max(
+                previous[offset] + 1,
+                previous[offset - 1],
+                previous[offset + 1] + 1,
+            )
+            # Row 0 of diagonal d is always reachable with |d| <= e
+            # edits (|d| leading indels), which also absorbs the
+            # sentinel arithmetic at the diagonal frontier.
+            best = max(best, 0)
+            i = min(int(best), n)
+            j = i + d
+            if j < 0 or j > m:
+                continue
+            i += _extend(x, y, i, j)
+            j = i + d
+            current[offset] = i
+            if i >= n and j >= m:
+                return e
+        previous = current
+    return k + 1
+
+
+def lv_within(a: DnaSequence, b: DnaSequence, k: int) -> bool:
+    """Predicate form: ``ED(a, b) <= k``."""
+    return landau_vishkin(a, b, k) <= k

@@ -1,0 +1,110 @@
+"""Semiglobal alignment: best placement of a read inside a reference.
+
+Global edit distance forces the read to span the whole reference;
+*semiglobal* alignment lets the read start and end anywhere in the
+reference (free leading/trailing reference gaps), which is the actual
+read-mapping question: "where does this read fit best, and how many
+edits does the best fit need?"
+
+Used by the verification tooling (does the CAM's matched segment agree
+with the best semiglobal placement?) and by the SaVI baseline's
+accuracy analysis.  The implementation is the Myers bit-parallel
+recurrence with the semiglobal initialisation (score resets are free on
+the text side), giving ``O(n)`` per reference position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.genome import alphabet
+from repro.genome.sequence import DnaSequence
+
+
+@dataclass(frozen=True)
+class SemiglobalHit:
+    """Best semiglobal placement of a read.
+
+    Attributes
+    ----------
+    distance:
+        Edit distance of the best placement.
+    end:
+        Reference position one past the placement's last aligned base.
+    all_ends:
+        Every reference end position achieving ``distance``.
+    """
+
+    distance: int
+    end: int
+    all_ends: tuple[int, ...]
+
+
+def semiglobal_distances(read: DnaSequence,
+                         reference: DnaSequence) -> np.ndarray:
+    """Edit distance of *read* vs every reference end position.
+
+    Returns an array ``D`` of length ``len(reference) + 1`` where
+    ``D[j]`` is the minimum edit distance between the read and any
+    reference substring ending at position ``j`` (``D[0]`` is the
+    read length: aligning against the empty prefix).
+    """
+    pattern = read.codes
+    text = reference.codes
+    m = len(pattern)
+    if m == 0:
+        return np.zeros(len(text) + 1, dtype=np.int32)
+
+    masks = [0] * alphabet.ALPHABET_SIZE
+    for index, code in enumerate(pattern):
+        masks[int(code)] |= 1 << index
+    all_ones = (1 << m) - 1
+    high_bit = 1 << (m - 1)
+
+    pv = all_ones
+    mv = 0
+    score = m
+    out = np.empty(len(text) + 1, dtype=np.int32)
+    out[0] = m
+    for column, code in enumerate(text, start=1):
+        eq = masks[int(code)]
+        xv = eq | mv
+        xh = (((eq & pv) + pv) ^ pv) | eq
+        ph = mv | ~(xh | pv) & all_ones
+        mh = pv & xh
+        if ph & high_bit:
+            score += 1
+        elif mh & high_bit:
+            score -= 1
+        # Semiglobal boundary: the top DP row is all zeros (leading
+        # reference gaps are free), so the horizontal carry-in at row 0
+        # is 0 — unlike the global variant, which ORs a 1 into ph here.
+        ph = (ph << 1) & all_ones
+        mh = (mh << 1) & all_ones
+        pv = (mh | ~(xv | ph)) & all_ones
+        mv = ph & xv
+        out[column] = score
+    return out
+
+
+def best_semiglobal_hit(read: DnaSequence,
+                        reference: DnaSequence) -> SemiglobalHit:
+    """The best placement(s) of *read* in *reference*."""
+    if len(read) == 0:
+        raise SequenceError("cannot place an empty read")
+    distances = semiglobal_distances(read, reference)
+    best = int(distances.min())
+    ends = tuple(int(j) for j in np.nonzero(distances == best)[0])
+    return SemiglobalHit(distance=best, end=ends[0], all_ends=ends)
+
+
+def occurrences_within(read: DnaSequence, reference: DnaSequence,
+                       threshold: int) -> list[int]:
+    """End positions where the read matches within *threshold* edits."""
+    if threshold < 0:
+        raise SequenceError(f"threshold must be non-negative, got {threshold}")
+    distances = semiglobal_distances(read, reference)
+    return [int(j) for j in np.nonzero(distances <= threshold)[0]]

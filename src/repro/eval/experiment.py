@@ -1,0 +1,203 @@
+"""Accuracy experiments: dataset x system x threshold -> F1.
+
+:class:`AccuracyExperiment` evaluates *systems* (anything that turns a
+read into per-segment match decisions at a threshold) against exact
+ground truth on a :class:`~repro.genome.datasets.Dataset`, producing
+the confusion matrices behind Fig. 7.
+
+The provided system factories cover the paper's four accuracy curves:
+
+* ``edam_system``            — EDAM (current-domain hardware, plain ED*);
+* ``asmcap_plain_system``    — ASMCap w/o HDAC and TASR;
+* ``asmcap_full_system``     — ASMCap w/ HDAC and TASR;
+* ``kraken_system``          — the exact-matching normalizer.
+
+Each factory receives the dataset and a seed so Monte-Carlo repetitions
+re-instantiate hardware noise independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.baselines.edam import EdamMatcher
+from repro.baselines.kraken import KrakenLikeClassifier
+from repro.cam.array import CamArray
+from repro.core.matcher import AsmCapMatcher, MatcherConfig
+from repro.errors import ExperimentError
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.ground_truth import GroundTruth, label_dataset
+from repro.genome.datasets import Dataset
+
+
+class MatchSystem(Protocol):
+    """Anything that maps (read codes, threshold) -> per-segment bools."""
+
+    def decide(self, read: np.ndarray, threshold: int) -> np.ndarray: ...
+
+
+#: A factory builds a system for one dataset + seed (fresh noise).
+SystemFactory = Callable[[Dataset, int], MatchSystem]
+
+
+@dataclass
+class _MatcherSystem:
+    """Adapter: AsmCapMatcher -> MatchSystem."""
+
+    matcher: AsmCapMatcher
+
+    def decide(self, read: np.ndarray, threshold: int) -> np.ndarray:
+        return self.matcher.match(read, threshold).decisions
+
+
+@dataclass
+class _EdamSystem:
+    """Adapter: EdamMatcher -> MatchSystem."""
+
+    matcher: EdamMatcher
+
+    def decide(self, read: np.ndarray, threshold: int) -> np.ndarray:
+        return self.matcher.match(read, threshold).decisions
+
+
+@dataclass
+class _KrakenSystem:
+    """Adapter: KrakenLikeClassifier -> MatchSystem (threshold unused)."""
+
+    classifier: KrakenLikeClassifier
+    read_length: int
+
+    def decide(self, read: np.ndarray, threshold: int) -> np.ndarray:
+        from repro.genome.sequence import DnaSequence
+        return self.classifier.classify(DnaSequence(read)).decisions
+
+
+def asmcap_full_system(dataset: Dataset, seed: int) -> MatchSystem:
+    """ASMCap with HDAC and TASR on noisy charge-domain hardware."""
+    return _asmcap_system(dataset, seed, MatcherConfig())
+
+
+def asmcap_plain_system(dataset: Dataset, seed: int) -> MatchSystem:
+    """ASMCap without the strategies (still charge-domain hardware)."""
+    return _asmcap_system(dataset, seed, MatcherConfig.plain())
+
+
+def _asmcap_system(dataset: Dataset, seed: int,
+                   config: MatcherConfig) -> MatchSystem:
+    array = CamArray(rows=dataset.n_segments, cols=dataset.read_length,
+                     domain="charge", noisy=True, seed=seed)
+    array.store(dataset.segments)
+    matcher = AsmCapMatcher(array, dataset.model, config, seed=seed + 1)
+    return _MatcherSystem(matcher)
+
+
+def edam_system(dataset: Dataset, seed: int) -> MatchSystem:
+    """EDAM: plain ED* on noisy current-domain hardware."""
+    array = CamArray(rows=dataset.n_segments, cols=dataset.read_length,
+                     domain="current", noisy=True, seed=seed)
+    matcher = EdamMatcher(array=array)
+    matcher.store(dataset.segments)
+    return _EdamSystem(matcher)
+
+
+def edam_sr_system(dataset: Dataset, seed: int) -> MatchSystem:
+    """EDAM with its unconditional Sequence Rotation (Section IV-B).
+
+    The variant TASR improves on: rotations always fire, trading FN
+    correction for FP risk at small thresholds.
+    """
+    array = CamArray(rows=dataset.n_segments, cols=dataset.read_length,
+                     domain="current", noisy=True, seed=seed)
+    matcher = EdamMatcher(array=array, enable_sr=True)
+    matcher.store(dataset.segments)
+    return _EdamSystem(matcher)
+
+
+def kraken_system(dataset: Dataset, seed: int,
+                  k: int = 35, confidence: float = 0.9) -> MatchSystem:
+    """Exact k-mer classifier (deterministic; seed unused)."""
+    classifier = KrakenLikeClassifier(dataset.segments, k=k,
+                                      confidence=confidence)
+    return _KrakenSystem(classifier, dataset.read_length)
+
+
+@dataclass
+class AccuracyResult:
+    """Per-threshold confusion matrices for one system."""
+
+    name: str
+    per_threshold: dict[int, ConfusionMatrix]
+
+    def f1(self, threshold: int) -> float:
+        return self.per_threshold[threshold].f1
+
+    def f1_series(self) -> dict[int, float]:
+        return {t: m.f1 for t, m in sorted(self.per_threshold.items())}
+
+    def mean_f1(self) -> float:
+        values = [m.f1 for m in self.per_threshold.values()]
+        return float(np.mean(values)) if values else 0.0
+
+
+class AccuracyExperiment:
+    """Fig.-7-style accuracy evaluation on one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The evaluation dataset.
+    thresholds:
+        Threshold sweep (Condition A: 1..8, Condition B: 2..16).
+    seed:
+        Base seed handed to system factories.
+    """
+
+    def __init__(self, dataset: Dataset, thresholds: "list[int]",
+                 seed: int = 0):
+        if not thresholds:
+            raise ExperimentError("thresholds must be non-empty")
+        if any(t < 0 for t in thresholds):
+            raise ExperimentError("thresholds must be non-negative")
+        self._dataset = dataset
+        self._thresholds = sorted(set(int(t) for t in thresholds))
+        self._seed = seed
+        self._truth: GroundTruth = label_dataset(dataset,
+                                                 max(self._thresholds))
+
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    @property
+    def thresholds(self) -> list[int]:
+        return list(self._thresholds)
+
+    @property
+    def ground_truth(self) -> GroundTruth:
+        return self._truth
+
+    def evaluate(self, name: str, factory: SystemFactory,
+                 seed_offset: int = 0) -> AccuracyResult:
+        """Run one system over all reads and thresholds."""
+        system = factory(self._dataset, self._seed + seed_offset)
+        reads = [record.read.codes for record in self._dataset.reads]
+        per_threshold: dict[int, ConfusionMatrix] = {}
+        for threshold in self._thresholds:
+            truth = self._truth.labels(threshold)
+            matrix = ConfusionMatrix()
+            for read_index, read in enumerate(reads):
+                predicted = system.decide(read, threshold)
+                matrix.update(predicted, truth[read_index])
+            per_threshold[threshold] = matrix
+        return AccuracyResult(name=name, per_threshold=per_threshold)
+
+    def evaluate_all(self, systems: "dict[str, SystemFactory]"
+                     ) -> dict[str, AccuracyResult]:
+        """Evaluate several systems on identical ground truth."""
+        return {
+            name: self.evaluate(name, factory, seed_offset=i * 7919)
+            for i, (name, factory) in enumerate(systems.items())
+        }

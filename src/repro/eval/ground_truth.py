@@ -1,0 +1,84 @@
+"""Ground-truth labelling: exact edit distances for every decision pair.
+
+The ASM goal (Section II-B) defines truth: a (read, segment) pair is a
+true match at threshold ``T`` iff ``ED(segment, read) <= T``.  The
+labeller computes the full ``(n_reads, n_segments)`` distance matrix
+once with the batched banded DP, capped just above the largest
+threshold any experiment will ask about, and answers every subsequent
+threshold query with a comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance.edit_distance import banded_edit_distance_batch
+from repro.errors import ExperimentError
+from repro.genome.datasets import Dataset
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Capped exact-distance matrix with threshold queries.
+
+    Attributes
+    ----------
+    distances:
+        ``(n_reads, n_segments)`` int matrix; entries above ``band``
+        hold ``band + 1`` ("greater than band").
+    band:
+        The cap; thresholds up to this value are answerable exactly.
+    """
+
+    distances: np.ndarray
+    band: int
+
+    def labels(self, threshold: int) -> np.ndarray:
+        """Boolean truth matrix at *threshold*."""
+        if not 0 <= threshold <= self.band:
+            raise ExperimentError(
+                f"threshold {threshold} outside labelled band 0..{self.band}"
+            )
+        return self.distances <= threshold
+
+    def labels_for_read(self, read_index: int, threshold: int) -> np.ndarray:
+        """Truth row for one read."""
+        return self.labels(threshold)[read_index]
+
+    @property
+    def n_reads(self) -> int:
+        return int(self.distances.shape[0])
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.distances.shape[1])
+
+    def positives_per_threshold(self, thresholds: "list[int]") -> dict[int, int]:
+        """True-match counts per threshold (dataset difficulty gauge)."""
+        return {t: int(self.labels(t).sum()) for t in thresholds}
+
+
+def label_dataset(dataset: Dataset, max_threshold: int,
+                  margin: int = 2) -> GroundTruth:
+    """Compute ground truth for every (read, segment) pair of a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The evaluation dataset.
+    max_threshold:
+        Largest threshold any experiment will query.
+    margin:
+        Extra band beyond ``max_threshold`` (keeps the cap comfortably
+        above every queried threshold).
+    """
+    if max_threshold < 0:
+        raise ExperimentError(
+            f"max_threshold must be non-negative, got {max_threshold}"
+        )
+    band = max_threshold + margin
+    reads = np.stack([record.read.codes for record in dataset.reads])
+    distances = banded_edit_distance_batch(dataset.segments, reads, band)
+    return GroundTruth(distances=distances, band=band)

@@ -1,0 +1,121 @@
+"""ROC and precision-recall analysis over mismatch-count scores.
+
+The CAM's analog output is effectively a *score* (the mismatch count /
+matchline voltage) that the sense amplifier binarises at ``V_ref``.
+Sweeping the reference voltage instead of fixing it yields a full
+ROC / precision-recall picture of the matcher, independent of any one
+threshold — useful for comparing ED* against HD as *scoring functions*
+and for quantifying how much the analog noise blurs the score.
+
+Conventions: *lower* score means *more similar* (a mismatch count), and
+a pair is predicted positive when ``score <= cutoff``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A computed ROC curve with its operating points.
+
+    Attributes
+    ----------
+    cutoffs:
+        Score cutoffs, ascending.
+    tpr / fpr:
+        True/false positive rates per cutoff.
+    """
+
+    cutoffs: np.ndarray
+    tpr: np.ndarray
+    fpr: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the ROC curve (trapezoid over FPR)."""
+        order = np.argsort(self.fpr, kind="stable")
+        x = np.concatenate([[0.0], self.fpr[order], [1.0]])
+        y = np.concatenate([[0.0], self.tpr[order], [1.0]])
+        return float(np.trapezoid(y, x))
+
+    def operating_point(self, cutoff: float) -> tuple[float, float]:
+        """(FPR, TPR) at the closest computed cutoff."""
+        index = int(np.argmin(np.abs(self.cutoffs - cutoff)))
+        return float(self.fpr[index]), float(self.tpr[index])
+
+
+@dataclass(frozen=True)
+class PrCurve:
+    """A precision-recall curve."""
+
+    cutoffs: np.ndarray
+    precision: np.ndarray
+    recall: np.ndarray
+
+    @property
+    def average_precision(self) -> float:
+        """Step-interpolated area under the PR curve."""
+        order = np.argsort(self.recall, kind="stable")
+        recall = self.recall[order]
+        precision = self.precision[order]
+        deltas = np.diff(np.concatenate([[0.0], recall]))
+        return float((precision * deltas).sum())
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=float).ravel()
+    labels = np.asarray(labels, dtype=bool).ravel()
+    if scores.shape != labels.shape:
+        raise ExperimentError(
+            f"scores shape {scores.shape} != labels shape {labels.shape}"
+        )
+    if scores.size == 0:
+        raise ExperimentError("cannot build a curve from no pairs")
+    if not labels.any():
+        raise ExperimentError("no positive pairs in the labels")
+    if labels.all():
+        raise ExperimentError("no negative pairs in the labels")
+    return scores, labels
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray,
+              cutoffs: "np.ndarray | None" = None) -> RocCurve:
+    """ROC curve for low-is-similar scores."""
+    scores, labels = _validate(scores, labels)
+    if cutoffs is None:
+        cutoffs = np.unique(scores)
+    cutoffs = np.asarray(cutoffs, dtype=float)
+    positives = labels.sum()
+    negatives = labels.size - positives
+    tpr = np.empty(cutoffs.size)
+    fpr = np.empty(cutoffs.size)
+    for index, cutoff in enumerate(cutoffs):
+        predicted = scores <= cutoff
+        tpr[index] = (predicted & labels).sum() / positives
+        fpr[index] = (predicted & ~labels).sum() / negatives
+    return RocCurve(cutoffs=cutoffs, tpr=tpr, fpr=fpr)
+
+
+def pr_curve(scores: np.ndarray, labels: np.ndarray,
+             cutoffs: "np.ndarray | None" = None) -> PrCurve:
+    """Precision-recall curve for low-is-similar scores."""
+    scores, labels = _validate(scores, labels)
+    if cutoffs is None:
+        cutoffs = np.unique(scores)
+    cutoffs = np.asarray(cutoffs, dtype=float)
+    positives = labels.sum()
+    precision = np.empty(cutoffs.size)
+    recall = np.empty(cutoffs.size)
+    for index, cutoff in enumerate(cutoffs):
+        predicted = scores <= cutoff
+        n_predicted = predicted.sum()
+        hits = (predicted & labels).sum()
+        precision[index] = hits / n_predicted if n_predicted else 1.0
+        recall[index] = hits / positives
+    return PrCurve(cutoffs=cutoffs, precision=precision, recall=recall)

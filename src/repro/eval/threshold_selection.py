@@ -1,0 +1,105 @@
+"""Threshold selection: choosing ``T`` for a target workload.
+
+The paper sweeps ``T`` and reports F1 per point; a deployment has to
+*pick* one.  Two tools:
+
+* :func:`expected_edit_distance` — the analytically expected edit count
+  for an error model and read length, a principled starting point
+  (``T ~ E[edits] + margin`` captures most true matches);
+* :class:`ThresholdSelector` — empirical selection: evaluates a matcher
+  factory over a labelled dataset across candidate thresholds and picks
+  the F1-optimal one, reporting the full curve so the caller can trade
+  sensitivity against precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.ground_truth import GroundTruth, label_dataset
+from repro.genome.datasets import Dataset
+from repro.genome.edits import ErrorModel
+
+
+def expected_edit_distance(model: ErrorModel, read_length: int) -> float:
+    """Expected number of injected edits for one read.
+
+    Counts substitution events plus indel events; geometric bursts of
+    mean length ``1/(1-burst_prob)`` multiply the indel base count.
+    """
+    if read_length <= 0:
+        raise ExperimentError(
+            f"read_length must be positive, got {read_length}"
+        )
+    burst_factor = 1.0 / max(1e-9, 1.0 - model.burst_prob)
+    per_base = model.substitution + model.indel_rate * burst_factor
+    return per_base * read_length
+
+
+def rule_of_thumb_threshold(model: ErrorModel, read_length: int,
+                            margin_sigmas: float = 2.0) -> int:
+    """``T = E[edits] + margin_sigmas * sqrt(E[edits])``, rounded up.
+
+    A Poisson-style margin: with ~2 sigmas, most true matches fall
+    inside the threshold while it stays far below the random-pair
+    distance.
+    """
+    expectation = expected_edit_distance(model, read_length)
+    return int(np.ceil(expectation + margin_sigmas * np.sqrt(expectation)))
+
+
+@dataclass(frozen=True)
+class ThresholdChoice:
+    """The selector's verdict."""
+
+    best_threshold: int
+    best_f1: float
+    curve: dict[int, float]
+
+
+class ThresholdSelector:
+    """Empirical F1-optimal threshold selection on a labelled dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The labelled workload.
+    candidates:
+        Thresholds to evaluate.
+    """
+
+    def __init__(self, dataset: Dataset, candidates: "list[int]"):
+        if not candidates:
+            raise ExperimentError("candidates must be non-empty")
+        self._dataset = dataset
+        self._candidates = sorted(set(int(t) for t in candidates))
+        self._truth: GroundTruth = label_dataset(dataset,
+                                                 max(self._candidates))
+
+    @property
+    def candidates(self) -> list[int]:
+        return list(self._candidates)
+
+    def select(self, decide: Callable[[np.ndarray, int], np.ndarray]
+               ) -> ThresholdChoice:
+        """Evaluate ``decide(read, T)`` across candidates and pick.
+
+        Ties break toward the *smaller* threshold (cheaper TASR/HDAC
+        regime and tighter matches).
+        """
+        curve: dict[int, float] = {}
+        for threshold in self._candidates:
+            matrix = ConfusionMatrix()
+            labels = self._truth.labels(threshold)
+            for index, record in enumerate(self._dataset.reads):
+                predictions = decide(record.read.codes, threshold)
+                matrix.update(predictions, labels[index])
+            curve[threshold] = matrix.f1
+        best_threshold = max(curve, key=lambda t: (curve[t], -t))
+        return ThresholdChoice(best_threshold=best_threshold,
+                               best_f1=curve[best_threshold], curve=curve)

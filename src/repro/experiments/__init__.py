@@ -1,0 +1,13 @@
+"""Experiment drivers — one per paper table/figure.
+
+* :mod:`repro.experiments.table1` — Table I circuit comparison;
+* :mod:`repro.experiments.fig7` — Fig. 7 F1 vs threshold;
+* :mod:`repro.experiments.fig8` — Fig. 8 speedup/energy bars;
+* :mod:`repro.experiments.breakdown` — Section V-B area/power;
+* :mod:`repro.experiments.states` — Section V-D states analysis;
+* :mod:`repro.experiments.runner` — the CLI.
+"""
+
+from repro.experiments import ablations, breakdown, fig7, fig8, states, table1
+
+__all__ = ["ablations", "breakdown", "fig7", "fig8", "states", "table1"]

@@ -1,0 +1,128 @@
+"""k-mer machinery: iteration, canonical form, and an exact-match index.
+
+The seeding-strategy baselines (SaVI's seed-and-vote, the Kraken2-like
+classifier) and several examples need exact k-mer matching against a
+reference.  k-mers are packed into Python integers (2 bits per base) so
+dictionary lookups are cheap and hashable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.genome import alphabet
+from repro.genome.sequence import DnaSequence
+
+#: Maximum k supported by the 2-bit integer packing (Python ints are
+#: unbounded, but 64 keeps reverse-complement math simple and is far
+#: beyond genomics practice).
+MAX_K = 64
+
+
+def pack_kmer(codes: np.ndarray) -> int:
+    """Pack an array of base codes into a 2-bit-per-base integer."""
+    value = 0
+    for code in codes:
+        value = (value << 2) | int(code)
+    return value
+
+
+def unpack_kmer(value: int, k: int) -> np.ndarray:
+    """Inverse of :func:`pack_kmer`."""
+    codes = np.empty(k, dtype=np.uint8)
+    for i in range(k - 1, -1, -1):
+        codes[i] = value & 0b11
+        value >>= 2
+    return codes
+
+
+def reverse_complement_kmer(value: int, k: int) -> int:
+    """Reverse complement directly in packed space."""
+    rc = 0
+    for _ in range(k):
+        rc = (rc << 2) | (3 - (value & 0b11))
+        value >>= 2
+    return rc
+
+
+def canonical_kmer(value: int, k: int) -> int:
+    """The smaller of a packed k-mer and its reverse complement.
+
+    Canonicalisation makes indices strand-symmetric, as genomics tools
+    (including Kraken2) do.
+    """
+    return min(value, reverse_complement_kmer(value, k))
+
+
+def iter_kmers(sequence: DnaSequence, k: int,
+               canonical: bool = False) -> Iterator[tuple[int, int]]:
+    """Yield ``(position, packed_kmer)`` for every k-mer of *sequence*."""
+    if not 1 <= k <= MAX_K:
+        raise DatasetError(f"k must be in 1..{MAX_K}, got {k}")
+    codes = sequence.codes
+    n = len(codes)
+    if n < k:
+        return
+    mask = (1 << (2 * k)) - 1
+    value = pack_kmer(codes[:k])
+    yield 0, canonical_kmer(value, k) if canonical else value
+    for i in range(k, n):
+        value = ((value << 2) | int(codes[i])) & mask
+        position = i - k + 1
+        yield position, canonical_kmer(value, k) if canonical else value
+
+
+def kmer_profile(sequence: DnaSequence, k: int,
+                 canonical: bool = False) -> dict[int, int]:
+    """Count occurrences of each k-mer."""
+    counts: dict[int, int] = defaultdict(int)
+    for _, kmer in iter_kmers(sequence, k, canonical=canonical):
+        counts[kmer] += 1
+    return dict(counts)
+
+
+@dataclass
+class KmerIndex:
+    """Exact-match k-mer index over a reference sequence.
+
+    Maps each packed k-mer to the sorted list of reference positions
+    where it occurs.  This is the substrate both seeding baselines use:
+    SaVI votes on positions returned by lookups, and the Kraken-like
+    classifier tests k-mer membership.
+    """
+
+    k: int
+    positions: dict[int, list[int]]
+    reference_length: int
+    canonical: bool = False
+
+    @classmethod
+    def build(cls, reference: DnaSequence, k: int,
+              canonical: bool = False) -> "KmerIndex":
+        """Index every k-mer of *reference*."""
+        table: dict[int, list[int]] = defaultdict(list)
+        for position, kmer in iter_kmers(reference, k, canonical=canonical):
+            table[kmer].append(position)
+        return cls(k=k, positions=dict(table),
+                   reference_length=len(reference), canonical=canonical)
+
+    def lookup(self, kmer: int) -> list[int]:
+        """Positions of *kmer* in the reference (empty when absent)."""
+        return self.positions.get(kmer, [])
+
+    def contains(self, kmer: int) -> bool:
+        return kmer in self.positions
+
+    def __len__(self) -> int:
+        """Number of distinct k-mers indexed."""
+        return len(self.positions)
+
+    def distinct_fraction(self) -> float:
+        """Distinct k-mers / total k-mer slots — a repetitiveness gauge."""
+        total = max(1, self.reference_length - self.k + 1)
+        return len(self.positions) / total

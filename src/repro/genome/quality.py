@@ -1,0 +1,113 @@
+"""Phred quality modelling for synthetic reads.
+
+Real sequencers emit a Phred quality per base call
+(``Q = -10 log10 P(error)``), and short-read error rates rise toward the
+3' end of the read.  This module generates position-dependent quality
+profiles, draws per-base qualities, and converts between quality and
+error probability — so the FASTQ files the library writes carry
+realistic quality strings and quality-aware tools can be tested.
+
+The edit injector of :mod:`repro.genome.edits` uses flat rates (that is
+what the paper specifies); :func:`quality_aware_substitutions` offers
+the position-dependent alternative for the extended examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.genome import alphabet
+from repro.genome.sequence import DnaSequence
+
+#: Valid Phred range for the +33 ASCII encoding.
+MIN_PHRED = 0
+MAX_PHRED = 93
+
+
+def phred_to_error_probability(quality: "int | np.ndarray") -> np.ndarray:
+    """``P(error) = 10^(-Q/10)``."""
+    quality = np.asarray(quality, dtype=float)
+    if (quality < MIN_PHRED).any() or (quality > MAX_PHRED).any():
+        raise DatasetError(
+            f"Phred quality out of range {MIN_PHRED}..{MAX_PHRED}"
+        )
+    return np.power(10.0, -quality / 10.0)
+
+
+def error_probability_to_phred(probability: "float | np.ndarray") -> np.ndarray:
+    """Inverse of :func:`phred_to_error_probability`, clipped to range."""
+    probability = np.asarray(probability, dtype=float)
+    if (probability <= 0).any() or (probability > 1).any():
+        raise DatasetError("error probability must be in (0, 1]")
+    quality = -10.0 * np.log10(probability)
+    return np.clip(np.round(quality), MIN_PHRED, MAX_PHRED).astype(np.int16)
+
+
+@dataclass(frozen=True)
+class QualityProfile:
+    """Position-dependent quality model for a sequencing platform.
+
+    The mean quality decays linearly from ``start_quality`` at the
+    5' end to ``end_quality`` at the 3' end (the classic Illumina
+    droop), with i.i.d. Gaussian jitter of ``jitter`` Phred units.
+    """
+
+    start_quality: int = 38
+    end_quality: int = 28
+    jitter: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("start_quality", "end_quality"):
+            value = getattr(self, name)
+            if not MIN_PHRED <= value <= MAX_PHRED:
+                raise DatasetError(
+                    f"{name} must be in {MIN_PHRED}..{MAX_PHRED}, got {value}"
+                )
+        if self.jitter < 0:
+            raise DatasetError(f"jitter must be non-negative, got {self.jitter}")
+
+    def mean_qualities(self, length: int) -> np.ndarray:
+        """The deterministic per-position mean quality curve."""
+        if length <= 0:
+            raise DatasetError(f"length must be positive, got {length}")
+        return np.linspace(self.start_quality, self.end_quality, length)
+
+    def sample(self, length: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw a quality string for one read."""
+        qualities = self.mean_qualities(length)
+        qualities = qualities + rng.normal(0.0, self.jitter, size=length)
+        return np.clip(np.round(qualities), MIN_PHRED,
+                       MAX_PHRED).astype(np.int16)
+
+    def expected_error_rate(self, length: int) -> float:
+        """Mean per-base error probability over the read."""
+        return float(
+            phred_to_error_probability(self.mean_qualities(length)).mean()
+        )
+
+
+def quality_aware_substitutions(read: DnaSequence, qualities: np.ndarray,
+                                rng: np.random.Generator
+                                ) -> tuple[DnaSequence, np.ndarray]:
+    """Substitute each base with its quality-implied error probability.
+
+    Returns the edited read and the boolean error-position mask.  Only
+    substitutions are modelled (base-call errors); indels come from the
+    standard injector.
+    """
+    qualities = np.asarray(qualities)
+    if qualities.shape != (len(read),):
+        raise DatasetError(
+            f"quality shape {qualities.shape} != read length {len(read)}"
+        )
+    probabilities = phred_to_error_probability(qualities)
+    errors = rng.random(len(read)) < probabilities
+    codes = read.codes.copy()
+    if errors.any():
+        shift = rng.integers(1, alphabet.ALPHABET_SIZE,
+                             size=int(errors.sum())).astype(np.uint8)
+        codes[errors] = (codes[errors] + shift) % alphabet.ALPHABET_SIZE
+    return DnaSequence(codes), errors

@@ -1,0 +1,120 @@
+"""Tests for the assembled multi-array accelerator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import AsmCapAccelerator
+from repro.arch.config import ArchConfig
+from repro.core.matcher import MatcherConfig
+from repro.errors import ArchConfigError
+from repro.genome.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    # 96 segments spread over 3 functional arrays of 32 rows each.
+    return build_dataset("A", n_reads=8, read_length=128, n_segments=96,
+                         seed=70)
+
+
+@pytest.fixture(scope="module")
+def accelerator(dataset):
+    config = ArchConfig(array_rows=32, array_cols=128, n_arrays=3)
+    acc = AsmCapAccelerator(config, error_model=dataset.model,
+                            matcher_config=MatcherConfig.plain(),
+                            noisy=False, seed=0)
+    acc.load_reference(dataset.segments)
+    return acc
+
+
+class TestLoading:
+    def test_segments_distributed(self, accelerator, dataset):
+        assert accelerator.loaded_segments == 96
+        for i, array in enumerate(accelerator.arrays):
+            expected = dataset.segments[i * 32 : (i + 1) * 32]
+            assert np.array_equal(array.stored_segments(), expected)
+
+    def test_capacity_enforced(self, dataset):
+        config = ArchConfig(array_rows=8, array_cols=128, n_arrays=2)
+        acc = AsmCapAccelerator(config, noisy=False)
+        with pytest.raises(ArchConfigError):
+            acc.load_reference(dataset.segments)
+
+    def test_wrong_width_rejected(self):
+        config = ArchConfig(array_rows=8, array_cols=64, n_arrays=1)
+        acc = AsmCapAccelerator(config, noisy=False)
+        with pytest.raises(ArchConfigError):
+            acc.load_reference(np.zeros((4, 65), dtype=np.uint8))
+
+    def test_functional_array_bound(self):
+        config = ArchConfig(array_rows=8, array_cols=64, n_arrays=2)
+        with pytest.raises(ArchConfigError):
+            AsmCapAccelerator(config, n_functional_arrays=5)
+
+
+class TestSystemMatch:
+    def test_global_indices(self, accelerator, dataset):
+        """A read from segment 70 must match global row 70."""
+        record = next(r for r in dataset.reads
+                      if dataset.origin_segment_index(r) >= 32)
+        origin = dataset.origin_segment_index(record)
+        result = accelerator.match_read(record.read.codes, threshold=8)
+        assert result.matches.shape == (96,)
+        assert result.matches[origin]
+
+    def test_unloaded_system_rejected(self):
+        config = ArchConfig(array_rows=8, array_cols=64, n_arrays=1)
+        acc = AsmCapAccelerator(config, noisy=False)
+        with pytest.raises(ArchConfigError):
+            acc.match_read(np.zeros(64, dtype=np.uint8), 4)
+
+    def test_latency_includes_peripherals(self, accelerator, dataset):
+        result = accelerator.match_read(dataset.reads[0].read.codes, 4)
+        assert result.latency_ns > accelerator.arrays[0].search_time_ns
+
+    def test_energy_sums_arrays(self, accelerator, dataset):
+        result = accelerator.match_read(dataset.reads[0].read.codes, 4)
+        assert result.energy_joules > 0
+
+    def test_batch(self, accelerator, dataset):
+        reads = [r.read.codes for r in dataset.reads[:3]]
+        results = accelerator.match_batch(reads, threshold=8)
+        assert len(results) == 3
+
+
+class TestAnalyticPath:
+    def test_estimate_fields(self, accelerator):
+        estimate = accelerator.estimate_read_cost(searches_per_read=2.0)
+        assert estimate.latency_ns > 0
+        assert estimate.energy_joules > 0
+        assert estimate.reads_per_second == pytest.approx(
+            1e9 / estimate.latency_ns
+        )
+        assert estimate.reads_per_joule == pytest.approx(
+            1.0 / estimate.energy_joules
+        )
+
+    def test_more_searches_cost_more(self, accelerator):
+        one = accelerator.estimate_read_cost(1.0)
+        three = accelerator.estimate_read_cost(3.0)
+        assert three.latency_ns > one.latency_ns
+        assert three.energy_joules > one.energy_joules
+
+    def test_current_domain_costs_more(self):
+        charge = AsmCapAccelerator(
+            ArchConfig(array_rows=32, array_cols=128, n_arrays=4),
+            n_functional_arrays=1, noisy=False,
+        ).estimate_read_cost(1.0)
+        current = AsmCapAccelerator(
+            ArchConfig(array_rows=32, array_cols=128, n_arrays=4,
+                       domain="current"),
+            n_functional_arrays=1, noisy=False,
+        ).estimate_read_cost(1.0)
+        assert current.energy_joules > charge.energy_joules
+        assert current.latency_ns > charge.latency_ns
+
+    def test_invalid_searches(self, accelerator):
+        with pytest.raises(ArchConfigError):
+            accelerator.estimate_read_cost(0.0)

@@ -1,0 +1,57 @@
+"""Tests for the architecture configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.errors import ArchConfigError
+
+
+class TestPaperSystem:
+    def test_defaults_match_paper(self):
+        config = ArchConfig.paper_system()
+        assert config.array_rows == 256
+        assert config.array_cols == 256
+        assert config.n_arrays == 512
+        assert config.vdd == 1.2
+        assert config.technology_nm == 65
+
+    def test_capacity_is_64_mb(self):
+        """Section V-E quotes 64 Mb for the 512-array system."""
+        assert ArchConfig.paper_system().capacity_mb == pytest.approx(64.0)
+
+    def test_total_segments(self):
+        assert ArchConfig.paper_system().total_segments == 512 * 256
+
+    def test_read_bits(self):
+        assert ArchConfig.paper_system().read_bits == 512
+
+    def test_fits_small_virus(self):
+        """SARS-CoV-2 (~30 kb) fits entirely (the paper's use case)."""
+        config = ArchConfig.paper_system()
+        assert config.fits_reference(30_000)
+        assert not config.fits_reference(3_000_000_000)  # human genome
+
+    def test_edam_system_differs_only_in_domain(self):
+        edam = ArchConfig.edam_system()
+        assert edam.domain == "current"
+        assert edam.n_arrays == 512
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ArchConfigError):
+            ArchConfig(array_rows=0)
+
+    def test_bad_array_count(self):
+        with pytest.raises(ArchConfigError):
+            ArchConfig(n_arrays=-1)
+
+    def test_bad_voltage(self):
+        with pytest.raises(ArchConfigError):
+            ArchConfig(vdd=0.0)
+
+    def test_bad_domain(self):
+        with pytest.raises(ArchConfigError):
+            ArchConfig(domain="quantum")

@@ -1,0 +1,76 @@
+"""Tests for the H-tree, global buffer and controller cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.buffer import Controller, GlobalBuffer
+from repro.arch.htree import HTreeModel
+from repro.errors import ArchConfigError
+
+
+class TestHTree:
+    def test_levels_for_512_arrays(self):
+        assert HTreeModel(512).levels == 9
+
+    def test_levels_minimum_one(self):
+        assert HTreeModel(1).levels == 1
+
+    def test_latency_scales_with_levels(self):
+        assert HTreeModel(512).broadcast_latency_ns() > \
+            HTreeModel(8).broadcast_latency_ns()
+
+    def test_energy_scales_with_bits(self):
+        tree = HTreeModel(512)
+        assert tree.broadcast_energy_joules(1024) == pytest.approx(
+            2 * tree.broadcast_energy_joules(512)
+        )
+
+    def test_energy_scales_with_fanout(self):
+        small = HTreeModel(8).broadcast_energy_joules(512)
+        large = HTreeModel(512).broadcast_energy_joules(512)
+        assert large > small
+
+    def test_invalid_arrays(self):
+        with pytest.raises(ArchConfigError):
+            HTreeModel(0)
+
+    def test_negative_bits(self):
+        with pytest.raises(ArchConfigError):
+            HTreeModel(8).broadcast_energy_joules(-1)
+
+
+class TestBufferAndController:
+    def test_buffer_energy_linear_in_bits(self):
+        buffer = GlobalBuffer()
+        assert buffer.fetch_energy_joules(200) == pytest.approx(
+            2 * buffer.fetch_energy_joules(100)
+        )
+
+    def test_buffer_latency_constant(self):
+        assert GlobalBuffer().fetch_latency_ns() > 0
+
+    def test_controller_scales_with_searches(self):
+        controller = Controller()
+        assert controller.dispatch_latency_ns(5) == pytest.approx(
+            5 * controller.dispatch_latency_ns(1)
+        )
+        assert controller.dispatch_energy_joules(5) == pytest.approx(
+            5 * controller.dispatch_energy_joules(1)
+        )
+
+    def test_zero_searches_free(self):
+        assert Controller().dispatch_latency_ns(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ArchConfigError):
+            Controller().dispatch_latency_ns(-1)
+        with pytest.raises(ArchConfigError):
+            GlobalBuffer().fetch_energy_joules(-5)
+
+    def test_peripheral_costs_small_vs_search(self):
+        """Peripheral latency must not dominate the search itself."""
+        total = (GlobalBuffer().fetch_latency_ns()
+                 + HTreeModel(512).broadcast_latency_ns()
+                 + Controller().dispatch_latency_ns(1))
+        assert total < 1.0  # under one search cycle

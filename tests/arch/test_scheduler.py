@@ -1,0 +1,92 @@
+"""Tests for the batch scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.scheduler import ROW_WRITE_NS, BatchScheduler
+from repro.errors import ArchConfigError
+
+
+@pytest.fixture
+def scheduler():
+    return BatchScheduler(ArchConfig.paper_system(), searches_per_read=1.0)
+
+
+class TestLoadPhase:
+    def test_load_latency_bounded_by_array_rows(self, scheduler):
+        latency, _ = scheduler.load_cost(100_000)
+        # Arrays load in parallel; the serial bound is one array's rows.
+        assert latency == pytest.approx(256 * ROW_WRITE_NS)
+
+    def test_small_reference_loads_faster(self, scheduler):
+        latency, _ = scheduler.load_cost(100)
+        assert latency == pytest.approx(100 * ROW_WRITE_NS)
+
+    def test_load_energy_scales_with_segments(self, scheduler):
+        _, small = scheduler.load_cost(100)
+        _, large = scheduler.load_cost(1000)
+        assert large == pytest.approx(10 * small)
+
+    def test_capacity_enforced(self, scheduler):
+        with pytest.raises(ArchConfigError):
+            scheduler.load_cost(512 * 256 + 1)
+
+    def test_invalid_segments(self, scheduler):
+        with pytest.raises(ArchConfigError):
+            scheduler.load_cost(0)
+
+
+class TestStreamPhase:
+    def test_pipeline_latency_structure(self, scheduler):
+        schedule = scheduler.schedule(n_reads=1000, n_segments=1000)
+        stage = max(scheduler.front_end_latency_ns(),
+                    scheduler.search_path_latency_ns())
+        expected = scheduler.front_end_latency_ns() + 1000 * stage
+        assert schedule.stream_latency_ns == pytest.approx(expected)
+
+    def test_amortisation_improves_with_batch_size(self, scheduler):
+        small = scheduler.schedule(n_reads=10, n_segments=1000)
+        large = scheduler.schedule(n_reads=100_000, n_segments=1000)
+        assert large.amortised_latency_per_read_ns < \
+            small.amortised_latency_per_read_ns
+
+    def test_throughput_positive(self, scheduler):
+        schedule = scheduler.schedule(n_reads=1000, n_segments=512)
+        assert schedule.reads_per_second > 1e8
+
+    def test_strategy_overhead_slows_stream(self):
+        plain = BatchScheduler(searches_per_read=1.0)
+        heavy = BatchScheduler(searches_per_read=3.0)
+        assert (heavy.schedule(100, 100).stream_latency_ns
+                > plain.schedule(100, 100).stream_latency_ns)
+
+    def test_energy_accounts_strategies(self):
+        plain = BatchScheduler(searches_per_read=1.0).schedule(100, 100)
+        heavy = BatchScheduler(searches_per_read=2.0).schedule(100, 100)
+        assert heavy.stream_energy_joules > \
+            1.5 * plain.stream_energy_joules
+
+    def test_invalid_reads(self, scheduler):
+        with pytest.raises(ArchConfigError):
+            scheduler.schedule(0, 100)
+
+    def test_invalid_searches_per_read(self):
+        with pytest.raises(ArchConfigError):
+            BatchScheduler(searches_per_read=0.0)
+
+
+class TestBreakEven:
+    def test_slow_alternative_breaks_even_quickly(self, scheduler):
+        # CM-CPU-class alternative: ~0.8 ms per read.
+        n = scheduler.break_even_reads(512, per_read_alternative_ns=8e5)
+        assert n == 1  # loading pays off after a single read
+
+    def test_fast_alternative_never_breaks_even(self, scheduler):
+        n = scheduler.break_even_reads(512, per_read_alternative_ns=0.1)
+        assert n > 1 << 40
+
+    def test_invalid_alternative(self, scheduler):
+        with pytest.raises(ArchConfigError):
+            scheduler.break_even_reads(512, 0.0)

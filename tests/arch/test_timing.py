@@ -1,0 +1,72 @@
+"""Tests for the cycle-level timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants
+from repro.arch.timing import TimingModel
+from repro.errors import ArchConfigError
+
+
+class TestSearchCycle:
+    def test_charge_domain_matches_table1(self):
+        assert TimingModel("charge").search_cycle_ns == \
+            constants.ASMCAP_SEARCH_TIME_NS
+
+    def test_current_domain_matches_table1(self):
+        assert TimingModel("current").search_cycle_ns == \
+            constants.EDAM_SEARCH_TIME_NS
+
+    def test_phases_sum_to_cycle(self):
+        for domain in ("charge", "current"):
+            model = TimingModel(domain)
+            assert sum(model.search_phases_ns().values()) == \
+                pytest.approx(model.search_cycle_ns)
+
+    def test_edam_has_precharge_and_sampling_phases(self):
+        phases = TimingModel("current").search_phases_ns()
+        assert "precharge" in phases
+        assert "sample_hold" in phases
+
+    def test_asmcap_skips_those_phases(self):
+        phases = TimingModel("charge").search_phases_ns()
+        assert "precharge" not in phases
+        assert "sample_hold" not in phases
+
+    def test_invalid_domain(self):
+        with pytest.raises(ArchConfigError):
+            TimingModel("other")
+
+
+class TestReadLatency:
+    def test_single_search(self):
+        model = TimingModel("charge")
+        assert model.read_match_latency_ns(1) == pytest.approx(0.9)
+
+    def test_hdac_adds_one_cycle(self):
+        model = TimingModel("charge")
+        assert model.read_match_latency_ns(2) == pytest.approx(1.8)
+
+    def test_rotations_add_shift_cycles(self):
+        model = TimingModel("charge")
+        with_rotation = model.read_match_latency_ns(5, rotation_cycles=6)
+        assert with_rotation == pytest.approx(5 * 0.9 + 6 * model.shift_cycle_ns)
+
+    def test_invalid_inputs(self):
+        model = TimingModel("charge")
+        with pytest.raises(ArchConfigError):
+            model.read_match_latency_ns(0)
+        with pytest.raises(ArchConfigError):
+            model.read_match_latency_ns(1, rotation_cycles=-1)
+
+    def test_throughput(self):
+        model = TimingModel("charge")
+        assert model.throughput_reads_per_second(1.0) == \
+            pytest.approx(1e9 / 0.9)
+
+    def test_speed_ratio_matches_paper(self):
+        """Table I: EDAM search is ~2.6-2.7x slower."""
+        ratio = (TimingModel("current").search_cycle_ns
+                 / TimingModel("charge").search_cycle_ns)
+        assert 2.5 <= ratio <= 2.8

@@ -1,0 +1,189 @@
+"""Tests for the assembled CAM array (both domains)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cam.array import CamArray
+from repro.cam.cell import MatchMode
+from repro.distance.ed_star import ed_star_batch
+from repro.distance.hamming import hamming_distance_batch
+from repro.errors import CamConfigError, ThresholdError
+
+
+@pytest.fixture
+def stored_segments(rng):
+    return rng.integers(0, 4, (16, 32)).astype(np.uint8)
+
+
+@pytest.fixture
+def charge_array(stored_segments):
+    array = CamArray(rows=16, cols=32, domain="charge", noisy=False, seed=0)
+    array.store(stored_segments)
+    return array
+
+
+@pytest.fixture
+def current_array(stored_segments):
+    array = CamArray(rows=16, cols=32, domain="current", noisy=False, seed=0)
+    array.store(stored_segments)
+    return array
+
+
+class TestConfiguration:
+    def test_invalid_domain(self):
+        with pytest.raises(CamConfigError):
+            CamArray(domain="optical")
+
+    def test_search_times_match_table1(self):
+        assert CamArray(rows=4, cols=4, domain="charge").search_time_ns == 0.9
+        assert CamArray(rows=4, cols=4, domain="current").search_time_ns == 2.4
+
+    def test_empty_array_search_rejected(self, rng):
+        array = CamArray(rows=4, cols=8, domain="charge")
+        with pytest.raises(CamConfigError):
+            array.search(rng.integers(0, 4, 8).astype(np.uint8), 2)
+
+
+class TestDigitalCounts:
+    def test_ed_star_counts_match_kernel(self, charge_array,
+                                         stored_segments, rng):
+        read = rng.integers(0, 4, 32).astype(np.uint8)
+        counts = charge_array.mismatch_counts(read, MatchMode.ED_STAR)
+        assert np.array_equal(counts, ed_star_batch(stored_segments, read))
+
+    def test_hamming_counts_match_kernel(self, charge_array,
+                                         stored_segments, rng):
+        read = rng.integers(0, 4, 32).astype(np.uint8)
+        counts = charge_array.mismatch_counts(read, MatchMode.HAMMING)
+        assert np.array_equal(counts,
+                              hamming_distance_batch(stored_segments, read))
+
+    def test_stored_read_matches_itself(self, charge_array, stored_segments):
+        result = charge_array.search(stored_segments[3], threshold=0)
+        assert result.matches[3]
+        assert result.mismatch_counts[3] == 0
+
+
+class TestNoiselessSearch:
+    def test_decisions_equal_digital_threshold(self, charge_array,
+                                               stored_segments, rng):
+        read = rng.integers(0, 4, 32).astype(np.uint8)
+        for threshold in (0, 2, 8, 31):
+            result = charge_array.search(read, threshold)
+            expected = result.mismatch_counts <= threshold
+            assert np.array_equal(result.matches, expected)
+
+    def test_current_domain_same_digital_behaviour(self, current_array,
+                                                   charge_array, rng):
+        read = rng.integers(0, 4, 32).astype(np.uint8)
+        charge = charge_array.search(read, 4)
+        current = current_array.search(read, 4)
+        assert np.array_equal(charge.matches, current.matches)
+
+    def test_voltage_polarity(self, charge_array, current_array, rng):
+        read = rng.integers(0, 4, 32).astype(np.uint8)
+        v_charge = charge_array.search(read, 4).v_ml
+        v_current = current_array.search(read, 4).v_ml
+        # Complementary transfer functions (same digital counts).
+        assert np.allclose(v_charge + v_current, 1.2)
+
+    def test_threshold_out_of_range(self, charge_array, rng):
+        read = rng.integers(0, 4, 32).astype(np.uint8)
+        with pytest.raises(ThresholdError):
+            charge_array.search(read, 33)
+
+    def test_wrong_read_width(self, charge_array):
+        with pytest.raises(CamConfigError):
+            charge_array.search(np.zeros(31, dtype=np.uint8), 2)
+
+
+class TestNoisySearch:
+    def test_noise_moves_voltages(self, stored_segments, rng):
+        noisy = CamArray(rows=16, cols=32, domain="charge", noisy=True,
+                         seed=1)
+        noisy.store(stored_segments)
+        clean = CamArray(rows=16, cols=32, domain="charge", noisy=False,
+                         seed=1)
+        clean.store(stored_segments)
+        read = rng.integers(0, 4, 32).astype(np.uint8)
+        v_noisy = noisy.search(read, 4).v_ml
+        v_clean = clean.search(read, 4).v_ml
+        assert not np.allclose(v_noisy, v_clean)
+
+    def test_charge_domain_noise_rarely_flips(self, stored_segments):
+        """566 >> 32 levels: the charge domain decides reliably."""
+        rng = np.random.default_rng(5)
+        array = CamArray(rows=16, cols=32, domain="charge", noisy=True,
+                         seed=2)
+        array.store(stored_segments)
+        flips = 0
+        for _ in range(50):
+            read = rng.integers(0, 4, 32).astype(np.uint8)
+            result = array.search(read, 4)
+            expected = result.mismatch_counts <= 4
+            flips += int((result.matches != expected).sum())
+        assert flips == 0
+
+    def test_current_domain_noise_flips_boundary(self, rng):
+        """EDAM's noise floor must flip decisions at the boundary."""
+        cols = 256
+        segments = rng.integers(0, 4, (1, cols)).astype(np.uint8)
+        array = CamArray(rows=1, cols=cols, domain="current", noisy=True,
+                         seed=3)
+        array.store(segments)
+        # Substitute a few bases, then set the threshold exactly at the
+        # resulting digital ED* so the row sits on the decision boundary.
+        read = segments[0].copy()
+        for i in (50, 100, 150, 200):
+            read[i] = (read[i] + 2) % 4
+        from repro.cam.cell import MatchMode
+        boundary = int(array.mismatch_counts(read, MatchMode.ED_STAR)[0])
+        assert boundary >= 1
+        flips = 0
+        trials = 400
+        for _ in range(trials):
+            result = array.search(read, boundary)
+            if not result.matches[0]:
+                flips += 1
+        assert 0 < flips < trials  # noisy boundary, not deterministic
+
+
+class TestCostAccounting:
+    def test_energy_positive_and_recorded(self, charge_array, rng):
+        read = rng.integers(0, 4, 32).astype(np.uint8)
+        result = charge_array.search(read, 4)
+        assert result.energy_joules > 0
+        assert charge_array.stats.total_energy_joules == pytest.approx(
+            result.energy_joules
+        )
+
+    def test_current_domain_costs_more_energy(self, charge_array,
+                                              current_array, rng):
+        read = rng.integers(0, 4, 32).astype(np.uint8)
+        e_charge = charge_array.search(read, 4).energy_joules
+        e_current = current_array.search(read, 4).energy_joules
+        assert e_current > e_charge
+
+    def test_stats_accumulate(self, charge_array, rng):
+        for _ in range(3):
+            charge_array.search(rng.integers(0, 4, 32).astype(np.uint8), 4)
+        assert charge_array.stats.n_searches == 3
+        assert charge_array.stats.total_latency_ns == pytest.approx(3 * 0.9)
+
+
+class TestRotatedSearch:
+    def test_rotation_applied(self, charge_array, stored_segments):
+        # Store a segment, search its right-rotated version with a left
+        # rotation: the rotations cancel and the row matches exactly.
+        rotated_read = np.roll(stored_segments[5], 1)
+        result = charge_array.search_rotated(rotated_read, 0, rotation=1)
+        assert result.matches[5]
+        assert result.mismatch_counts[5] == 0
+
+    def test_rotation_cycles_recorded(self, charge_array, rng):
+        read = rng.integers(0, 4, 32).astype(np.uint8)
+        charge_array.search_rotated(read, 4, rotation=2)
+        charge_array.search_rotated(read, 4, rotation=-3)
+        assert charge_array.stats.n_rotation_cycles == 5

@@ -1,0 +1,72 @@
+"""Tests for the single-cell comparison logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cam.cell import NO_NEIGHBOR, AsmCapCell, MatchMode, PartialMatch
+from repro.errors import CamConfigError
+
+
+class TestConstruction:
+    def test_stored_base(self):
+        assert AsmCapCell(2).stored_base == "G"
+
+    def test_invalid_code(self):
+        with pytest.raises(CamConfigError):
+            AsmCapCell(4)
+
+
+class TestCompare:
+    def test_co_located_match(self):
+        cell = AsmCapCell(1)  # stores C
+        result = cell.compare(0, 1, 3)
+        assert result == PartialMatch(o_l=False, o_c=True, o_r=False)
+
+    def test_left_match(self):
+        cell = AsmCapCell(1)
+        assert cell.compare(1, 0, 3).o_l
+
+    def test_right_match(self):
+        cell = AsmCapCell(1)
+        assert cell.compare(0, 3, 1).o_r
+
+    def test_no_neighbor_never_matches(self):
+        cell = AsmCapCell(0)
+        result = cell.compare(NO_NEIGHBOR, 1, NO_NEIGHBOR)
+        assert not (result.o_l or result.o_c or result.o_r)
+
+
+class TestModeMux:
+    def test_ed_star_mode_ors_planes(self):
+        cell = AsmCapCell(2)
+        # Only the left neighbour matches: ED* counts it as matched.
+        assert cell.output(2, 0, 1, MatchMode.ED_STAR) == 0
+        # Hamming mode ignores neighbours: mismatched.
+        assert cell.output(2, 0, 1, MatchMode.HAMMING) == 1
+
+    def test_all_mismatch(self):
+        cell = AsmCapCell(3)
+        assert cell.output(0, 1, 2, MatchMode.ED_STAR) == 1
+        assert cell.output(0, 1, 2, MatchMode.HAMMING) == 1
+
+    def test_select_signal_values(self):
+        assert MatchMode.ED_STAR.select_signal == 1
+        assert MatchMode.HAMMING.select_signal == 0
+
+
+class TestCapacitorDrive:
+    def test_mismatch_drives_vdd(self):
+        cell = AsmCapCell(3)
+        volts = cell.capacitor_bottom_voltage(0, 1, 2, MatchMode.ED_STAR, 1.2)
+        assert volts == 1.2
+
+    def test_match_drives_gnd(self):
+        cell = AsmCapCell(1)
+        volts = cell.capacitor_bottom_voltage(0, 1, 2, MatchMode.ED_STAR, 1.2)
+        assert volts == 0.0
+
+
+def test_transistor_budget_is_positive_and_stable():
+    """The area model depends on this constant; lock its value."""
+    assert AsmCapCell.TRANSISTOR_COUNT == 28

@@ -1,0 +1,97 @@
+"""Tests for the TASR shift-register bank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cam.shift_register import ShiftRegisterBank
+from repro.errors import CamConfigError
+
+
+@pytest.fixture
+def bank(rng):
+    bank = ShiftRegisterBank(8)
+    bank.enable()
+    bank.load(rng.integers(0, 4, 8).astype(np.uint8))
+    return bank
+
+
+class TestRotation:
+    def test_rotate_left(self, bank):
+        original = bank.contents()
+        rotated = bank.rotate_left(1)
+        assert np.array_equal(rotated, np.roll(original, -1))
+
+    def test_rotate_right(self, bank):
+        original = bank.contents()
+        rotated = bank.rotate_right(2)
+        assert np.array_equal(rotated, np.roll(original, 2))
+
+    def test_left_then_right_restores(self, bank):
+        original = bank.contents()
+        bank.rotate_left(3)
+        bank.rotate_right(3)
+        assert np.array_equal(bank.contents(), original)
+
+    def test_full_rotation_restores(self, bank):
+        original = bank.contents()
+        bank.rotate_left(8)
+        assert np.array_equal(bank.contents(), original)
+
+    def test_zero_rotation_costs_nothing(self, bank):
+        bank.rotate_left(0)
+        assert bank.shift_cycles == 0
+
+
+class TestCycleAccounting:
+    def test_cycles_count_per_base(self, bank):
+        bank.rotate_left(3)
+        bank.rotate_right(2)
+        assert bank.shift_cycles == 5
+
+    def test_net_rotation_tracked(self, bank):
+        bank.rotate_left(3)
+        bank.rotate_right(1)
+        assert bank.net_rotation == 2
+
+    def test_reset_counters(self, bank):
+        bank.rotate_left(4)
+        bank.reset_counters()
+        assert bank.shift_cycles == 0
+
+    def test_load_resets_rotation(self, bank, rng):
+        bank.rotate_left(2)
+        bank.load(rng.integers(0, 4, 8).astype(np.uint8))
+        assert bank.net_rotation == 0
+
+
+class TestGuards:
+    def test_rotate_before_load(self):
+        bank = ShiftRegisterBank(4)
+        bank.enable()
+        with pytest.raises(CamConfigError):
+            bank.rotate_left()
+
+    def test_rotate_while_disabled(self, bank):
+        bank.disable()
+        with pytest.raises(CamConfigError):
+            bank.rotate_left()
+
+    def test_wrong_width(self, bank):
+        with pytest.raises(CamConfigError):
+            bank.load(np.zeros(5, dtype=np.uint8))
+
+    def test_invalid_codes(self, bank):
+        with pytest.raises(CamConfigError):
+            bank.load(np.full(8, 9, dtype=np.uint8))
+
+    def test_invalid_width(self):
+        with pytest.raises(CamConfigError):
+            ShiftRegisterBank(0)
+
+    def test_contents_are_copies(self, bank):
+        before = bank.contents()
+        view = bank.contents()
+        view[0] = (view[0] + 1) % 4
+        assert np.array_equal(bank.contents(), before)

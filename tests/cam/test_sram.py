@@ -1,0 +1,106 @@
+"""Tests for the SRAM storage plane."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cam.sram import SramPlane
+from repro.errors import CamConfigError
+
+
+class TestStorage:
+    def test_write_and_read_row(self, rng):
+        plane = SramPlane(4, 16)
+        segment = rng.integers(0, 4, 16).astype(np.uint8)
+        plane.write_row(2, segment)
+        assert np.array_equal(plane.read_row(2), segment)
+
+    def test_written_mask(self, rng):
+        plane = SramPlane(4, 8)
+        plane.write_row(1, rng.integers(0, 4, 8).astype(np.uint8))
+        assert plane.written_mask.tolist() == [False, True, False, False]
+        assert plane.n_written == 1
+
+    def test_write_all(self, rng):
+        plane = SramPlane(8, 8)
+        segments = rng.integers(0, 4, (5, 8)).astype(np.uint8)
+        plane.write_all(segments)
+        assert plane.n_written == 5
+        assert np.array_equal(plane.data[:5], segments)
+
+    def test_read_unwritten_row_raises(self):
+        plane = SramPlane(2, 4)
+        with pytest.raises(CamConfigError):
+            plane.read_row(0)
+
+    def test_clear(self, rng):
+        plane = SramPlane(2, 4)
+        plane.write_row(0, rng.integers(0, 4, 4).astype(np.uint8))
+        plane.clear()
+        assert plane.n_written == 0
+
+    def test_row_out_of_range(self, rng):
+        plane = SramPlane(2, 4)
+        with pytest.raises(CamConfigError):
+            plane.write_row(5, rng.integers(0, 4, 4).astype(np.uint8))
+
+    def test_wrong_width(self, rng):
+        plane = SramPlane(2, 4)
+        with pytest.raises(CamConfigError):
+            plane.write_row(0, rng.integers(0, 4, 5).astype(np.uint8))
+
+    def test_bad_codes(self):
+        plane = SramPlane(2, 4)
+        with pytest.raises(CamConfigError):
+            plane.write_row(0, np.array([0, 1, 2, 9], dtype=np.uint8))
+
+    def test_too_many_segments(self, rng):
+        plane = SramPlane(2, 4)
+        with pytest.raises(CamConfigError):
+            plane.write_all(rng.integers(0, 4, (3, 4)).astype(np.uint8))
+
+    def test_data_view_is_read_only(self, rng):
+        plane = SramPlane(2, 4)
+        with pytest.raises(ValueError):
+            plane.data[0, 0] = 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(CamConfigError):
+            SramPlane(0, 4)
+
+
+class TestFaultInjection:
+    def test_zero_rate_no_flips(self, rng):
+        plane = SramPlane(4, 16)
+        segments = rng.integers(0, 4, (4, 16)).astype(np.uint8)
+        plane.write_all(segments)
+        assert plane.inject_bit_flips(0.0, rng) == 0
+        assert np.array_equal(plane.data, segments)
+
+    def test_flips_stay_in_alphabet(self, rng):
+        plane = SramPlane(8, 32)
+        plane.write_all(rng.integers(0, 4, (8, 32)).astype(np.uint8))
+        plane.inject_bit_flips(0.5, rng)
+        assert int(plane.data.max()) <= 3
+
+    def test_full_rate_flips_everything(self, rng):
+        plane = SramPlane(2, 8)
+        segments = rng.integers(0, 4, (2, 8)).astype(np.uint8)
+        plane.write_all(segments)
+        flips = plane.inject_bit_flips(1.0, rng)
+        assert flips == 2 * 2 * 8
+        assert np.array_equal(plane.data, segments ^ 3)
+
+    def test_invalid_rate(self, rng):
+        plane = SramPlane(2, 4)
+        with pytest.raises(CamConfigError):
+            plane.inject_bit_flips(1.5, rng)
+
+
+class TestBookkeeping:
+    def test_transistor_count(self):
+        assert SramPlane(2, 4).transistor_count() == 2 * 4 * 2 * 6
+
+    def test_capacity_bits(self):
+        assert SramPlane(256, 256).capacity_bits() == 256 * 256 * 2

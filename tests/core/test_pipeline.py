@@ -1,0 +1,75 @@
+"""Tests for the batch read-mapping pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cam.array import CamArray
+from repro.core.matcher import AsmCapMatcher, MatcherConfig
+from repro.core.pipeline import ReadMappingPipeline
+from repro.errors import CamConfigError
+from repro.genome.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def pipeline_and_dataset():
+    dataset = build_dataset("A", n_reads=16, read_length=128, n_segments=16,
+                            seed=60)
+    array = CamArray(rows=16, cols=128, domain="charge", noisy=False)
+    array.store(dataset.segments)
+    matcher = AsmCapMatcher(array, dataset.model, MatcherConfig(), seed=0)
+    return ReadMappingPipeline(matcher), dataset
+
+
+class TestMapping:
+    def test_maps_most_reads_to_origin(self, pipeline_and_dataset):
+        pipeline, dataset = pipeline_and_dataset
+        report = pipeline.run(dataset.reads, threshold=8)
+        assert report.n_reads == 16
+        assert report.mapped_fraction >= 0.8
+        hits = 0
+        for record, mapping in zip(dataset.reads, report.mappings):
+            if dataset.origin_segment_index(record) in mapping.matched_rows:
+                hits += 1
+        assert hits >= 13
+
+    def test_unique_fraction_bounded(self, pipeline_and_dataset):
+        pipeline, dataset = pipeline_and_dataset
+        report = pipeline.run(dataset.reads, threshold=8)
+        assert 0.0 <= report.unique_fraction <= report.mapped_fraction
+
+    def test_aggregates_consistent(self, pipeline_and_dataset):
+        pipeline, dataset = pipeline_and_dataset
+        report = pipeline.run(dataset.reads, threshold=4)
+        assert report.n_searches == sum(
+            m.outcome.n_searches for m in report.mappings
+        )
+        assert report.total_energy_joules == pytest.approx(sum(
+            m.outcome.energy_joules for m in report.mappings
+        ))
+        assert report.mean_latency_per_read_ns == pytest.approx(
+            report.total_latency_ns / report.n_reads
+        )
+
+    def test_throughput_positive(self, pipeline_and_dataset):
+        pipeline, dataset = pipeline_and_dataset
+        report = pipeline.run(dataset.reads, threshold=4)
+        assert report.reads_per_second > 0
+
+    def test_accepts_raw_code_arrays(self, pipeline_and_dataset):
+        pipeline, dataset = pipeline_and_dataset
+        raw = [record.read.codes for record in dataset.reads[:3]]
+        report = pipeline.run(raw, threshold=4)
+        assert report.n_reads == 3
+
+    def test_empty_batch_rejected(self, pipeline_and_dataset):
+        pipeline, _ = pipeline_and_dataset
+        with pytest.raises(CamConfigError):
+            pipeline.run([], threshold=4)
+
+    def test_map_read_indices(self, pipeline_and_dataset):
+        pipeline, dataset = pipeline_and_dataset
+        mapping = pipeline.map_read(dataset.reads[0], threshold=8, index=7)
+        assert mapping.read_index == 7
+        assert all(0 <= row < 16 for row in mapping.matched_rows)

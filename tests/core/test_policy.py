@@ -1,0 +1,117 @@
+"""Tests for the HDAC p-function and TASR Tl design rules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.core import policy
+from repro.errors import ThresholdError
+from repro.genome.edits import ErrorModel
+
+
+class TestHdacProbability:
+    def test_paper_formula(self):
+        es, eid, t = 0.01, 0.001, 3
+        expected = (es / (es + eid)
+                    * math.exp(-(200 * eid + 0.5 * t)))
+        assert policy.hdac_probability(es, eid, t) == pytest.approx(expected)
+
+    def test_zero_rates_give_zero(self):
+        assert policy.hdac_probability(0.0, 0.0, 1) == 0.0
+
+    def test_pure_substitutions_maximise_share(self):
+        p_pure = policy.hdac_probability(0.01, 0.0, 1)
+        p_mixed = policy.hdac_probability(0.01, 0.01, 1)
+        assert p_pure > p_mixed
+
+    def test_decreases_with_threshold(self):
+        values = [policy.hdac_probability(0.01, 0.001, t)
+                  for t in range(1, 9)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_decreases_with_indels(self):
+        values = [policy.hdac_probability(0.01, eid, 2)
+                  for eid in (0.0, 0.001, 0.01, 0.1)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_is_probability(self):
+        for t in range(20):
+            p = policy.hdac_probability(0.5, 0.3, t)
+            assert 0.0 <= p <= 1.0
+
+    def test_condition_a_enables_hdac(self):
+        """Condition A must keep HDAC active across the Fig. 7 sweep."""
+        model = ErrorModel.condition_a()
+        for t in constants.CONDITION_A_THRESHOLDS:
+            p = policy.hdac_probability_for_model(model, t)
+            assert policy.hdac_enabled(p)
+
+    def test_condition_b_disables_hdac(self):
+        """Condition B's indel dominance must shut HDAC off."""
+        model = ErrorModel.condition_b()
+        for t in constants.CONDITION_B_THRESHOLDS:
+            p = policy.hdac_probability_for_model(model, t)
+            assert not policy.hdac_enabled(p)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ThresholdError):
+            policy.hdac_probability(-0.1, 0.0, 1)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ThresholdError):
+            policy.hdac_probability(0.1, 0.0, -1)
+
+
+class TestTasrLowerBound:
+    def test_paper_formula(self):
+        # Tl = ceil(gamma / eid * m)
+        assert policy.tasr_lower_bound(0.01, 256) == math.ceil(
+            2e-4 / 0.01 * 256
+        )
+
+    def test_condition_values(self):
+        """Condition B: Tl = 6 (TASR fires at T >= 6); A: never fires."""
+        model_b = ErrorModel.condition_b()
+        assert policy.tasr_lower_bound_for_model(model_b, 256) == 6
+        model_a = ErrorModel.condition_a()
+        bound_a = policy.tasr_lower_bound_for_model(model_a, 256)
+        assert bound_a > max(constants.CONDITION_A_THRESHOLDS)
+
+    def test_zero_indels_never_triggers(self):
+        bound = policy.tasr_lower_bound(0.0, 256)
+        assert bound == 257
+        assert not policy.tasr_enabled(256, bound)
+
+    def test_higher_indel_rate_lowers_bound(self):
+        low = policy.tasr_lower_bound(0.001, 256)
+        high = policy.tasr_lower_bound(0.05, 256)
+        assert high < low
+
+    def test_bound_at_least_one(self):
+        assert policy.tasr_lower_bound(0.9, 256) >= 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ThresholdError):
+            policy.tasr_lower_bound(0.01, 0)
+        with pytest.raises(ThresholdError):
+            policy.tasr_lower_bound(-0.01, 256)
+
+    @given(st.floats(1e-5, 0.5), st.integers(1, 1024))
+    def test_bound_always_valid(self, eid, length):
+        bound = policy.tasr_lower_bound(eid, length)
+        assert 1 <= bound <= length + 1
+
+
+class TestEnabledHelpers:
+    def test_hdac_disable_threshold(self):
+        assert policy.hdac_enabled(0.011)
+        assert not policy.hdac_enabled(0.009)
+
+    def test_tasr_enabled(self):
+        assert policy.tasr_enabled(6, 6)
+        assert not policy.tasr_enabled(5, 6)

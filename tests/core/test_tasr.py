@@ -1,0 +1,104 @@
+"""Tests for Algorithm 2 (TASR)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tasr import rotation_offsets, tasr_correct
+from repro.errors import ThresholdError
+
+
+class TestRotationOffsets:
+    def test_both_directions(self):
+        assert set(rotation_offsets(2, "both")) == {1, 2, -1, -2}
+
+    def test_left_only(self):
+        assert rotation_offsets(3, "left") == (1, 2, 3)
+
+    def test_right_only(self):
+        assert rotation_offsets(2, "right") == (-1, -2)
+
+    def test_nr_zero(self):
+        assert rotation_offsets(0, "both") == ()
+
+    def test_invalid_direction(self):
+        with pytest.raises(ThresholdError):
+            rotation_offsets(2, "diagonal")
+
+    def test_negative_nr(self):
+        with pytest.raises(ThresholdError):
+            rotation_offsets(-1, "both")
+
+
+class TestThresholdGuard:
+    def test_below_lower_bound_skips_rotations(self):
+        calls = []
+
+        def search(offset):
+            calls.append(offset)
+            return np.array([True])
+
+        base = np.array([False])
+        outcome = tasr_correct(base, search, threshold=3, lower_bound=6)
+        assert not outcome.triggered
+        assert outcome.n_extra_searches == 0
+        assert calls == []
+        assert np.array_equal(outcome.decisions, base)
+
+    def test_at_lower_bound_triggers(self):
+        calls = []
+
+        def search(offset):
+            calls.append(offset)
+            return np.array([False])
+
+        tasr_correct(np.array([False]), search, threshold=6, lower_bound=6,
+                     nr=2, direction="both")
+        assert len(calls) == 4
+
+
+class TestDecisionCombination:
+    def test_or_semantics(self):
+        def search(offset):
+            # Only the +1 rotation finds the match.
+            return np.array([offset == 1, False])
+
+        base = np.array([False, False])
+        outcome = tasr_correct(base, search, threshold=6, lower_bound=2,
+                               nr=2, direction="both")
+        assert outcome.decisions.tolist() == [True, False]
+
+    def test_base_matches_preserved(self):
+        def search(offset):
+            return np.array([False])
+
+        base = np.array([True])
+        outcome = tasr_correct(base, search, threshold=8, lower_bound=2)
+        assert outcome.decisions[0]
+
+    def test_rotation_cycles_counted(self):
+        def search(offset):
+            return np.array([False])
+
+        outcome = tasr_correct(np.array([False]), search, threshold=8,
+                               lower_bound=2, nr=2, direction="both")
+        assert outcome.rotation_cycles == 1 + 2 + 1 + 2
+        assert outcome.n_extra_searches == 4
+
+    def test_base_not_mutated(self):
+        base = np.array([False, True])
+        snapshot = base.copy()
+        tasr_correct(base, lambda o: np.array([True, True]), threshold=8,
+                     lower_bound=2, nr=1, direction="left")
+        assert np.array_equal(base, snapshot)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ThresholdError):
+            tasr_correct(np.array([False]), lambda o: np.zeros(2, bool),
+                         threshold=8, lower_bound=2)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ThresholdError):
+            tasr_correct(np.array([False]), lambda o: np.array([False]),
+                         threshold=-1, lower_bound=2)

@@ -1,0 +1,98 @@
+"""Tests for global alignment traceback and CIGAR emission."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.alignment import align, cigar_edit_count
+from repro.distance.edit_distance import edit_distance
+from repro.errors import SequenceError
+from repro.genome.sequence import DnaSequence
+
+dna = st.text(alphabet="ACGT", max_size=30).map(DnaSequence)
+
+
+class TestKnownAlignments:
+    def test_identical(self):
+        result = align(DnaSequence("ACGT"), DnaSequence("ACGT"))
+        assert result.distance == 0
+        assert result.cigar == "4="
+        assert result.aligned_a == result.aligned_b == "ACGT"
+
+    def test_single_mismatch(self):
+        result = align(DnaSequence("ACGT"), DnaSequence("AGGT"))
+        assert result.distance == 1
+        assert result.cigar == "1=1X2="
+
+    def test_deletion_from_read(self):
+        result = align(DnaSequence("ACGT"), DnaSequence("AGT"))
+        assert result.distance == 1
+        assert "D" in result.cigar
+        assert "-" in result.aligned_b
+
+    def test_insertion_into_read(self):
+        result = align(DnaSequence("AGT"), DnaSequence("ACGT"))
+        assert result.distance == 1
+        assert "I" in result.cigar
+        assert "-" in result.aligned_a
+
+    def test_empty_cases(self):
+        assert align(DnaSequence(""), DnaSequence("")).cigar == ""
+        assert align(DnaSequence("ACG"), DnaSequence("")).cigar == "3D"
+        assert align(DnaSequence(""), DnaSequence("ACG")).cigar == "3I"
+
+
+class TestInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(dna, dna)
+    def test_distance_matches_dp(self, a, b):
+        assert align(a, b).distance == edit_distance(a, b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(dna, dna)
+    def test_cigar_edit_count_equals_distance(self, a, b):
+        result = align(a, b)
+        assert cigar_edit_count(result.cigar) == result.distance
+
+    @settings(max_examples=80, deadline=None)
+    @given(dna, dna)
+    def test_gapped_rows_reconstruct_inputs(self, a, b):
+        result = align(a, b)
+        assert result.aligned_a.replace("-", "") == str(a)
+        assert result.aligned_b.replace("-", "") == str(b)
+        assert len(result.aligned_a) == len(result.aligned_b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(dna, dna)
+    def test_column_semantics(self, a, b):
+        """Every alignment column is consistent with its CIGAR op."""
+        result = align(a, b)
+        column = 0
+        for count, op in result.operations():
+            for _ in range(count):
+                ca = result.aligned_a[column]
+                cb = result.aligned_b[column]
+                if op == "=":
+                    assert ca == cb != "-"
+                elif op == "X":
+                    assert ca != cb and "-" not in (ca, cb)
+                elif op == "I":
+                    assert ca == "-" and cb != "-"
+                else:
+                    assert cb == "-" and ca != "-"
+                column += 1
+        assert column == len(result.aligned_a)
+
+
+class TestCigarParsing:
+    def test_operations_round_trip(self):
+        result = align(DnaSequence("ACGTACGT"), DnaSequence("ACTTACG"))
+        total = sum(count for count, _ in result.operations())
+        assert total == len(result.aligned_a)
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(SequenceError):
+            cigar_edit_count("5M")  # plain M is not in the =/X alphabet

@@ -1,0 +1,66 @@
+"""Tests for the Landau-Vishkin k-bounded edit distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.edit_distance import edit_distance
+from repro.distance.landau_vishkin import landau_vishkin, lv_within
+from repro.errors import ThresholdError
+from repro.genome.sequence import DnaSequence
+
+dna = st.text(alphabet="ACGT", max_size=40).map(DnaSequence)
+
+
+class TestKnownCases:
+    def test_identical(self):
+        seq = DnaSequence("GATTACA")
+        assert landau_vishkin(seq, seq, 0) == 0
+
+    def test_single_substitution(self):
+        assert landau_vishkin(DnaSequence("ACGT"), DnaSequence("AGGT"), 2) == 1
+
+    def test_single_indel(self):
+        assert landau_vishkin(DnaSequence("ACGT"), DnaSequence("ACGTA"), 2) == 1
+
+    def test_cap_when_beyond_k(self):
+        assert landau_vishkin(DnaSequence("AAAA"), DnaSequence("TTTT"), 2) == 3
+
+    def test_length_gap_short_circuit(self):
+        assert landau_vishkin(DnaSequence("A" * 10), DnaSequence("A"), 3) == 4
+
+    def test_empty_sequences(self):
+        assert landau_vishkin(DnaSequence(""), DnaSequence(""), 0) == 0
+        assert landau_vishkin(DnaSequence(""), DnaSequence("ACG"), 5) == 3
+
+    def test_negative_k(self):
+        with pytest.raises(ThresholdError):
+            landau_vishkin(DnaSequence("A"), DnaSequence("A"), -1)
+
+
+class TestAgainstDp:
+    @settings(max_examples=150, deadline=None)
+    @given(dna, dna, st.integers(0, 12))
+    def test_agrees_with_dp_capped(self, a, b, k):
+        want = min(edit_distance(a, b), k + 1)
+        assert landau_vishkin(a, b, k) == want
+
+    def test_long_sequences(self, rng):
+        a = DnaSequence(rng.integers(0, 4, 300).astype(np.uint8))
+        codes = a.codes.copy()
+        codes[50] = (codes[50] + 1) % 4
+        codes = np.delete(codes, 200)
+        b = DnaSequence(np.append(codes, rng.integers(0, 4, 1).astype(np.uint8)))
+        exact = edit_distance(a, b)
+        assert landau_vishkin(a, b, 10) == exact
+        assert exact <= 4
+
+
+class TestPredicate:
+    @settings(max_examples=50, deadline=None)
+    @given(dna, dna, st.integers(0, 8))
+    def test_lv_within_matches_dp(self, a, b, k):
+        assert lv_within(a, b, k) == (edit_distance(a, b) <= k)

@@ -1,0 +1,94 @@
+"""Tests for semiglobal alignment (read placement)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.semiglobal import (
+    best_semiglobal_hit,
+    occurrences_within,
+    semiglobal_distances,
+)
+from repro.errors import SequenceError
+from repro.genome.generator import generate_reference
+from repro.genome.sequence import DnaSequence
+
+
+def brute_force(read: DnaSequence, reference: DnaSequence) -> np.ndarray:
+    """Reference semiglobal DP (free leading text gaps)."""
+    p, t = read.codes, reference.codes
+    m, n = len(p), len(t)
+    table = np.zeros((m + 1, n + 1), dtype=int)
+    table[:, 0] = np.arange(m + 1)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            table[i, j] = min(
+                table[i - 1, j - 1] + (p[i - 1] != t[j - 1]),
+                table[i - 1, j] + 1,
+                table[i, j - 1] + 1,
+            )
+    return table[m, :]
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=12),
+           st.text(alphabet="ACGT", max_size=30))
+    def test_distances_match(self, read_text, ref_text):
+        read = DnaSequence(read_text)
+        reference = DnaSequence(ref_text)
+        assert np.array_equal(semiglobal_distances(read, reference),
+                              brute_force(read, reference))
+
+    def test_empty_read(self):
+        distances = semiglobal_distances(DnaSequence(""), DnaSequence("ACGT"))
+        assert np.array_equal(distances, np.zeros(5, dtype=np.int32))
+
+
+class TestPlacement:
+    def test_embedded_read_found_exactly(self, rng):
+        reference = generate_reference(500, seed=4, with_repeats=False)
+        read = reference.window(123, 80)
+        hit = best_semiglobal_hit(read, reference)
+        assert hit.distance == 0
+        assert 203 in hit.all_ends  # 123 + 80
+
+    def test_read_with_edits_found_near(self, rng):
+        reference = generate_reference(500, seed=5, with_repeats=False)
+        codes = reference.window(200, 60).codes.copy()
+        codes[10] = (codes[10] + 1) % 4
+        codes = np.delete(codes, 30)
+        hit = best_semiglobal_hit(DnaSequence(codes), reference)
+        assert hit.distance <= 2
+        assert abs(hit.end - 259) <= 3
+
+    def test_random_read_scores_high(self, rng):
+        reference = generate_reference(400, seed=6, with_repeats=False)
+        read = DnaSequence(rng.integers(0, 4, 100).astype(np.uint8))
+        hit = best_semiglobal_hit(read, reference)
+        assert hit.distance > 15
+
+    def test_occurrences_within_threshold(self, rng):
+        reference = generate_reference(300, seed=7, with_repeats=False)
+        read = reference.window(100, 50)
+        hits = occurrences_within(read, reference, threshold=0)
+        assert 150 in hits
+
+    def test_empty_read_rejected(self):
+        with pytest.raises(SequenceError):
+            best_semiglobal_hit(DnaSequence(""), DnaSequence("ACGT"))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(SequenceError):
+            occurrences_within(DnaSequence("A"), DnaSequence("ACGT"), -1)
+
+    def test_long_read_beyond_word_size(self, rng):
+        """Bit-parallel masks must work past 64-base patterns."""
+        reference = generate_reference(1000, seed=8, with_repeats=False)
+        read = reference.window(300, 200)
+        hit = best_semiglobal_hit(read, reference)
+        assert hit.distance == 0
+        assert 500 in hit.all_ends

@@ -1,0 +1,87 @@
+"""Tests for the accuracy-experiment machinery (Fig. 7 style)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.experiment import (
+    AccuracyExperiment,
+    asmcap_full_system,
+    asmcap_plain_system,
+    edam_system,
+    kraken_system,
+)
+from repro.genome.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("A", n_reads=24, read_length=128, n_segments=32,
+                         seed=120)
+
+
+@pytest.fixture(scope="module")
+def experiment(dataset):
+    return AccuracyExperiment(dataset, thresholds=[1, 2, 4, 6], seed=0)
+
+
+class TestConstruction:
+    def test_thresholds_sorted_and_deduped(self, dataset):
+        experiment = AccuracyExperiment(dataset, [4, 1, 4, 2], seed=0)
+        assert experiment.thresholds == [1, 2, 4]
+
+    def test_empty_thresholds_rejected(self, dataset):
+        with pytest.raises(ExperimentError):
+            AccuracyExperiment(dataset, [], seed=0)
+
+    def test_negative_threshold_rejected(self, dataset):
+        with pytest.raises(ExperimentError):
+            AccuracyExperiment(dataset, [-1], seed=0)
+
+
+class TestEvaluation:
+    def test_result_covers_all_thresholds(self, experiment):
+        result = experiment.evaluate("plain", asmcap_plain_system)
+        assert sorted(result.per_threshold) == [1, 2, 4, 6]
+
+    def test_f1_series_values_bounded(self, experiment):
+        result = experiment.evaluate("plain", asmcap_plain_system)
+        for value in result.f1_series().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_plain_system_beats_kraken(self, experiment):
+        """ASM must outscore exact matching on erroneous reads."""
+        plain = experiment.evaluate("plain", asmcap_plain_system)
+        kraken = experiment.evaluate("kraken", kraken_system)
+        assert plain.mean_f1() > kraken.mean_f1()
+
+    def test_full_system_not_worse_on_average(self, experiment):
+        plain = experiment.evaluate("plain", asmcap_plain_system, 1)
+        full = experiment.evaluate("full", asmcap_full_system, 2)
+        assert full.mean_f1() >= plain.mean_f1() - 0.05
+
+    def test_evaluate_all_names(self, experiment):
+        results = experiment.evaluate_all({
+            "EDAM": edam_system,
+            "plain": asmcap_plain_system,
+        })
+        assert set(results) == {"EDAM", "plain"}
+
+    def test_f1_increases_with_threshold_generally(self, experiment):
+        """At tiny T everything is a near-boundary case; by T=6 most
+        origin pairs are within threshold: F1 must improve."""
+        result = experiment.evaluate("plain", asmcap_plain_system)
+        assert result.f1(6) > result.f1(1)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces(self, dataset):
+        a = AccuracyExperiment(dataset, [2, 4], seed=5).evaluate(
+            "x", asmcap_full_system
+        )
+        b = AccuracyExperiment(dataset, [2, 4], seed=5).evaluate(
+            "x", asmcap_full_system
+        )
+        assert a.f1_series() == b.f1_series()

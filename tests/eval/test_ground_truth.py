@@ -1,0 +1,65 @@
+"""Tests for exact ground-truth labelling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distance.edit_distance import edit_distance
+from repro.errors import ExperimentError
+from repro.eval.ground_truth import label_dataset
+from repro.genome.datasets import build_dataset
+from repro.genome.sequence import DnaSequence
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("A", n_reads=10, read_length=96, n_segments=12,
+                         seed=110)
+
+
+@pytest.fixture(scope="module")
+def truth(dataset):
+    return label_dataset(dataset, max_threshold=8)
+
+
+class TestLabelling:
+    def test_shape(self, truth, dataset):
+        assert truth.distances.shape == (10, 12)
+        assert truth.n_reads == 10
+        assert truth.n_segments == 12
+
+    def test_capped_at_band(self, truth):
+        assert truth.distances.max() <= truth.band + 1
+
+    def test_distances_match_exact_dp(self, truth, dataset):
+        for r, record in enumerate(dataset.reads):
+            for s in range(dataset.n_segments):
+                exact = edit_distance(record.read,
+                                      DnaSequence(dataset.segments[s]))
+                assert truth.distances[r, s] == min(exact, truth.band + 1)
+
+    def test_labels_monotone_in_threshold(self, truth):
+        previous = truth.labels(0)
+        for threshold in range(1, truth.band + 1):
+            current = truth.labels(threshold)
+            assert (previous <= current).all()
+            previous = current
+
+    def test_origin_pairs_have_small_distance(self, truth, dataset):
+        for r, record in enumerate(dataset.reads):
+            origin = dataset.origin_segment_index(record)
+            assert truth.distances[r, origin] <= truth.band + 1
+
+    def test_threshold_out_of_band_rejected(self, truth):
+        with pytest.raises(ExperimentError):
+            truth.labels(truth.band + 1)
+
+    def test_positives_per_threshold_monotone(self, truth):
+        counts = truth.positives_per_threshold(list(range(0, truth.band + 1)))
+        values = list(counts.values())
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_negative_threshold_rejected(self, dataset):
+        with pytest.raises(ExperimentError):
+            label_dataset(dataset, max_threshold=-1)

@@ -1,0 +1,93 @@
+"""Tests for ROC / precision-recall analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.roc import pr_curve, roc_curve
+
+
+@pytest.fixture
+def separable():
+    """Perfectly separable scores (low = positive)."""
+    scores = np.array([1, 2, 3, 10, 11, 12], dtype=float)
+    labels = np.array([True, True, True, False, False, False])
+    return scores, labels
+
+
+@pytest.fixture
+def random_scores(rng):
+    scores = rng.random(2000)
+    labels = rng.random(2000) < 0.3
+    return scores, labels
+
+
+class TestRoc:
+    def test_perfect_separation_auc_one(self, separable):
+        scores, labels = separable
+        assert roc_curve(scores, labels).auc == pytest.approx(1.0)
+
+    def test_random_scores_auc_half(self, random_scores):
+        scores, labels = random_scores
+        assert roc_curve(scores, labels).auc == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_scores_auc_zero(self, separable):
+        scores, labels = separable
+        assert roc_curve(scores, ~labels).auc == pytest.approx(0.0, abs=1e-9)
+
+    def test_rates_monotone_in_cutoff(self, random_scores):
+        scores, labels = random_scores
+        curve = roc_curve(scores, labels)
+        assert (np.diff(curve.tpr) >= 0).all()
+        assert (np.diff(curve.fpr) >= 0).all()
+
+    def test_operating_point(self, separable):
+        scores, labels = separable
+        curve = roc_curve(scores, labels)
+        fpr, tpr = curve.operating_point(3.0)
+        assert tpr == pytest.approx(1.0)
+        assert fpr == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            roc_curve(np.array([1.0]), np.array([True]))  # no negatives
+        with pytest.raises(ExperimentError):
+            roc_curve(np.array([]), np.array([]))
+        with pytest.raises(ExperimentError):
+            roc_curve(np.array([1.0, 2.0]), np.array([True]))
+
+
+class TestPr:
+    def test_perfect_separation_ap_one(self, separable):
+        scores, labels = separable
+        assert pr_curve(scores, labels).average_precision == \
+            pytest.approx(1.0)
+
+    def test_random_ap_near_base_rate(self, random_scores):
+        scores, labels = random_scores
+        base_rate = labels.mean()
+        ap = pr_curve(scores, labels).average_precision
+        assert ap == pytest.approx(base_rate, abs=0.07)
+
+    def test_recall_monotone(self, random_scores):
+        scores, labels = random_scores
+        curve = pr_curve(scores, labels)
+        assert (np.diff(curve.recall) >= 0).all()
+
+
+class TestOnMatcherScores:
+    def test_ed_star_scores_discriminate(self):
+        """ED* counts must separate origin pairs from random pairs."""
+        from repro.distance.ed_star import mismatch_counts_all_reads
+        from repro.eval.ground_truth import label_dataset
+        from repro.genome.datasets import build_dataset
+        dataset = build_dataset("A", n_reads=16, read_length=128,
+                                n_segments=16, seed=150)
+        truth = label_dataset(dataset, 8)
+        reads = np.stack([r.read.codes for r in dataset.reads])
+        scores = mismatch_counts_all_reads(dataset.segments, reads)
+        labels = truth.labels(8)
+        curve = roc_curve(scores.ravel().astype(float), labels.ravel())
+        assert curve.auc > 0.95

@@ -1,0 +1,62 @@
+"""Tests for Monte-Carlo sweeps and aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.experiment import asmcap_plain_system, edam_system
+from repro.eval.sweeps import run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(
+        "A",
+        {"EDAM": edam_system, "plain": asmcap_plain_system},
+        thresholds=[2, 4],
+        n_runs=2, n_reads=16, read_length=96, n_segments=16, seed=0,
+    )
+
+
+class TestAggregation:
+    def test_run_matrix_shape(self, sweep):
+        assert sweep.systems["plain"].f1_runs.shape == (2, 2)
+
+    def test_mean_and_std_shapes(self, sweep):
+        assert sweep.systems["plain"].mean.shape == (2,)
+        assert sweep.systems["plain"].std.shape == (2,)
+
+    def test_mean_f1_bounded(self, sweep):
+        for series in sweep.systems.values():
+            assert 0.0 <= series.mean_f1() <= 1.0
+
+    def test_series_dict(self, sweep):
+        series = sweep.systems["plain"].series()
+        assert sorted(series) == [2, 4]
+
+
+class TestRatios:
+    def test_self_ratio_is_one(self, sweep):
+        ratios = sweep.ratio("plain", "plain")
+        assert np.allclose(ratios, 1.0)
+
+    def test_mean_ratio_finite(self, sweep):
+        assert np.isfinite(sweep.mean_ratio("plain", "EDAM"))
+
+    def test_max_ratio_returns_threshold(self, sweep):
+        value, threshold = sweep.max_ratio("plain", "EDAM")
+        assert threshold in (2, 4)
+        assert value > 0
+
+
+class TestValidation:
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_sweep("A", {"plain": asmcap_plain_system}, [2], n_runs=0)
+
+    def test_runs_vary_across_seeds(self, sweep):
+        """Different repetitions draw different datasets."""
+        runs = sweep.systems["EDAM"].f1_runs
+        assert not np.allclose(runs[0], runs[1])

@@ -1,0 +1,57 @@
+"""Tests for the Section V-B breakdown and V-D states experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants
+from repro.experiments.breakdown import compute_breakdown
+from repro.experiments.states import compute_states
+
+
+class TestBreakdown:
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return compute_breakdown()
+
+    def test_area_matches_paper(self, breakdown):
+        assert breakdown.area_mm2 == pytest.approx(1.58, abs=0.02)
+
+    def test_cells_dominate(self, breakdown):
+        assert breakdown.cell_area_fraction > 0.99
+
+    def test_power_total(self, breakdown):
+        assert breakdown.power.total_w * 1e3 == pytest.approx(7.67, rel=1e-3)
+
+    def test_power_split(self, breakdown):
+        fractions = breakdown.power.fractions
+        assert fractions["cells"] == pytest.approx(0.75, abs=0.02)
+        assert fractions["shift_registers"] == pytest.approx(0.19, abs=0.02)
+        assert fractions["sense_amps"] == pytest.approx(0.06, abs=0.02)
+
+    def test_render(self, breakdown):
+        text = breakdown.render()
+        assert "7.67" in text
+        assert "Shift registers" in text
+
+
+class TestStates:
+    @pytest.fixture(scope="class")
+    def states(self):
+        return compute_states()
+
+    def test_paper_counts_exact(self, states):
+        assert states.edam_states == 44
+        assert states.asmcap_states == 566
+
+    def test_read_length_support(self, states):
+        """The core claim: ASMCap covers 256-base rows, EDAM cannot."""
+        assert states.asmcap_supports_read
+        assert not states.edam_supports_read
+
+    def test_sigma_ordering(self, states):
+        assert states.asmcap_worst_sigma_mv < states.edam_worst_sigma_mv
+
+    def test_render(self, states):
+        text = states.render()
+        assert "44" in text and "566" in text

@@ -1,0 +1,91 @@
+"""Fig. 7 smoke + shape tests (small scale for CI speed).
+
+The paper's qualitative claims checked here:
+
+* ASMCap w/ strategies >= EDAM on mean F1 in both conditions;
+* HDAC lifts Condition A at the smallest thresholds;
+* TASR lifts Condition B at thresholds >= Tl;
+* the ASM systems dominate the exact-matching normalizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7 import (
+    SYSTEM_EDAM,
+    SYSTEM_FULL,
+    SYSTEM_PLAIN,
+    run_fig7,
+    thresholds_for,
+)
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def fig7_a():
+    return run_fig7("A", n_runs=2, n_reads=48, n_segments=48, seed=3)
+
+
+@pytest.fixture(scope="module")
+def fig7_b():
+    return run_fig7("B", n_runs=2, n_reads=48, n_segments=48, seed=3)
+
+
+class TestThresholds:
+    def test_condition_a_sweep(self):
+        assert thresholds_for("A") == list(range(1, 9))
+
+    def test_condition_b_sweep(self):
+        assert thresholds_for("B") == list(range(2, 17, 2))
+
+    def test_unknown_condition(self):
+        with pytest.raises(ExperimentError):
+            thresholds_for("Z")
+
+
+class TestConditionA:
+    def test_full_beats_edam_on_mean(self, fig7_a):
+        ratio = fig7_a.sweep.mean_ratio(SYSTEM_FULL, SYSTEM_EDAM)
+        assert ratio > 1.0
+
+    def test_hdac_helps_at_small_thresholds(self, fig7_a):
+        """HDAC's FP correction shows at T = 1-2 in Condition A."""
+        full = fig7_a.sweep.systems[SYSTEM_FULL].mean
+        plain = fig7_a.sweep.systems[SYSTEM_PLAIN].mean
+        assert full[0] + full[1] > plain[0] + plain[1]
+
+    def test_max_ratio_at_small_threshold(self, fig7_a):
+        """The paper's 1.8x max gain occurs at T = 1."""
+        _, threshold = fig7_a.sweep.max_ratio(SYSTEM_FULL, SYSTEM_EDAM)
+        assert threshold <= 3
+
+    def test_normalized_panel_dominates_one(self, fig7_a):
+        """All ASM systems beat the exact-matching normalizer."""
+        for system in (SYSTEM_EDAM, SYSTEM_PLAIN, SYSTEM_FULL):
+            assert (fig7_a.normalized(system) > 1.0).all()
+
+
+class TestConditionB:
+    def test_tasr_helps_above_tl(self, fig7_b):
+        """Tl = 6 in Condition B: gains concentrate at T >= 6."""
+        thresholds = np.array(fig7_b.thresholds)
+        full = fig7_b.sweep.systems[SYSTEM_FULL].mean
+        plain = fig7_b.sweep.systems[SYSTEM_PLAIN].mean
+        above = thresholds >= 6
+        gain_above = (full[above] - plain[above]).mean()
+        gain_below = (full[~above] - plain[~above]).mean()
+        assert gain_above > gain_below
+        assert gain_above > 0.02
+
+    def test_full_beats_edam_on_mean(self, fig7_b):
+        assert fig7_b.sweep.mean_ratio(SYSTEM_FULL, SYSTEM_EDAM) > 1.0
+
+
+class TestRendering:
+    def test_render_contains_panels(self, fig7_a):
+        text = fig7_a.render()
+        assert "F1 (%)" in text
+        assert "normalized" in text
+        assert SYSTEM_FULL in text

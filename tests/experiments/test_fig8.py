@@ -1,0 +1,125 @@
+"""Tests for the Fig. 8 system-level comparison.
+
+The headline check: ordering and rough factors must match the paper —
+CM-CPU slowest, then ReSMA, SaVI, EDAM, with ASMCap fastest and most
+energy efficient; measured ratios within a small factor of the paper's
+anchors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants
+from repro.experiments.fig8 import (
+    SYSTEMS,
+    asmcap_read_cost,
+    compute_fig8,
+    edam_read_cost,
+    strategy_search_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return compute_fig8()
+
+
+def within_factor(measured: float, anchor: float, factor: float) -> bool:
+    return anchor / factor <= measured <= anchor * factor
+
+
+class TestOrdering:
+    def test_latency_ordering(self, fig8):
+        latencies = [fig8.costs[name].latency_ns for name in SYSTEMS[:5]]
+        # CM-CPU > ReSMA > SaVI > EDAM > ASMCap w/o.
+        assert all(a > b for a, b in zip(latencies, latencies[1:]))
+
+    def test_energy_ordering(self, fig8):
+        energies = [fig8.costs[name].energy_joules for name in SYSTEMS[:5]]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_strategies_cost_something(self, fig8):
+        plain = fig8.costs["ASMCap w/o H&T"]
+        full = fig8.costs["ASMCap w/ H&T"]
+        assert full.latency_ns > plain.latency_ns
+        assert full.energy_joules > plain.energy_joules
+
+    def test_asmcap_with_strategies_still_beats_edam(self, fig8):
+        assert fig8.speedup_over("EDAM", "ASMCap w/ H&T") > 1.0
+        assert fig8.energy_efficiency_over("EDAM", "ASMCap w/ H&T") > 1.0
+
+
+class TestAnchors:
+    """Measured ratios within 3x of the paper's reported factors."""
+
+    @pytest.mark.parametrize("name,key", [
+        ("CM-CPU", "cm_cpu"), ("ReSMA", "resma"),
+        ("SaVI", "savi"), ("EDAM", "edam"),
+    ])
+    def test_speedup_no_strategy(self, fig8, name, key):
+        measured = fig8.speedup_over(name, "ASMCap w/o H&T")
+        anchor = constants.FIG8_SPEEDUP_NO_STRATEGY[key]
+        assert within_factor(measured, anchor, 3.0)
+
+    @pytest.mark.parametrize("name,key", [
+        ("CM-CPU", "cm_cpu"), ("ReSMA", "resma"),
+        ("SaVI", "savi"), ("EDAM", "edam"),
+    ])
+    def test_energy_no_strategy(self, fig8, name, key):
+        measured = fig8.energy_efficiency_over(name, "ASMCap w/o H&T")
+        anchor = constants.FIG8_ENERGY_EFF_NO_STRATEGY[key]
+        assert within_factor(measured, anchor, 3.0)
+
+    @pytest.mark.parametrize("name,key", [
+        ("CM-CPU", "cm_cpu"), ("ReSMA", "resma"),
+        ("SaVI", "savi"), ("EDAM", "edam"),
+    ])
+    def test_speedup_with_strategy(self, fig8, name, key):
+        measured = fig8.speedup_over(name, "ASMCap w/ H&T")
+        anchor = constants.FIG8_SPEEDUP_WITH_STRATEGY[key]
+        assert within_factor(measured, anchor, 3.0)
+
+    @pytest.mark.parametrize("name,key", [
+        ("CM-CPU", "cm_cpu"), ("ReSMA", "resma"),
+        ("SaVI", "savi"), ("EDAM", "edam"),
+    ])
+    def test_energy_with_strategy(self, fig8, name, key):
+        measured = fig8.energy_efficiency_over(name, "ASMCap w/ H&T")
+        anchor = constants.FIG8_ENERGY_EFF_WITH_STRATEGY[key]
+        assert within_factor(measured, anchor, 3.0)
+
+
+class TestStrategyProfile:
+    def test_condition_a_uses_two_searches(self):
+        searches, cycles = strategy_search_profile("A")
+        assert searches == pytest.approx(2.0)  # HDAC on, TASR off
+        assert cycles == 0.0
+
+    def test_condition_b_rotates_above_tl(self):
+        searches, cycles = strategy_search_profile("B")
+        # Tl = 6: rotations fire at 6 of the 8 swept thresholds.
+        assert searches == pytest.approx(1 + 6 / 8 * 4)
+        assert cycles > 0
+
+    def test_left_only_cheaper(self):
+        both, _ = strategy_search_profile("B", "both")
+        left, _ = strategy_search_profile("B", "left")
+        assert left < both
+
+
+class TestCostHelpers:
+    def test_edam_period_exceeds_asmcap(self):
+        from repro.arch.power import steady_state_search_period_ns
+        assert edam_read_cost().latency_ns > steady_state_search_period_ns()
+
+    def test_asmcap_cost_monotone_in_searches(self):
+        one = asmcap_read_cost(1.0, 0.0)
+        two = asmcap_read_cost(2.0, 0.0)
+        assert two.latency_ns > one.latency_ns
+        assert two.energy_joules == pytest.approx(2 * one.energy_joules)
+
+    def test_render_mentions_all_systems(self, fig8):
+        text = fig8.render()
+        for name in SYSTEMS:
+            assert name in text

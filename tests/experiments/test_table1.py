@@ -1,0 +1,56 @@
+"""Tests for the Table I regeneration — ratios must match the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants
+from repro.experiments.table1 import compute_table1
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return compute_table1()
+
+
+class TestRatios:
+    def test_area_ratio(self, table1):
+        """Paper: EDAM cell is 1.4x larger."""
+        assert table1.area_ratio == pytest.approx(1.4, abs=0.05)
+
+    def test_search_time_ratio(self, table1):
+        """Paper: EDAM search is 2.6x slower (2.4 / 0.9 = 2.67)."""
+        assert table1.search_time_ratio == pytest.approx(2.67, abs=0.1)
+
+    def test_power_ratio(self, table1):
+        """Paper: EDAM cell burns 8.5x more average power."""
+        assert table1.power_ratio == pytest.approx(8.5, abs=0.3)
+
+
+class TestAbsoluteValues:
+    def test_cell_areas(self, table1):
+        assert table1.asmcap_cell_area_um2 == pytest.approx(
+            constants.ASMCAP_CELL_AREA_UM2, abs=0.5
+        )
+        assert table1.edam_cell_area_um2 == pytest.approx(
+            constants.EDAM_CELL_AREA_UM2, abs=1.0
+        )
+
+    def test_search_times(self, table1):
+        assert table1.asmcap_search_time_ns == pytest.approx(0.9, abs=0.01)
+        assert table1.edam_search_time_ns == pytest.approx(2.4, abs=0.01)
+
+    def test_cell_powers(self, table1):
+        assert table1.asmcap_cell_power_uw == pytest.approx(0.12, abs=0.01)
+        assert table1.edam_cell_power_uw == pytest.approx(1.0, abs=0.05)
+
+
+class TestRendering:
+    def test_render_contains_all_rows(self, table1):
+        text = table1.render()
+        for fragment in ("Charge domain", "Current domain", "65nm",
+                         "1.2V", "Search time", "Average power"):
+            assert fragment in text
+
+    def test_rows_structure(self, table1):
+        assert len(table1.rows()) == 6

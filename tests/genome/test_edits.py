@@ -1,0 +1,132 @@
+"""Tests for edit injection: rates, provenance, burst behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.edit_distance import edit_distance
+from repro.errors import EditModelError
+from repro.genome.edits import EditKind, ErrorModel, inject_edits
+from repro.genome.generator import generate_reference
+from repro.genome.sequence import DnaSequence
+
+
+class TestErrorModel:
+    def test_condition_a_rates(self):
+        model = ErrorModel.condition_a()
+        assert model.substitution == pytest.approx(0.01)
+        assert model.insertion == pytest.approx(0.0005)
+        assert model.deletion == pytest.approx(0.0005)
+        assert model.indel_rate == pytest.approx(0.001)
+
+    def test_condition_b_rates(self):
+        model = ErrorModel.condition_b()
+        assert model.substitution == pytest.approx(0.001)
+        assert model.indel_rate == pytest.approx(0.01)
+
+    def test_substitution_fraction(self):
+        model = ErrorModel(substitution=0.03, insertion=0.005, deletion=0.005)
+        assert model.substitution_fraction == pytest.approx(0.75)
+
+    def test_zero_model_fraction(self):
+        assert ErrorModel().substitution_fraction == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(EditModelError):
+            ErrorModel(substitution=-0.1)
+
+    def test_total_rate_must_stay_below_one(self):
+        with pytest.raises(EditModelError):
+            ErrorModel(substitution=0.5, insertion=0.3, deletion=0.3)
+
+
+class TestInjection:
+    def test_no_errors_is_identity(self, rng):
+        seq = generate_reference(500, seed=0)
+        edited, plan = inject_edits(seq, ErrorModel(), rng)
+        assert edited == seq
+        assert len(plan) == 0
+
+    def test_substitutions_always_change_base(self, rng):
+        seq = generate_reference(2000, seed=1)
+        model = ErrorModel(substitution=0.05)
+        edited, plan = inject_edits(seq, model, rng)
+        assert len(edited) == len(seq)  # substitutions preserve length
+        assert plan.n_substitutions > 0
+        assert plan.n_indels == 0
+        # Every recorded substitution really differs from the original.
+        for edit in plan.edits:
+            original = str(seq)[edit.position]
+            assert edit.base != original
+
+    def test_substitution_count_matches_hamming(self, rng):
+        seq = generate_reference(2000, seed=2)
+        model = ErrorModel(substitution=0.05)
+        edited, plan = inject_edits(seq, model, rng)
+        differences = int(np.count_nonzero(seq.codes != edited.codes))
+        assert differences == plan.n_substitutions
+
+    def test_deletions_shorten(self, rng):
+        seq = generate_reference(1000, seed=3)
+        model = ErrorModel(deletion=0.05)
+        edited, plan = inject_edits(seq, model, rng)
+        assert len(edited) == len(seq) - plan.n_deletions
+
+    def test_insertions_lengthen(self, rng):
+        seq = generate_reference(1000, seed=4)
+        model = ErrorModel(insertion=0.05)
+        edited, plan = inject_edits(seq, model, rng)
+        assert len(edited) == len(seq) + plan.n_insertions
+
+    def test_rates_are_respected(self, rng):
+        seq = generate_reference(100_000, seed=5, with_repeats=False)
+        model = ErrorModel(substitution=0.01, insertion=0.002,
+                           deletion=0.002)
+        _, plan = inject_edits(seq, model, rng)
+        n = len(seq)
+        assert plan.n_substitutions == pytest.approx(0.01 * n, rel=0.2)
+        assert plan.n_insertions == pytest.approx(0.002 * n, rel=0.3)
+        assert plan.n_deletions == pytest.approx(0.002 * n, rel=0.3)
+
+    def test_edit_distance_bounded_by_plan(self, rng):
+        """True ED never exceeds the number of injected edits."""
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            seq = generate_reference(300, seed=seed)
+            model = ErrorModel(substitution=0.02, insertion=0.01,
+                               deletion=0.01)
+            edited, plan = inject_edits(seq, model, local)
+            assert edit_distance(seq, edited) <= len(plan)
+
+    def test_burst_deletions_are_consecutive(self):
+        rng = np.random.default_rng(99)
+        seq = generate_reference(5000, seed=6)
+        model = ErrorModel(deletion=0.01, burst_prob=0.9)
+        _, plan = inject_edits(seq, model, rng)
+        deletions = [e.position for e in plan.edits
+                     if e.kind is EditKind.DELETION]
+        runs = sum(1 for a, b in zip(deletions, deletions[1:]) if b == a + 1)
+        assert runs > 0  # with burst_prob=0.9 consecutive runs must appear
+
+    def test_deterministic_given_rng_state(self):
+        seq = generate_reference(500, seed=7)
+        model = ErrorModel.condition_b()
+        first, _ = inject_edits(seq, model, np.random.default_rng(1))
+        second, _ = inject_edits(seq, model, np.random.default_rng(1))
+        assert first == second
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_injected_plan_counts_are_consistent(seed):
+    """Property: plan length decomposes into the three edit kinds."""
+    rng = np.random.default_rng(seed)
+    seq = DnaSequence(rng.integers(0, 4, 200).astype(np.uint8))
+    model = ErrorModel(substitution=0.05, insertion=0.02, deletion=0.02,
+                       burst_prob=0.3)
+    _, plan = inject_edits(seq, model, rng)
+    assert (plan.n_substitutions + plan.n_insertions + plan.n_deletions
+            == len(plan))

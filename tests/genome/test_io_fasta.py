@@ -1,0 +1,130 @@
+"""Tests for FASTA/FASTQ parsing and writing."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.genome.io_fasta import (
+    FastaRecord,
+    FastqRecord,
+    parse_fasta,
+    parse_fastq,
+    write_fasta,
+    write_fastq,
+)
+from repro.genome.sequence import DnaSequence
+
+FASTA = """>chr1 human chromosome 1
+ACGTACGT
+ACGT
+>chr2
+GGGG
+"""
+
+FASTQ = """@read1
+ACGT
++
+IIII
+@read2
+GGCC
++
+!!!!
+"""
+
+
+class TestFastaParsing:
+    def test_parses_records(self):
+        records = parse_fasta(io.StringIO(FASTA))
+        assert [r.name for r in records] == ["chr1", "chr2"]
+        assert str(records[0].sequence) == "ACGTACGTACGT"
+        assert str(records[1].sequence) == "GGGG"
+
+    def test_multiline_sequences_joined(self):
+        records = parse_fasta(io.StringIO(">x\nAC\nGT\n"))
+        assert str(records[0].sequence) == "ACGT"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_fasta(io.StringIO("ACGT\n>x\nAC\n"))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_fasta(io.StringIO(""))
+
+    def test_ambiguity_error_policy(self):
+        with pytest.raises(DatasetError, match="ambigu"):
+            parse_fasta(io.StringIO(">x\nACNT\n"))
+
+    def test_ambiguity_skip_policy(self):
+        records = parse_fasta(io.StringIO(">x\nACNT\n"), ambiguous="skip")
+        assert str(records[0].sequence) == "ACT"
+
+    def test_ambiguity_random_policy_is_seeded(self):
+        a = parse_fasta(io.StringIO(">x\nANNNT\n"), ambiguous="random",
+                        seed=5)
+        b = parse_fasta(io.StringIO(">x\nANNNT\n"), ambiguous="random",
+                        seed=5)
+        assert a[0].sequence == b[0].sequence
+        assert len(a[0].sequence) == 5
+
+    def test_round_trip(self):
+        records = [FastaRecord("a", DnaSequence("ACGT" * 30)),
+                   FastaRecord("b", DnaSequence("GG"))]
+        buffer = io.StringIO()
+        write_fasta(records, buffer)
+        buffer.seek(0)
+        parsed = parse_fasta(buffer)
+        assert [(r.name, str(r.sequence)) for r in parsed] == [
+            ("a", "ACGT" * 30), ("b", "GG")
+        ]
+
+    def test_write_wraps_lines(self):
+        buffer = io.StringIO()
+        write_fasta([FastaRecord("x", DnaSequence("A" * 100))], buffer,
+                    width=60)
+        lines = buffer.getvalue().splitlines()
+        assert lines[1] == "A" * 60
+        assert lines[2] == "A" * 40
+
+
+class TestFastqParsing:
+    def test_parses_records(self):
+        records = parse_fastq(io.StringIO(FASTQ))
+        assert [r.name for r in records] == ["read1", "read2"]
+        assert str(records[0].sequence) == "ACGT"
+        assert records[0].qualities.tolist() == [40, 40, 40, 40]
+        assert records[1].qualities.tolist() == [0, 0, 0, 0]
+
+    def test_bad_line_count(self):
+        with pytest.raises(DatasetError):
+            parse_fastq(io.StringIO("@x\nACGT\n+\n"))
+
+    def test_bad_header(self):
+        with pytest.raises(DatasetError):
+            parse_fastq(io.StringIO("x\nACGT\n+\nIIII\n"))
+
+    def test_skip_policy_rejected_for_fastq(self):
+        with pytest.raises(DatasetError, match="desynchronise"):
+            parse_fastq(io.StringIO("@x\nACNT\n+\nIIII\n"),
+                        ambiguous="skip")
+
+    def test_quality_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            FastqRecord("x", DnaSequence("ACGT"),
+                        np.array([40, 40], dtype=np.int16))
+
+    def test_round_trip(self):
+        records = parse_fastq(io.StringIO(FASTQ))
+        buffer = io.StringIO()
+        write_fastq(records, buffer)
+        buffer.seek(0)
+        again = parse_fastq(buffer)
+        assert all(
+            a.name == b.name and a.sequence == b.sequence
+            and np.array_equal(a.qualities, b.qualities)
+            for a, b in zip(records, again)
+        )

@@ -1,0 +1,96 @@
+"""Tests for the Phred quality model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.genome.quality import (
+    QualityProfile,
+    error_probability_to_phred,
+    phred_to_error_probability,
+    quality_aware_substitutions,
+)
+from repro.genome.sequence import DnaSequence
+
+
+class TestConversions:
+    def test_known_values(self):
+        assert phred_to_error_probability(10) == pytest.approx(0.1)
+        assert phred_to_error_probability(20) == pytest.approx(0.01)
+        assert phred_to_error_probability(30) == pytest.approx(0.001)
+
+    def test_round_trip(self):
+        for quality in (5, 10, 20, 37, 60):
+            probability = float(phred_to_error_probability(quality))
+            assert int(error_probability_to_phred(probability)) == quality
+
+    def test_out_of_range_quality(self):
+        with pytest.raises(DatasetError):
+            phred_to_error_probability(-1)
+        with pytest.raises(DatasetError):
+            phred_to_error_probability(100)
+
+    def test_bad_probability(self):
+        with pytest.raises(DatasetError):
+            error_probability_to_phred(0.0)
+        with pytest.raises(DatasetError):
+            error_probability_to_phred(1.5)
+
+
+class TestProfile:
+    def test_mean_curve_decays(self):
+        profile = QualityProfile(start_quality=38, end_quality=28)
+        curve = profile.mean_qualities(100)
+        assert curve[0] == pytest.approx(38)
+        assert curve[-1] == pytest.approx(28)
+        assert (np.diff(curve) <= 0).all()
+
+    def test_sampling_within_range(self, rng):
+        profile = QualityProfile(jitter=5.0)
+        qualities = profile.sample(256, rng)
+        assert qualities.min() >= 0
+        assert qualities.max() <= 93
+        assert qualities.dtype == np.int16
+
+    def test_sampling_tracks_mean(self, rng):
+        profile = QualityProfile(start_quality=30, end_quality=30,
+                                 jitter=2.0)
+        qualities = np.concatenate([profile.sample(256, rng)
+                                    for _ in range(50)])
+        assert abs(qualities.mean() - 30) < 0.5
+
+    def test_expected_error_rate(self):
+        flat = QualityProfile(start_quality=20, end_quality=20, jitter=0)
+        assert flat.expected_error_rate(100) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            QualityProfile(start_quality=-5)
+        with pytest.raises(DatasetError):
+            QualityProfile(jitter=-1)
+        with pytest.raises(DatasetError):
+            QualityProfile().mean_qualities(0)
+
+
+class TestQualityAwareSubstitutions:
+    def test_error_rate_tracks_quality(self, rng):
+        read = DnaSequence(rng.integers(0, 4, 20_000).astype(np.uint8))
+        qualities = np.full(len(read), 10, dtype=np.int16)  # P(err) = 0.1
+        edited, errors = quality_aware_substitutions(read, qualities, rng)
+        assert errors.mean() == pytest.approx(0.1, abs=0.01)
+        # Every flagged error really changed the base.
+        changed = read.codes != edited.codes
+        assert np.array_equal(changed, errors)
+
+    def test_high_quality_few_errors(self, rng):
+        read = DnaSequence(rng.integers(0, 4, 10_000).astype(np.uint8))
+        qualities = np.full(len(read), 40, dtype=np.int16)
+        _, errors = quality_aware_substitutions(read, qualities, rng)
+        assert errors.mean() < 0.001
+
+    def test_shape_mismatch(self, rng):
+        read = DnaSequence("ACGT")
+        with pytest.raises(DatasetError):
+            quality_aware_substitutions(read, np.array([30, 30]), rng)

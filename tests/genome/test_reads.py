@@ -1,0 +1,78 @@
+"""Tests for read sampling with provenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.genome.edits import ErrorModel
+from repro.genome.generator import generate_reference
+from repro.genome.reads import ReadSampler
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return generate_reference(10_000, seed=0)
+
+
+class TestSampler:
+    def test_fixed_read_length(self, reference):
+        sampler = ReadSampler(reference, 256, ErrorModel.condition_b(),
+                              seed=1)
+        for record in sampler.sample_batch(20):
+            assert len(record.read) == 256
+
+    def test_no_errors_reproduces_reference(self, reference):
+        sampler = ReadSampler(reference, 100, ErrorModel(), seed=2)
+        record = sampler.sample_at(500)
+        assert record.read == reference.window(500, 100)
+        assert len(record.plan) == 0
+
+    def test_origin_recorded(self, reference):
+        sampler = ReadSampler(reference, 64, ErrorModel(), seed=3)
+        record = sampler.sample_at(1234)
+        assert record.origin == 1234
+
+    def test_sample_origins_stay_in_range(self, reference):
+        sampler = ReadSampler(reference, 256, ErrorModel.condition_a(),
+                              seed=4)
+        for record in sampler.sample_batch(50):
+            assert 0 <= record.origin <= len(reference) - 256
+
+    def test_deterministic_with_seed(self, reference):
+        model = ErrorModel.condition_a()
+        a = ReadSampler(reference, 128, model, seed=9).sample_batch(5)
+        b = ReadSampler(reference, 128, model, seed=9).sample_batch(5)
+        assert all(x.read == y.read and x.origin == y.origin
+                   for x, y in zip(a, b))
+
+    def test_model_attached_to_record(self, reference):
+        model = ErrorModel.condition_b()
+        record = ReadSampler(reference, 64, model, seed=5).sample()
+        assert record.model is model
+
+    def test_read_length_must_be_positive(self, reference):
+        with pytest.raises(DatasetError):
+            ReadSampler(reference, 0, ErrorModel())
+
+    def test_reference_must_fit_read(self):
+        tiny = generate_reference(10, seed=0)
+        with pytest.raises(DatasetError):
+            ReadSampler(tiny, 50, ErrorModel())
+
+    def test_origin_out_of_range(self, reference):
+        sampler = ReadSampler(reference, 256, ErrorModel(), seed=6)
+        with pytest.raises(DatasetError):
+            sampler.sample_at(len(reference))
+
+    def test_negative_batch_raises(self, reference):
+        sampler = ReadSampler(reference, 64, ErrorModel(), seed=7)
+        with pytest.raises(DatasetError):
+            sampler.sample_batch(-1)
+
+    def test_slack_absorbs_heavy_deletions(self, reference):
+        """Even a 5 % deletion rate must still yield full-length reads."""
+        model = ErrorModel(deletion=0.05, burst_prob=0.5)
+        sampler = ReadSampler(reference, 256, model, seed=8)
+        for record in sampler.sample_batch(30):
+            assert len(record.read) == 256

@@ -1,0 +1,135 @@
+"""Tests for DnaSequence: immutability, slicing, rotation, biology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SequenceError
+from repro.genome.sequence import DnaSequence
+
+dna_text = st.text(alphabet="ACGT", max_size=100)
+
+
+class TestConstruction:
+    def test_from_string(self):
+        assert str(DnaSequence("GATTACA")) == "GATTACA"
+
+    def test_from_codes(self):
+        seq = DnaSequence(np.array([2, 0, 3], dtype=np.uint8))
+        assert str(seq) == "GAT"
+
+    def test_copy_constructor(self):
+        a = DnaSequence("ACGT")
+        assert DnaSequence(a) == a
+
+    def test_rejects_2d(self):
+        with pytest.raises(SequenceError):
+            DnaSequence(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_rejects_bad_codes(self):
+        with pytest.raises(SequenceError):
+            DnaSequence(np.array([7], dtype=np.uint8))
+
+    def test_codes_are_read_only(self):
+        seq = DnaSequence("ACGT")
+        with pytest.raises(ValueError):
+            seq.codes[0] = 3
+
+    def test_source_array_mutation_does_not_leak(self):
+        source = np.array([0, 1, 2], dtype=np.uint8)
+        seq = DnaSequence(source)
+        source[0] = 3
+        assert str(seq) == "ACG"
+
+
+class TestProtocol:
+    def test_len_and_iter(self):
+        seq = DnaSequence("ACG")
+        assert len(seq) == 3
+        assert list(seq) == ["A", "C", "G"]
+
+    def test_equality_with_string(self):
+        assert DnaSequence("acgt") == "ACGT"
+        assert DnaSequence("ACGT") == "acgt"
+
+    def test_hashable_and_consistent(self):
+        a, b = DnaSequence("ACGT"), DnaSequence("ACGT")
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_slicing(self):
+        seq = DnaSequence("GATTACA")
+        assert str(seq[1:4]) == "ATT"
+        assert str(seq[0]) == "G"
+        assert str(seq[::-1]) == "ACATTAG"
+
+    def test_concatenation(self):
+        assert str(DnaSequence("AC") + DnaSequence("GT")) == "ACGT"
+
+    def test_repr_truncates(self):
+        seq = DnaSequence("A" * 100)
+        assert "..." in repr(seq)
+
+
+class TestBiology:
+    def test_complement(self):
+        assert str(DnaSequence("ACGT").complement()) == "TGCA"
+
+    def test_reverse_complement(self):
+        assert str(DnaSequence("AACG").reverse_complement()) == "CGTT"
+
+    def test_gc_content(self):
+        assert DnaSequence("GGCC").gc_content() == 1.0
+        assert DnaSequence("AATT").gc_content() == 0.0
+        assert DnaSequence("").gc_content() == 0.0
+
+    def test_base_counts(self):
+        counts = DnaSequence("AACGG").base_counts()
+        assert counts == {"A": 2, "C": 1, "G": 2, "T": 0}
+
+    @given(dna_text)
+    def test_gc_matches_counts(self, text):
+        seq = DnaSequence(text)
+        counts = seq.base_counts()
+        expected = ((counts["G"] + counts["C"]) / len(text)) if text else 0.0
+        assert seq.gc_content() == pytest.approx(expected)
+
+
+class TestRotation:
+    def test_rotate_left(self):
+        assert str(DnaSequence("ACGT").rotate(1)) == "CGTA"
+
+    def test_rotate_right(self):
+        assert str(DnaSequence("ACGT").rotate(-1)) == "TACG"
+
+    def test_rotate_zero_returns_same(self):
+        seq = DnaSequence("ACGT")
+        assert seq.rotate(0) == seq
+
+    def test_rotate_full_cycle(self):
+        seq = DnaSequence("ACGT")
+        assert seq.rotate(4) == seq
+
+    def test_rotate_empty(self):
+        assert len(DnaSequence("").rotate(3)) == 0
+
+    @given(dna_text.filter(bool), st.integers(-300, 300))
+    def test_rotation_is_invertible(self, text, offset):
+        seq = DnaSequence(text)
+        assert seq.rotate(offset).rotate(-offset) == seq
+
+
+class TestWindow:
+    def test_window_extracts(self):
+        assert str(DnaSequence("GATTACA").window(1, 3)) == "ATT"
+
+    def test_window_out_of_range(self):
+        with pytest.raises(SequenceError):
+            DnaSequence("ACGT").window(2, 3)
+
+    def test_window_negative(self):
+        with pytest.raises(SequenceError):
+            DnaSequence("ACGT").window(-1, 2)

@@ -1,0 +1,95 @@
+"""Tests for the Ti/Tv mutation spectrum."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EditModelError
+from repro.genome.generator import generate_reference
+from repro.genome.spectrum import (
+    MutationSpectrum,
+    is_transition,
+    measure_ti_tv,
+)
+
+
+class TestTransitionClassification:
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 2, True),   # A -> G transition
+        (2, 0, True),   # G -> A transition
+        (1, 3, True),   # C -> T transition
+        (3, 1, True),   # T -> C transition
+        (0, 1, False),  # A -> C transversion
+        (0, 3, False),  # A -> T transversion
+        (2, 1, False),  # G -> C transversion
+    ])
+    def test_pairs(self, a, b, expected):
+        assert is_transition(a, b) == expected
+
+    def test_identity_rejected(self):
+        with pytest.raises(EditModelError):
+            is_transition(0, 0)
+
+
+class TestSpectrum:
+    def test_transition_probability(self):
+        assert MutationSpectrum(2.0).transition_probability == \
+            pytest.approx(2 / 3)
+        assert MutationSpectrum(0.5).transition_probability == \
+            pytest.approx(1 / 3)
+
+    def test_replacement_differs_from_original(self, rng):
+        spectrum = MutationSpectrum(2.0)
+        for original in range(4):
+            for _ in range(50):
+                assert spectrum.replacement(original, rng) != original
+
+    def test_measured_ratio_tracks_target(self, rng):
+        reference = generate_reference(100_000, seed=3, with_repeats=False)
+        spectrum = MutationSpectrum(ti_tv_ratio=2.0)
+        edited, mask = spectrum.substitute(reference, 0.02, rng)
+        assert mask.sum() > 1000
+        measured = measure_ti_tv(reference, edited)
+        assert measured == pytest.approx(2.0, rel=0.15)
+
+    def test_uniform_spectrum_is_half(self, rng):
+        reference = generate_reference(100_000, seed=4, with_repeats=False)
+        spectrum = MutationSpectrum(ti_tv_ratio=0.5)
+        edited, _ = spectrum.substitute(reference, 0.02, rng)
+        assert measure_ti_tv(reference, edited) == pytest.approx(0.5,
+                                                                 rel=0.15)
+
+    def test_substitution_rate_respected(self, rng):
+        reference = generate_reference(50_000, seed=5, with_repeats=False)
+        _, mask = MutationSpectrum().substitute(reference, 0.01, rng)
+        assert mask.mean() == pytest.approx(0.01, rel=0.2)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(EditModelError):
+            MutationSpectrum(0.0)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(EditModelError):
+            MutationSpectrum().substitute(generate_reference(10, seed=0),
+                                          1.0, rng)
+
+
+class TestMeasurement:
+    def test_no_substitutions_rejected(self):
+        seq = generate_reference(100, seed=6)
+        with pytest.raises(EditModelError):
+            measure_ti_tv(seq, seq)
+
+    def test_pure_transitions_infinite(self, rng):
+        from repro.genome.sequence import DnaSequence
+        from repro.genome.spectrum import TRANSITION_PARTNER
+        original = generate_reference(100, seed=7)
+        codes = original.codes.copy()
+        codes[10] = TRANSITION_PARTNER[codes[10]]
+        assert measure_ti_tv(original, DnaSequence(codes)) == float("inf")
+
+    def test_length_mismatch(self):
+        with pytest.raises(EditModelError):
+            measure_ti_tv(generate_reference(10, seed=0),
+                          generate_reference(11, seed=0))

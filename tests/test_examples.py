@@ -1,0 +1,47 @@
+"""Smoke tests: the example scripts must run and self-check.
+
+Each example asserts its own expected behaviour internally; these tests
+execute the faster ones end-to-end in a subprocess (the slower system
+examples are exercised by the benchmarks and the experiments CLI).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "strategy_anatomy.py",
+    "fasta_workflow.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert "OK" in result.stdout
+
+
+def test_all_examples_present():
+    """The five documented examples (plus fragmentation) exist."""
+    expected = {
+        "quickstart.py", "virus_screening.py", "read_mapping.py",
+        "strategy_anatomy.py", "fasta_workflow.py",
+        "long_read_fragmentation.py",
+    }
+    found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= found

@@ -1,0 +1,141 @@
+"""End-to-end integration tests across module boundaries.
+
+These tests wire the whole stack together the way the experiments do
+(genome -> distance ground truth -> CAM -> strategies -> evaluation)
+and check cross-cutting invariants no single module can see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig, AsmCapAccelerator, BatchScheduler
+from repro.baselines import CmCpuBaseline, EdamMatcher, ResmaBaseline
+from repro.cam import CamArray, MatchMode
+from repro.core import AsmCapMatcher, MatcherConfig
+from repro.distance import (
+    best_semiglobal_hit,
+    edit_distance,
+    landau_vishkin,
+    myers_edit_distance,
+)
+from repro.eval import AccuracyExperiment, asmcap_plain_system, label_dataset
+from repro.genome import DnaSequence, build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("A", n_reads=16, read_length=128, n_segments=32,
+                         seed=200)
+
+
+class TestDigitalConsistency:
+    """Noiseless hardware must agree exactly with the software kernels."""
+
+    def test_all_exact_kernels_agree_on_dataset_pairs(self, dataset):
+        truth = label_dataset(dataset, 8)
+        for r, record in enumerate(dataset.reads[:6]):
+            for s in range(0, dataset.n_segments, 7):
+                segment = DnaSequence(dataset.segments[s])
+                dp = edit_distance(segment, record.read)
+                assert myers_edit_distance(segment, record.read) == dp
+                assert landau_vishkin(segment, record.read, 10) == \
+                    min(dp, 11)
+                assert (truth.distances[r, s] <= truth.band) == \
+                    (dp <= truth.band)
+
+    def test_noiseless_asmcap_equals_noiseless_edam(self, dataset):
+        """Same digital matching rule, different analog domain."""
+        charge = CamArray(rows=32, cols=128, domain="charge", noisy=False)
+        charge.store(dataset.segments)
+        edam = EdamMatcher(rows=32, cols=128, noisy=False)
+        edam.store(dataset.segments)
+        for record in dataset.reads:
+            for threshold in (1, 4, 8):
+                a = charge.search(record.read.codes, threshold).matches
+                e = edam.match(record.read.codes, threshold).decisions
+                assert np.array_equal(a, e)
+
+    def test_cam_match_implies_low_ed_star_not_low_ed(self, dataset):
+        """A CAM 'match' bounds ED*, and ED* <= HD, but ED can exceed
+        the threshold (that is the FP HDAC exists to fix)."""
+        array = CamArray(rows=32, cols=128, noisy=False)
+        array.store(dataset.segments)
+        threshold = 2
+        for record in dataset.reads:
+            result = array.search(record.read.codes, threshold)
+            counts_hd = array.mismatch_counts(record.read.codes,
+                                              MatchMode.HAMMING)
+            for s in np.flatnonzero(result.matches):
+                assert result.mismatch_counts[s] <= threshold
+                assert result.mismatch_counts[s] <= counts_hd[s]
+
+
+class TestMappingAgreesWithAlignment:
+    def test_cam_matches_confirmed_by_semiglobal(self, dataset):
+        """Rows the CAM matches at a loose threshold must be placements
+        semiglobal alignment also scores well."""
+        array = CamArray(rows=32, cols=128, noisy=False)
+        array.store(dataset.segments)
+        for record in dataset.reads[:8]:
+            result = array.search(record.read.codes, threshold=8)
+            for s in np.flatnonzero(result.matches):
+                segment = DnaSequence(dataset.segments[s])
+                hit = best_semiglobal_hit(record.read, segment)
+                assert hit.distance <= 10
+
+
+class TestSystemLevel:
+    def test_accelerator_agrees_with_single_array(self, dataset):
+        """One functional array == plain CamArray behaviour."""
+        config = ArchConfig(array_rows=32, array_cols=128, n_arrays=4)
+        accelerator = AsmCapAccelerator(
+            config, error_model=dataset.model,
+            matcher_config=MatcherConfig.plain(),
+            n_functional_arrays=1, noisy=False,
+        )
+        accelerator.load_reference(dataset.segments)
+        array = CamArray(rows=32, cols=128, noisy=False)
+        array.store(dataset.segments)
+        for record in dataset.reads[:5]:
+            system = accelerator.match_read(record.read.codes, 6)
+            local = array.search(record.read.codes, 6)
+            assert np.array_equal(system.matches, local.matches)
+
+    def test_scheduler_consistent_with_accelerator_energy(self, dataset):
+        """Stream-phase energy per read ~ accelerator estimate."""
+        scheduler = BatchScheduler(ArchConfig.paper_system(),
+                                   searches_per_read=1.0)
+        schedule = scheduler.schedule(n_reads=1000, n_segments=512)
+        accelerator = AsmCapAccelerator(ArchConfig.paper_system(),
+                                        n_functional_arrays=1, noisy=False)
+        estimate = accelerator.estimate_read_cost(searches_per_read=1.0)
+        per_read = schedule.stream_energy_joules / 1000
+        assert per_read == pytest.approx(estimate.energy_joules, rel=0.05)
+
+
+class TestBaselineAccuracyGroundTruth:
+    def test_cm_and_resma_are_exact(self, dataset):
+        """Both CM baselines decide exactly like the ground truth."""
+        cm = CmCpuBaseline()
+        resma = ResmaBaseline()
+        truth = label_dataset(dataset, 6)
+        for r, record in enumerate(dataset.reads[:5]):
+            for s in range(0, dataset.n_segments, 11):
+                segment = DnaSequence(dataset.segments[s])
+                expected = bool(truth.labels(6)[r, s])
+                assert cm.match(segment, record.read, 6).decision == expected
+                assert resma.match(segment, record.read, 6).decision == \
+                    expected
+
+
+class TestExperimentReproducibility:
+    def test_full_experiment_deterministic(self, dataset):
+        first = AccuracyExperiment(dataset, [2, 4], seed=9).evaluate(
+            "x", asmcap_plain_system
+        ).f1_series()
+        second = AccuracyExperiment(dataset, [2, 4], seed=9).evaluate(
+            "x", asmcap_plain_system
+        ).f1_series()
+        assert first == second
