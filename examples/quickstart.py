@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.cam import CamArray
 from repro.core import AsmCapMatcher, MatcherConfig
 from repro.distance import edit_distance
-from repro.genome import DnaSequence, ErrorModel, ReadSampler, generate_reference
+from repro.genome import ErrorModel, ReadSampler, generate_reference
 
 READ_LENGTH = 256
 N_SEGMENTS = 64

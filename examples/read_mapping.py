@@ -14,7 +14,6 @@ Run:  python examples/read_mapping.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.baselines import EdamMatcher, SaviBaseline
 from repro.cam import CamArray

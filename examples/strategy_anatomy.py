@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cam import CamArray, MatchMode
+from repro.cam import CamArray
 from repro.core import AsmCapMatcher, MatcherConfig
 from repro.distance import ed_star, edit_distance, hamming_distance
 from repro.genome import DnaSequence, ErrorModel, generate_reference
@@ -41,7 +41,6 @@ def hdac_demo(segments: np.ndarray) -> None:
     segment = DnaSequence(segments[3])
     # Five substitutions, engineered to hide from the neighbour window.
     codes = segment.codes.copy()
-    rng = np.random.default_rng(1)
     n_subs = 0
     for i in range(5, READ_LENGTH - 5, 12):
         original = int(codes[i])

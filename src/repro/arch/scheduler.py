@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import constants
 from repro.arch.buffer import Controller, GlobalBuffer
 from repro.arch.config import ArchConfig
 from repro.arch.htree import HTreeModel
@@ -34,6 +33,49 @@ ROW_WRITE_NS = 2.0
 
 #: Energy per row write (512 SRAM bits plus drivers).
 ROW_WRITE_ENERGY_J = 1.5e-12
+
+
+def bank_row_ranges(n_rows: int, n_banks: int,
+                    bank_capacity: "int | None" = None
+                    ) -> tuple[tuple[int, int], ...]:
+    """Contiguous ``(start, stop)`` row ranges assigned to each bank.
+
+    Rows map to contiguous blocks in bank order.  With an explicit
+    ``bank_capacity`` banks fill front-to-back, each taking up to that
+    many rows — the accelerator's load phase, where array 0 fills
+    first.  Without one the rows are balanced across the requested
+    banks (sizes differ by at most one row) — the sharded software
+    pipeline, where an even split keeps every worker busy.  Banks that
+    would receive no rows are omitted, so the result may be shorter
+    than ``n_banks``.
+    """
+    if n_rows <= 0:
+        raise ArchConfigError(f"n_rows must be positive, got {n_rows}")
+    if n_banks <= 0:
+        raise ArchConfigError(f"n_banks must be positive, got {n_banks}")
+    if bank_capacity is None:
+        base, extra = divmod(n_rows, n_banks)
+        sizes = [base + 1] * extra + [base] * (n_banks - extra)
+    else:
+        if bank_capacity <= 0:
+            raise ArchConfigError(
+                f"bank_capacity must be positive, got {bank_capacity}"
+            )
+        if n_rows > bank_capacity * n_banks:
+            raise ArchConfigError(
+                f"{n_rows} rows exceed capacity {bank_capacity} x "
+                f"{n_banks} banks"
+            )
+        full, remainder = divmod(n_rows, bank_capacity)
+        sizes = [bank_capacity] * full + ([remainder] if remainder else [])
+    ranges = []
+    start = 0
+    for size in sizes:
+        if size == 0:
+            continue
+        ranges.append((start, start + size))
+        start += size
+    return tuple(ranges)
 
 
 @dataclass(frozen=True)
@@ -109,7 +151,9 @@ class BatchScheduler:
                 f"{n_segments} segments exceed system capacity "
                 f"{self._config.total_segments}"
             )
-        rows_in_fullest = min(n_segments, self._config.array_rows)
+        ranges = bank_row_ranges(n_segments, self._config.n_arrays,
+                                 bank_capacity=self._config.array_rows)
+        rows_in_fullest = max(stop - start for start, stop in ranges)
         latency = rows_in_fullest * ROW_WRITE_NS
         energy = n_segments * ROW_WRITE_ENERGY_J
         return latency, energy

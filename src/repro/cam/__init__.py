@@ -10,7 +10,12 @@
 * :mod:`repro.cam.array` — the assembled M x N array.
 """
 
-from repro.cam.array import CamArray, SearchResult, SearchStats
+from repro.cam.array import (
+    BatchSearchResult,
+    CamArray,
+    SearchResult,
+    SearchStats,
+)
 from repro.cam.cell import NO_NEIGHBOR, AsmCapCell, MatchMode, PartialMatch
 from repro.cam.defects import DefectiveArray, DefectMap
 from repro.cam.energy import (
@@ -28,6 +33,7 @@ from repro.cam.variation import ChargeDomainVariation, CurrentDomainVariation
 
 __all__ = [
     "AsmCapCell",
+    "BatchSearchResult",
     "CamArray",
     "ChargeDomainMatchline",
     "ChargeDomainVariation",

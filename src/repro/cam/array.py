@@ -16,11 +16,26 @@ The same class models both ASMCap (``domain="charge"``) and EDAM
 (``domain="current"``); the EDAM baseline wraps it with EDAM's
 parameters.  A *search* compares one read against every stored row in
 parallel and returns a :class:`SearchResult`.
+
+**Batched searches.**  :meth:`CamArray.search_batch` evaluates a
+``(B, N)`` block of reads against all stored rows in one set of 3-D
+numpy broadcasts — the software analogue of Fig. 4(a)'s global buffer
+streaming reads into the array back-to-back.  Noise determinism across
+execution orders is handled by *keyed* noise streams: when a search
+carries a ``noise_key`` (a tuple of non-negative ints, typically
+``(query_id, pass_tag)``), its variation noise is drawn from a
+generator seeded by ``(array_seed, stream_tag) + noise_key`` instead of
+the array's sequential generator.  Two executions that issue the same
+keyed searches — in any order, scalar or batched, single-threaded or
+sharded across workers — therefore see bit-identical noise and make
+bit-identical decisions.  Un-keyed searches keep the legacy sequential
+stream so Monte-Carlo experiments still get fresh noise per trial.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -32,10 +47,25 @@ from repro.cam.shift_register import ShiftRegisterBank
 from repro.cam.sram import SramPlane
 from repro.cam.variation import ChargeDomainVariation, CurrentDomainVariation
 from repro.cam.energy import search_energy_per_row
-from repro.distance.ed_star import match_planes
+from repro.cam.keyed_noise import (
+    fold_key,
+    fold_key_block,
+    fold_key_from,
+    standard_normals,
+)
+from repro.distance.ed_star import match_planes, mismatch_counts_all_reads
 from repro.errors import CamConfigError, ThresholdError
+from repro.genome import alphabet
 
 _DOMAINS = ("charge", "current")
+
+#: Domain-separation tag for keyed noise streams (arbitrary constant;
+#: keeps keyed draws disjoint from any other derived stream).
+_NOISE_STREAM_TAG = 0x5EED
+
+#: Target element count per chunk of the 3-D comparison broadcast; caps
+#: peak memory of very large batches at ~8 MB of boolean planes.
+_BATCH_CHUNK_ELEMS = 1 << 23
 
 
 @dataclass(frozen=True)
@@ -70,6 +100,54 @@ class SearchResult:
     latency_ns: float
 
 
+@dataclass(frozen=True)
+class BatchSearchResult:
+    """Everything one batched parallel search produced.
+
+    The batched analogue of :class:`SearchResult`: ``B`` reads stream
+    through the array back-to-back, so per-query axes come first.
+
+    Attributes
+    ----------
+    matches:
+        ``(B, M)`` boolean decisions (query q, stored row i).
+    mismatch_counts:
+        ``(B, M)`` digital mismatch counts (ED* or HD).
+    v_ml:
+        ``(B, M)`` noisy analog matchline voltages.
+    thresholds:
+        ``(B,)`` per-query thresholds (a scalar input is broadcast).
+    mode:
+        ED*/HD mode of the whole batch.
+    energy_joules / latency_ns:
+        Totals over the batch; see the per-query accessors for the
+        amortised view.
+    energy_per_query_joules:
+        ``(B,)`` per-query array energies.
+    """
+
+    matches: np.ndarray
+    mismatch_counts: np.ndarray
+    v_ml: np.ndarray
+    thresholds: np.ndarray
+    mode: MatchMode
+    energy_joules: float
+    latency_ns: float
+    energy_per_query_joules: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.matches.shape[0])
+
+    @property
+    def amortised_energy_per_query_joules(self) -> float:
+        return self.energy_joules / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def amortised_latency_per_query_ns(self) -> float:
+        return self.latency_ns / self.n_queries if self.n_queries else 0.0
+
+
 @dataclass
 class SearchStats:
     """Cumulative per-array counters (benchmark bookkeeping)."""
@@ -81,6 +159,11 @@ class SearchStats:
 
     def record(self, result: SearchResult) -> None:
         self.n_searches += 1
+        self.total_energy_joules += result.energy_joules
+        self.total_latency_ns += result.latency_ns
+
+    def record_batch(self, result: BatchSearchResult) -> None:
+        self.n_searches += result.n_queries
         self.total_energy_joules += result.energy_joules
         self.total_latency_ns += result.latency_ns
 
@@ -123,8 +206,11 @@ class CamArray:
         self._registers = ShiftRegisterBank(cols)
         self._registers.enable()
         self._noisy = noisy
+        self._seed = int(seed) & 0xFFFFFFFFFFFFFFFF
+        self._noise_prefix = fold_key((self._seed, _NOISE_STREAM_TAG))
         self._rng = np.random.default_rng(seed)
         self._vdd = vdd
+        self._onehot_cache: "np.ndarray | None" = None
         if domain == "charge":
             sigma = (constants.ASMCAP_CAPACITOR_SIGMA
                      if sigma_rel is None else sigma_rel)
@@ -188,6 +274,7 @@ class CamArray:
     def store(self, segments: np.ndarray) -> None:
         """Write reference segments into the rows (row 0 upward)."""
         self._plane.write_all(segments)
+        self._onehot_cache = None
 
     def stored_segments(self) -> np.ndarray:
         """The valid stored rows as an ``(n_written, N)`` matrix."""
@@ -207,27 +294,174 @@ class CamArray:
             matched = o_c
         return np.count_nonzero(~matched, axis=1)
 
+    def mismatch_counts_batch(self, queries: np.ndarray,
+                              mode: MatchMode) -> np.ndarray:
+        """Digital ``(B, M)`` mismatch counts for a block of queries.
+
+        Bit-exact with :meth:`mismatch_counts` applied per query.  The
+        hot path expresses the count as a one-hot inner product (see
+        :meth:`_stored_onehot`) so the whole block reduces to one BLAS
+        matmul; codes outside the DNA alphabet fall back to the
+        boolean comparison sweep.
+        """
+        queries = self._check_queries(queries)
+        segments = self._stored_for_search()
+        if not self._gemm_eligible(queries):
+            return self._counts_compare(segments, queries, mode)
+        counts = np.empty((queries.shape[0], segments.shape[0]),
+                          dtype=np.intp)
+        for start, stop in self._gemm_chunks(queries.shape[0]):
+            acceptable = self._acceptable_onehot(
+                queries[start:stop], ed_star=mode is MatchMode.ED_STAR
+            )
+            counts[start:stop] = self._counts_from_onehot(acceptable)
+        return counts
+
+    def mismatch_counts_batch_dual(
+            self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(ED*, HD)`` count blocks sharing one encoding sweep.
+
+        The co-located comparison determines the HD counts and is also
+        one of ED*'s three planes, so computing the two modes together
+        reuses the query encoding — the controller's trick of issuing
+        the ED* and HD searches back-to-back while the searchlines
+        still hold the read.  Bit-exact with two
+        :meth:`mismatch_counts_batch` calls.
+        """
+        queries = self._check_queries(queries)
+        segments = self._stored_for_search()
+        if not self._gemm_eligible(queries):
+            ed = self._counts_compare(segments, queries, MatchMode.ED_STAR)
+            hd = self._counts_compare(segments, queries, MatchMode.HAMMING)
+            return ed, hd
+        ed = np.empty((queries.shape[0], segments.shape[0]), dtype=np.intp)
+        hd = np.empty_like(ed)
+        for start, stop in self._gemm_chunks(queries.shape[0]):
+            block = queries[start:stop]
+            acceptable = self._acceptable_onehot(block, ed_star=False)
+            hd[start:stop] = self._counts_from_onehot(acceptable)
+            self._widen_to_ed_star(acceptable, block)
+            ed[start:stop] = self._counts_from_onehot(acceptable)
+        return ed, hd
+
+    def _gemm_chunks(self, n_queries: int) -> "list[tuple[int, int]]":
+        """Query-block chunks bounding the one-hot encoding's memory."""
+        per_query = max(1, self.cols * alphabet.ALPHABET_SIZE)
+        chunk = max(1, _BATCH_CHUNK_ELEMS // per_query)
+        return [(start, min(start + chunk, n_queries))
+                for start in range(0, n_queries, chunk)]
+
+    def _stored_for_search(self) -> np.ndarray:
+        segments = self.stored_segments()
+        if segments.shape[0] == 0:
+            raise CamConfigError("search issued against an empty array")
+        return segments
+
+    def _gemm_eligible(self, queries: np.ndarray) -> bool:
+        """Whether the one-hot matmul path can encode this search.
+
+        Stored codes are alphabet-checked at write time; only query
+        codes outside ACGT (which a one-hot lookup cannot index) force
+        the boolean comparison fallback.
+        """
+        if queries.shape[0] == 0:
+            return False
+        return int(queries.max()) < alphabet.ALPHABET_SIZE
+
+    def _stored_onehot(self) -> np.ndarray:
+        """``(M, N * 4)`` float32 one-hot of the stored rows (cached).
+
+        float32 is exact here: every partial inner-product is an
+        integer below 2**24.
+        """
+        if self._onehot_cache is None:
+            segments = self.stored_segments()
+            n_rows, n_cells = segments.shape
+            onehot = np.zeros((n_rows * n_cells, alphabet.ALPHABET_SIZE),
+                              dtype=np.float32)
+            onehot[np.arange(n_rows * n_cells), segments.ravel()] = 1.0
+            self._onehot_cache = onehot.reshape(
+                n_rows, n_cells * alphabet.ALPHABET_SIZE
+            )
+        return self._onehot_cache
+
+    def _acceptable_onehot(self, queries: np.ndarray,
+                           ed_star: bool) -> np.ndarray:
+        """``(B, N, 4)`` mask of stored bases each cell would match.
+
+        Cell ``j`` of query ``q`` accepts the co-located read base and,
+        in ED* mode, its immediate neighbours — exactly the searchline
+        fan-out of Fig. 4(c) expressed as a one-hot lookup.
+        """
+        n_queries, n_cells = queries.shape
+        acceptable = np.zeros(
+            (n_queries * n_cells, alphabet.ALPHABET_SIZE),
+            dtype=np.float32,
+        )
+        flat_index = np.arange(n_queries * n_cells)
+        acceptable[flat_index, queries.ravel()] = 1.0
+        acceptable = acceptable.reshape(
+            n_queries, n_cells, alphabet.ALPHABET_SIZE
+        )
+        if ed_star:
+            self._widen_to_ed_star(acceptable, queries)
+        return acceptable
+
+    @staticmethod
+    def _widen_to_ed_star(acceptable: np.ndarray,
+                          queries: np.ndarray) -> None:
+        """Add the neighbour comparisons to a centre-only mask."""
+        n_queries, n_cells = queries.shape
+        if n_cells <= 1:
+            return
+        flat = acceptable.reshape(-1, acceptable.shape[2])
+        index_grid = np.arange(n_queries * n_cells).reshape(
+            n_queries, n_cells
+        )
+        # O_L: stored base j vs read base j-1 (no left neighbour at 0).
+        flat[index_grid[:, 1:].ravel(), queries[:, :-1].ravel()] = 1.0
+        # O_R: stored base j vs read base j+1 (none at the right edge).
+        flat[index_grid[:, :-1].ravel(), queries[:, 1:].ravel()] = 1.0
+
+    def _counts_from_onehot(self, acceptable: np.ndarray) -> np.ndarray:
+        """Mismatch counts via one matmul against the stored one-hot."""
+        stored = self._stored_onehot()
+        n_queries, n_cells = acceptable.shape[:2]
+        matched = acceptable.reshape(n_queries, -1) @ stored.T
+        return (n_cells - matched).astype(np.intp)
+
+    def _counts_compare(self, segments: np.ndarray, queries: np.ndarray,
+                        mode: MatchMode) -> np.ndarray:
+        """Boolean-sweep fallback (non-ACGT queries), memory-bounded."""
+        if mode is MatchMode.ED_STAR:
+            return mismatch_counts_all_reads(segments, queries)
+        n_queries = queries.shape[0]
+        counts = np.empty((n_queries, segments.shape[0]), dtype=np.intp)
+        plane_elems = max(1, segments.shape[0] * self.cols)
+        chunk = max(1, _BATCH_CHUNK_ELEMS // plane_elems)
+        for start in range(0, n_queries, chunk):
+            block = queries[start:start + chunk]
+            counts[start:start + chunk] = np.count_nonzero(
+                segments[None, :, :] != block[:, None, :], axis=2
+            )
+        return counts
+
     def search(self, read: np.ndarray, threshold: int,
-               mode: MatchMode = MatchMode.ED_STAR) -> SearchResult:
-        """One parallel search of *read* against all stored rows."""
+               mode: MatchMode = MatchMode.ED_STAR,
+               noise_key: "tuple[int, ...] | None" = None) -> SearchResult:
+        """One parallel search of *read* against all stored rows.
+
+        ``noise_key`` switches variation noise from the array's
+        sequential stream to the keyed stream for that tuple (see the
+        module docstring); batched and scalar executions that use the
+        same keys are bit-identical.
+        """
         if not 0 <= threshold <= self.cols:
             raise ThresholdError(
                 f"threshold {threshold} out of range 0..{self.cols}"
             )
         counts = self.mismatch_counts(read, mode)
-
-        if self._domain == "charge":
-            v_ideal = self._matchline.ideal_voltage(counts, self.cols)
-        else:
-            v_ideal = self._matchline.sampled_voltage(counts, self.cols)
-        if self._noisy:
-            noise = self._variation.sample_noise(counts, self.cols, self._rng)
-            if self._domain == "current":
-                noise = -noise  # droop noise subtracts from the sampled level
-            v_ml = v_ideal + noise
-        else:
-            v_ml = v_ideal.astype(float)
-
+        v_ml = self._noisy_voltages(counts, noise_key)
         matches = self._sense_amp.decide(v_ml, threshold, self.cols)
         energy = self._search_energy(counts)
         result = SearchResult(
@@ -238,8 +472,77 @@ class CamArray:
         self.stats.record(result)
         return result
 
+    def search_batch(self, queries: np.ndarray,
+                     threshold: "int | np.ndarray",
+                     mode: MatchMode = MatchMode.ED_STAR,
+                     noise_keys: "Sequence[tuple[int, ...]] | None" = None,
+                     precomputed_counts: "np.ndarray | None" = None
+                     ) -> BatchSearchResult:
+        """Search a ``(B, N)`` block of queries in one vectorised pass.
+
+        Parameters
+        ----------
+        queries:
+            ``(B, N)`` uint8 read codes.
+        threshold:
+            Scalar threshold shared by the batch, or a ``(B,)`` vector
+            of per-query thresholds.
+        mode:
+            ED*/HD mode for the whole batch.
+        noise_keys:
+            Optional per-query noise keys (length ``B``).  When absent
+            the batch consumes the array's sequential noise stream —
+            which produces exactly the values ``B`` consecutive scalar
+            :meth:`search` calls would have drawn.
+        precomputed_counts:
+            Digital counts for these queries in this mode, if the
+            caller already holds them (e.g. one half of a
+            :meth:`mismatch_counts_batch_dual` sweep); must equal what
+            :meth:`mismatch_counts_batch` would return.
+
+        Returns
+        -------
+        A :class:`BatchSearchResult` whose rows are bit-identical to
+        the corresponding scalar searches.
+        """
+        queries = self._check_queries(queries)
+        n_queries = queries.shape[0]
+        thresholds = np.broadcast_to(
+            np.asarray(threshold, dtype=int), (n_queries,)
+        ).copy()
+        if n_queries and not (
+                (thresholds >= 0) & (thresholds <= self.cols)).all():
+            raise ThresholdError(
+                f"batch thresholds out of range 0..{self.cols}"
+            )
+        if noise_keys is not None and len(noise_keys) != n_queries:
+            raise CamConfigError(
+                f"{len(noise_keys)} noise keys for {n_queries} queries"
+            )
+        if precomputed_counts is None:
+            counts = self.mismatch_counts_batch(queries, mode)
+        else:
+            counts = precomputed_counts
+        v_ml = self._noisy_voltages_batch(counts, noise_keys)
+        if n_queries:
+            matches = self._sense_amp.decide(v_ml, thresholds, self.cols)
+        else:
+            matches = np.zeros_like(counts, dtype=bool)
+        energy_per_query = self._search_energy_batch(counts)
+        result = BatchSearchResult(
+            matches=matches, mismatch_counts=counts, v_ml=v_ml,
+            thresholds=thresholds, mode=mode,
+            energy_joules=float(energy_per_query.sum()),
+            latency_ns=self._search_time_ns * n_queries,
+            energy_per_query_joules=energy_per_query,
+        )
+        self.stats.record_batch(result)
+        return result
+
     def search_rotated(self, read: np.ndarray, threshold: int, rotation: int,
-                       mode: MatchMode = MatchMode.ED_STAR) -> SearchResult:
+                       mode: MatchMode = MatchMode.ED_STAR,
+                       noise_key: "tuple[int, ...] | None" = None
+                       ) -> SearchResult:
         """Search with the read rotated through the shift registers.
 
         Positive *rotation* rotates left; each base of rotation costs
@@ -251,7 +554,8 @@ class CamArray:
         if rotation != 0:
             self._registers.rotate_left(rotation)
             self.stats.n_rotation_cycles += abs(int(rotation))
-        return self.search(self._registers.contents(), threshold, mode)
+        return self.search(self._registers.contents(), threshold, mode,
+                           noise_key=noise_key)
 
     # -- internals ----------------------------------------------------------
 
@@ -262,6 +566,63 @@ class CamArray:
                 f"read shape {read.shape} does not fit array width {self.cols}"
             )
         return read
+
+    def _check_queries(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.uint8)
+        if queries.ndim != 2 or queries.shape[1] != self.cols:
+            raise CamConfigError(
+                f"query block shape {queries.shape} does not fit array "
+                f"width {self.cols}; expected (B, {self.cols})"
+            )
+        return queries
+
+    def fold_noise_key(self, noise_key: "tuple[int, ...]") -> int:
+        """This array's folded stream state for one noise key."""
+        return fold_key_from(self._noise_prefix, tuple(noise_key))
+
+    def _noisy_voltages(self, counts: np.ndarray,
+                        noise_key: "tuple[int, ...] | None") -> np.ndarray:
+        """Ideal matchline voltages plus (optionally keyed) noise."""
+        if self._domain == "charge":
+            v_ideal = self._matchline.ideal_voltage(counts, self.cols)
+        else:
+            v_ideal = self._matchline.sampled_voltage(counts, self.cols)
+        if not self._noisy:
+            return v_ideal.astype(float)
+        if noise_key is None:
+            noise = self._variation.sample_noise(counts, self.cols,
+                                                 self._rng)
+        else:
+            raw = standard_normals(self.fold_noise_key(noise_key),
+                                   counts.shape[0])
+            noise = raw * self._variation.sigma_vml(counts, self.cols)
+        if self._domain == "current":
+            noise = -noise  # droop noise subtracts from the sampled level
+        return v_ideal + noise
+
+    def _noisy_voltages_batch(
+            self, counts: np.ndarray,
+            noise_keys: "Sequence[tuple[int, ...]] | None") -> np.ndarray:
+        """Batched matchline voltages with per-query noise streams."""
+        if self._domain == "charge":
+            v_ideal = self._matchline.ideal_voltage(counts, self.cols)
+        else:
+            v_ideal = self._matchline.sampled_voltage(counts, self.cols)
+        if not self._noisy or counts.shape[0] == 0:
+            return v_ideal.astype(float)
+        if noise_keys is None:
+            # One (B, M) draw from the sequential stream: numpy fills
+            # the block in C order, so this equals B scalar draws.
+            noise = self._variation.sample_noise(counts, self.cols,
+                                                 self._rng)
+        else:
+            states = fold_key_block(self._noise_prefix,
+                                    np.asarray(noise_keys))
+            raw = standard_normals(states, counts.shape[1])
+            noise = raw * self._variation.sigma_vml(counts, self.cols)
+        if self._domain == "current":
+            noise = -noise
+        return v_ideal + noise
 
     def _search_energy(self, counts: np.ndarray) -> float:
         """Array energy for one search with the given per-row counts."""
@@ -277,3 +638,18 @@ class CamArray:
             cells = precharge + discharge
         peripherals = constants.SA_ENERGY_PER_ROW_J * n_rows
         return cells + peripherals
+
+    def _search_energy_batch(self, counts: np.ndarray) -> np.ndarray:
+        """Per-query array energies for a ``(B, M)`` count block."""
+        n_rows = counts.shape[1]
+        if self._domain == "charge":
+            cells = search_energy_per_row(counts, self.cols,
+                                          vdd=self._vdd).sum(axis=1)
+        else:
+            precharge = (constants.EDAM_ML_PRECHARGE_CAP_F
+                         * self._vdd**2 * n_rows)
+            discharge = (constants.EDAM_DISCHARGE_ENERGY_PER_MISMATCH_J
+                         * counts.sum(axis=1, dtype=float))
+            cells = precharge + discharge
+        peripherals = constants.SA_ENERGY_PER_ROW_J * n_rows
+        return np.asarray(cells + peripherals, dtype=float)

@@ -54,23 +54,46 @@ class SenseAmplifier:
 
     def reference_voltage(self, threshold: int, n_cells: int) -> float:
         """``V_ref`` for deciding ``n_mis <= threshold``."""
+        return float(self.reference_voltages(np.asarray(threshold), n_cells))
+
+    def reference_voltages(self, thresholds: np.ndarray,
+                           n_cells: int) -> np.ndarray:
+        """Vectorised ``V_ref`` for a block of per-query thresholds.
+
+        The batched search path programs one reference per query (the
+        SA reference DAC is shared across a row of queries streaming
+        through the array); this evaluates them all at once.  The
+        scalar :meth:`reference_voltage` delegates here so the two
+        paths cannot drift.
+        """
         if n_cells <= 0:
             raise ThresholdError(f"n_cells must be positive, got {n_cells}")
-        if not 0 <= threshold <= n_cells:
+        thresholds = np.asarray(thresholds)
+        if ((thresholds < 0) | (thresholds > n_cells)).any():
             raise ThresholdError(
-                f"threshold {threshold} out of range 0..{n_cells}"
+                f"thresholds must be within 0..{n_cells}"
             )
-        level = threshold if self.strict_paper_rule else threshold + 0.5
+        level = (thresholds.astype(float) if self.strict_paper_rule
+                 else thresholds + 0.5)
         mismatch_fraction = level / n_cells
         if self.rising:
             return mismatch_fraction * self.vdd
         return (1.0 - mismatch_fraction) * self.vdd
 
-    def decide(self, v_ml: np.ndarray, threshold: int, n_cells: int,
+    def decide(self, v_ml: np.ndarray, threshold: "int | np.ndarray",
+               n_cells: int,
                rng: "np.random.Generator | None" = None) -> np.ndarray:
-        """Match decisions for a vector of matchline voltages."""
+        """Match decisions for a vector of matchline voltages.
+
+        ``threshold`` may be a scalar (one search, ``v_ml`` of shape
+        ``(M,)``) or a ``(B,)`` vector of per-query thresholds paired
+        with a ``(B, M)`` voltage block from a batched search.
+        """
         v_ml = np.asarray(v_ml, dtype=float)
-        v_ref = self.reference_voltage(threshold, n_cells)
+        if np.ndim(threshold) == 0:
+            v_ref = self.reference_voltage(int(threshold), n_cells)
+        else:
+            v_ref = self.reference_voltages(threshold, n_cells)[:, None]
         if self.offset_sigma > 0.0:
             if rng is None:
                 raise ThresholdError(

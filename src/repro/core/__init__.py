@@ -9,8 +9,18 @@
 
 from repro.core.fragmentation import FragmentedMatcher, FragmentOutcome
 from repro.core.hdac import HdacOutcome, hdac_correct
-from repro.core.matcher import AsmCapMatcher, MatchOutcome, MatcherConfig
-from repro.core.pipeline import MappingReport, ReadMapping, ReadMappingPipeline
+from repro.core.matcher import (
+    AsmCapMatcher,
+    MatchBatchOutcome,
+    MatchOutcome,
+    MatcherConfig,
+)
+from repro.core.pipeline import (
+    MappingReport,
+    ReadMapping,
+    ReadMappingPipeline,
+    ShardedReadMappingPipeline,
+)
 from repro.core.policy import (
     hdac_enabled,
     hdac_probability,
@@ -27,10 +37,12 @@ __all__ = [
     "FragmentedMatcher",
     "HdacOutcome",
     "MappingReport",
+    "MatchBatchOutcome",
     "MatchOutcome",
     "MatcherConfig",
     "ReadMapping",
     "ReadMappingPipeline",
+    "ShardedReadMappingPipeline",
     "TasrOutcome",
     "hdac_correct",
     "hdac_enabled",

@@ -13,6 +13,13 @@ probability ``p`` (:func:`repro.core.policy.hdac_probability`).
 The correction is applied independently per row (each row's SA produced
 its own pair of decisions), with one uniform draw per disagreeing row,
 exactly as Algorithm 1 generates ``X ~ U(0, 1)`` per matching result.
+
+Two draw sources are supported: :func:`hdac_correct` consumes a
+sequential :class:`numpy.random.Generator` (the legacy scalar path),
+while :func:`hdac_correct_keyed` / :func:`hdac_correct_batch` draw the
+``i``-th disagreeing row's uniform from a counter-based keyed stream
+(:mod:`repro.cam.keyed_noise`), which makes scalar and batched
+executions bit-identical regardless of ordering.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cam.keyed_noise import uniforms
 from repro.errors import ThresholdError
 
 
@@ -83,3 +91,78 @@ def hdac_correct(ed_star_decisions: np.ndarray,
     return HdacOutcome(decisions=decisions,
                        n_disagreements=n_disagreements,
                        n_hd_selected=n_hd_selected)
+
+
+def _keyed_selection(ed: np.ndarray, hd: np.ndarray,
+                     p: np.ndarray, states: np.ndarray) -> np.ndarray:
+    """Rows where the keyed draw picks the Hamming decision.
+
+    ``ed``/``hd`` are ``(..., M)`` decision blocks, ``p`` and
+    ``states`` broadcast against the leading axes.  The ``i``-th
+    disagreeing row of a query consumes counter ``i`` of that query's
+    stream — the same association a scalar pass over one query makes,
+    which is what keeps scalar and batched corrections bit-identical.
+    """
+    disagree = ed != hd
+    # Ordinal of each disagreeing row within its query (garbage at
+    # agreeing rows, masked out below; the uint64 wrap at -1 is fine).
+    ordinal = np.cumsum(disagree, axis=-1, dtype=np.uint64) - np.uint64(1)
+    draws = uniforms(states, ordinal)
+    return disagree & (draws < p)
+
+
+def hdac_correct_keyed(ed_star_decisions: np.ndarray,
+                       hamming_decisions: np.ndarray,
+                       p: float, state: int) -> HdacOutcome:
+    """Apply Algorithm 1 with draws from one keyed stream.
+
+    Bit-identical to the matching row of :func:`hdac_correct_batch`.
+    """
+    ed = np.asarray(ed_star_decisions, dtype=bool)
+    hd = np.asarray(hamming_decisions, dtype=bool)
+    if ed.shape != hd.shape:
+        raise ThresholdError(
+            f"decision shapes differ: {ed.shape} vs {hd.shape}"
+        )
+    if not 0.0 <= p <= 1.0:
+        raise ThresholdError(f"p must be a probability, got {p}")
+    selected = _keyed_selection(ed, hd, np.float64(p),
+                                np.uint64(int(state)))
+    decisions = np.where(selected, hd, ed)
+    return HdacOutcome(decisions=decisions,
+                       n_disagreements=int((ed != hd).sum()),
+                       n_hd_selected=int(selected.sum()))
+
+
+def hdac_correct_batch(ed_star_decisions: np.ndarray,
+                       hamming_decisions: np.ndarray,
+                       p: np.ndarray,
+                       states: np.ndarray) -> np.ndarray:
+    """Vectorised Algorithm 1 over a ``(B, M)`` decision block.
+
+    Parameters
+    ----------
+    ed_star_decisions / hamming_decisions:
+        ``(B, M)`` boolean decision blocks.
+    p:
+        ``(B,)`` per-query Hamming-selection probabilities.
+    states:
+        ``(B,)`` folded keyed-stream states (uint64), one per query.
+
+    Returns
+    -------
+    The corrected ``(B, M)`` decisions; row ``q`` is bit-identical to
+    ``hdac_correct_keyed(ed[q], hd[q], p[q], states[q])``.
+    """
+    ed = np.asarray(ed_star_decisions, dtype=bool)
+    hd = np.asarray(hamming_decisions, dtype=bool)
+    if ed.shape != hd.shape:
+        raise ThresholdError(
+            f"decision shapes differ: {ed.shape} vs {hd.shape}"
+        )
+    p = np.asarray(p, dtype=float)
+    if ((p < 0.0) | (p > 1.0)).any():
+        raise ThresholdError("p entries must be probabilities in [0, 1]")
+    states = np.asarray(states, dtype=np.uint64)
+    selected = _keyed_selection(ed, hd, p[:, None], states[:, None])
+    return np.where(selected, hd, ed)

@@ -13,22 +13,49 @@ Every analog effect (variation noise, sense-amp behaviour) lives inside
 the array; the matcher only sequences searches and combines their
 decisions, mirroring the controller's role in Fig. 4(a).  All energy
 and latency of the extra searches is accounted in the outcome.
+
+**Batched matching.**  :meth:`AsmCapMatcher.match_batch` runs the same
+flow over a ``(B, N)`` block of reads with three vectorised passes:
+one batched ED* search, one batched HD search restricted (by boolean
+mask) to the queries whose ``p`` warrants the extra cycle, and one
+batched rotated search per TASR offset for the queries above ``Tl``.
+Determinism is anchored on per-query *keys*: noise and HDAC draws are
+keyed by ``(query_key, pass)``, so ``match(read, T, query_key=q)`` and
+row ``q`` of ``match_batch`` produce bit-identical decisions no matter
+how the work is ordered or sharded.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro import constants
 from repro.cam.array import CamArray
 from repro.cam.cell import MatchMode
+from repro.cam.keyed_noise import fold_key, fold_key_block, fold_key_from
 from repro.core import policy
-from repro.core.hdac import HdacOutcome, hdac_correct
-from repro.core.tasr import TasrOutcome, tasr_correct
+from repro.core.hdac import (
+    HdacOutcome,
+    hdac_correct,
+    hdac_correct_batch,
+    hdac_correct_keyed,
+)
+from repro.core.tasr import TasrOutcome, rotation_offsets, tasr_correct
 from repro.errors import CamConfigError
 from repro.genome.edits import ErrorModel
+
+#: Pass tags separating the keyed noise streams of one query's searches.
+_PASS_ED_STAR = 0
+_PASS_HAMMING = 1
+#: Rotated passes use ``_PASS_ROTATION + offset`` (offset may be
+#: negative; the bias keeps the tag non-negative for seeding).
+_PASS_ROTATION = 512
+
+#: Domain-separation tag for the keyed HDAC uniform draws.
+_HDAC_STREAM_TAG = 0x4DAC
 
 
 @dataclass(frozen=True)
@@ -89,6 +116,59 @@ class MatchOutcome:
     tasr: "TasrOutcome | None" = None
 
 
+@dataclass(frozen=True)
+class MatchBatchOutcome:
+    """Decisions and cost accounting for matching a block of reads.
+
+    Per-query axes come first everywhere; totals are exposed as
+    properties so reports can aggregate without re-deriving them.
+
+    Attributes
+    ----------
+    decisions:
+        ``(B, M)`` final per-query, per-row match decisions.
+    thresholds:
+        ``(B,)`` thresholds used (a scalar input is broadcast).
+    n_searches:
+        ``(B,)`` search operations issued per query.
+    energy_joules / latency_ns:
+        ``(B,)`` per-query array costs over all issued searches.
+    hdac_probabilities:
+        ``(B,)`` the ``p`` each query used (0 where HDAC was skipped).
+    tasr_lower_bound:
+        The ``Tl`` in force for the batch.
+    hdac_mask / tasr_mask:
+        ``(B,)`` boolean masks of the queries whose HD pass /
+        rotation passes were issued.
+    """
+
+    decisions: np.ndarray
+    thresholds: np.ndarray
+    n_searches: np.ndarray
+    energy_joules: np.ndarray
+    latency_ns: np.ndarray
+    hdac_probabilities: np.ndarray
+    tasr_lower_bound: int
+    hdac_mask: np.ndarray
+    tasr_mask: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.decisions.shape[0])
+
+    @property
+    def total_searches(self) -> int:
+        return int(self.n_searches.sum())
+
+    @property
+    def total_energy_joules(self) -> float:
+        return float(self.energy_joules.sum())
+
+    @property
+    def total_latency_ns(self) -> float:
+        return float(self.latency_ns.sum())
+
+
 class AsmCapMatcher:
     """Full ASMCap matching flow over one CAM array.
 
@@ -110,6 +190,8 @@ class AsmCapMatcher:
         self._array = array
         self._model = error_model
         self._config = config or MatcherConfig()
+        self._seed = int(seed) & 0xFFFFFFFFFFFFFFFF
+        self._hdac_prefix = fold_key((self._seed, _HDAC_STREAM_TAG))
         self._rng = np.random.default_rng(seed)
         if self._config.tasr_direction not in ("both", "left", "right"):
             raise CamConfigError(
@@ -141,10 +223,32 @@ class AsmCapMatcher:
             self._model, self._array.cols, gamma=self._config.tasr_gamma,
         )
 
-    def match(self, read: np.ndarray, threshold: int) -> MatchOutcome:
-        """Match one read against all stored rows at threshold ``T``."""
+    def _noise_key(self, query_key: "int | None",
+                   pass_tag: int) -> "tuple[int, int] | None":
+        """The array noise key for one (query, pass) pair, or None."""
+        if query_key is None:
+            return None
+        return (int(query_key), pass_tag)
+
+    def _hdac_state(self, query_key: int) -> int:
+        """The folded keyed-stream state for one query's HDAC draws."""
+        return fold_key_from(self._hdac_prefix, (int(query_key),))
+
+    def match(self, read: np.ndarray, threshold: int,
+              query_key: "int | None" = None) -> MatchOutcome:
+        """Match one read against all stored rows at threshold ``T``.
+
+        With a ``query_key`` all random draws (variation noise, HDAC
+        uniforms) come from keyed streams, making the outcome
+        bit-identical to row ``query_key``'s slice of a
+        :meth:`match_batch` call that used the same keys — regardless
+        of batch composition or execution order.
+        """
         read = np.asarray(read, dtype=np.uint8)
-        base = self._array.search(read, threshold, MatchMode.ED_STAR)
+        base = self._array.search(
+            read, threshold, MatchMode.ED_STAR,
+            noise_key=self._noise_key(query_key, _PASS_ED_STAR),
+        )
         decisions = base.matches.copy()
         n_searches = 1
         energy = base.energy_joules
@@ -157,11 +261,21 @@ class AsmCapMatcher:
             p_raw = self.hdac_probability(threshold)
             if policy.hdac_enabled(p_raw, self._config.hdac_disable_threshold):
                 p = p_raw
-                hd = self._array.search(read, threshold, MatchMode.HAMMING)
+                hd = self._array.search(
+                    read, threshold, MatchMode.HAMMING,
+                    noise_key=self._noise_key(query_key, _PASS_HAMMING),
+                )
                 n_searches += 1
                 energy += hd.energy_joules
                 latency += hd.latency_ns
-                hdac_outcome = hdac_correct(decisions, hd.matches, p, self._rng)
+                if query_key is None:
+                    hdac_outcome = hdac_correct(decisions, hd.matches, p,
+                                                self._rng)
+                else:
+                    hdac_outcome = hdac_correct_keyed(
+                        decisions, hd.matches, p,
+                        self._hdac_state(query_key),
+                    )
                 decisions = hdac_outcome.decisions
 
         # --- TASR (Algorithm 2) -------------------------------------------
@@ -172,7 +286,9 @@ class AsmCapMatcher:
 
             def rotated_search(offset: int) -> np.ndarray:
                 result = self._array.search_rotated(
-                    read, threshold, offset, MatchMode.ED_STAR
+                    read, threshold, offset, MatchMode.ED_STAR,
+                    noise_key=self._noise_key(query_key,
+                                              _PASS_ROTATION + offset),
                 )
                 rotation_costs.append((result.energy_joules, result.latency_ns))
                 return result.matches
@@ -193,4 +309,131 @@ class AsmCapMatcher:
             energy_joules=energy, latency_ns=latency,
             hdac_probability=p, tasr_lower_bound=lower_bound,
             hdac=hdac_outcome, tasr=tasr_outcome,
+        )
+
+    def match_batch(self, reads: np.ndarray,
+                    threshold: "int | np.ndarray",
+                    query_keys: "Sequence[int] | None" = None
+                    ) -> MatchBatchOutcome:
+        """Match a ``(B, N)`` block of reads in three vectorised passes.
+
+        1. one batched ED* search over the whole block;
+        2. one batched HD search over the boolean mask of queries whose
+           ``p`` clears the HDAC disable threshold (Algorithm 1);
+        3. per TASR offset, one batched rotated ED* search over the
+           queries with ``T >= Tl`` (Algorithm 2).
+
+        Parameters
+        ----------
+        reads:
+            ``(B, N)`` uint8 read codes.
+        threshold:
+            Scalar or ``(B,)`` per-query thresholds.
+        query_keys:
+            Per-query determinism keys; defaults to ``0..B-1``.  Use
+            globally unique keys (e.g. the read's position in the full
+            workload) so chunked and sharded executions stay
+            bit-identical with the scalar path.
+        """
+        reads = np.asarray(reads, dtype=np.uint8)
+        if reads.ndim != 2:
+            raise CamConfigError(
+                f"match_batch needs a (B, N) block, got shape {reads.shape}"
+            )
+        n_queries = reads.shape[0]
+        thresholds = np.broadcast_to(
+            np.asarray(threshold, dtype=int), (n_queries,)
+        ).copy()
+        if query_keys is None:
+            keys = np.arange(n_queries, dtype=np.int64)
+        else:
+            if len(query_keys) != n_queries:
+                raise CamConfigError(
+                    f"{len(query_keys)} query keys for {n_queries} reads"
+                )
+            keys = np.asarray([int(k) for k in query_keys], dtype=np.int64)
+
+        def pass_keys(subset: np.ndarray, tag: int) -> np.ndarray:
+            """(B', 2) noise-key rows for one pass over a key subset."""
+            return np.column_stack(
+                (subset, np.full(subset.shape[0], tag, dtype=np.int64))
+            )
+
+        # HDAC eligibility is known before any search (``p`` is an
+        # off-line function of the threshold), so when any query will
+        # issue the HD pass one dual sweep supplies both modes' counts.
+        probabilities = np.zeros(n_queries)
+        hdac_mask = np.zeros(n_queries, dtype=bool)
+        p_raw = np.zeros(n_queries)
+        if self._config.enable_hdac and n_queries:
+            for t in np.unique(thresholds):
+                p_raw[thresholds == t] = self.hdac_probability(int(t))
+            hdac_mask = p_raw >= self._config.hdac_disable_threshold
+
+        # One dual sweep shares the encoding only when every query will
+        # issue the HD pass (the common scalar-threshold case); with a
+        # sparse mask the HD pass computes counts for its subset alone.
+        ed_counts = hd_counts = None
+        if n_queries and hdac_mask.all():
+            ed_counts, hd_counts = \
+                self._array.mismatch_counts_batch_dual(reads)
+
+        base = self._array.search_batch(
+            reads, thresholds, MatchMode.ED_STAR,
+            noise_keys=pass_keys(keys, _PASS_ED_STAR),
+            precomputed_counts=ed_counts,
+        )
+        decisions = base.matches.copy()
+        n_searches = np.ones(n_queries, dtype=int)
+        energy = base.energy_per_query_joules.copy()
+        latency = np.full(n_queries, self._array.search_time_ns)
+
+        # --- HDAC (Algorithm 1), masked to the queries worth the cycle --
+        if hdac_mask.any():
+            idx = np.flatnonzero(hdac_mask)
+            hd = self._array.search_batch(
+                reads[idx], thresholds[idx], MatchMode.HAMMING,
+                noise_keys=pass_keys(keys[idx], _PASS_HAMMING),
+                precomputed_counts=(None if hd_counts is None
+                                    else hd_counts[idx]),
+            )
+            states = fold_key_block(self._hdac_prefix, keys[idx])
+            decisions[idx] = hdac_correct_batch(
+                decisions[idx], hd.matches, p_raw[idx], states
+            )
+            n_searches[idx] += 1
+            energy[idx] += hd.energy_per_query_joules
+            latency[idx] += self._array.search_time_ns
+            probabilities = np.where(hdac_mask, p_raw, 0.0)
+
+        # --- TASR (Algorithm 2), masked to the queries above Tl ----------
+        lower_bound = self.tasr_lower_bound()
+        tasr_mask = np.zeros(n_queries, dtype=bool)
+        if self._config.enable_tasr and n_queries:
+            tasr_mask = thresholds >= lower_bound
+            if tasr_mask.any():
+                idx = np.flatnonzero(tasr_mask)
+                offsets = rotation_offsets(self._config.tasr_nr,
+                                           self._config.tasr_direction)
+                for offset in offsets:
+                    rotated = np.roll(reads[idx], -offset, axis=1)
+                    result = self._array.search_batch(
+                        rotated, thresholds[idx], MatchMode.ED_STAR,
+                        noise_keys=pass_keys(keys[idx],
+                                             _PASS_ROTATION + offset),
+                    )
+                    decisions[idx] |= result.matches
+                    self._array.stats.n_rotation_cycles += (
+                        abs(int(offset)) * len(idx)
+                    )
+                    n_searches[idx] += 1
+                    energy[idx] += result.energy_per_query_joules
+                    latency[idx] += self._array.search_time_ns
+
+        return MatchBatchOutcome(
+            decisions=decisions, thresholds=thresholds,
+            n_searches=n_searches, energy_joules=energy,
+            latency_ns=latency, hdac_probabilities=probabilities,
+            tasr_lower_bound=lower_bound,
+            hdac_mask=hdac_mask, tasr_mask=tasr_mask,
         )

@@ -1,4 +1,4 @@
-"""Read-mapping pipeline: batch matching with aggregate reporting.
+"""Read-mapping pipelines: scalar, batched and sharded execution.
 
 :class:`ReadMappingPipeline` runs a matcher over a batch of reads and
 collects per-read match locations plus aggregate cost statistics —
@@ -7,18 +7,61 @@ global buffer -> arrays) at the algorithmic level.  System-level
 latency/energy with H-tree and buffer overheads lives in
 :mod:`repro.arch.accelerator`; this pipeline charges array-level costs
 only, which is what the per-read diagnostics need.
+
+**Execution models.**  Three progressively faster paths:
+
+* :meth:`ReadMappingPipeline.run` — the original per-read Python loop
+  (one :meth:`~repro.core.matcher.AsmCapMatcher.match` per read),
+  drawing from the matcher's legacy *sequential* noise stream;
+* :meth:`ReadMappingPipeline.run_batched` — one
+  :meth:`~repro.core.matcher.AsmCapMatcher.match_batch` over the whole
+  block, vectorising the ED*, HDAC and TASR passes on *keyed* noise
+  streams.  Bit-identical to a scalar loop that passes
+  ``query_key=index`` — but not to plain :meth:`run`, whose
+  sequential draws depend on call order;
+* :class:`ShardedReadMappingPipeline` — the software model of
+  Fig. 4(a)'s full system: the reference is partitioned across several
+  CAM-array *shards* (the contiguous bank assignment of
+  :func:`repro.arch.scheduler.bank_row_ranges`), the global buffer
+  broadcasts every read chunk to all shards, and shards search
+  concurrently (``concurrent.futures`` workers).  Matched rows come
+  back in global coordinates; per-read energy sums over shards while
+  latency takes the maximum — shards operate in parallel, exactly
+  like the banks behind the H-tree — so its cost totals are *not*
+  comparable to a single-array run.
+
+Within each keyed path, determinism is anchored on per-read *query
+keys* (the read's global position in the workload): variation noise
+and HDAC draws are keyed by ``(query_key, pass)``, so the scalar
+wrapper :meth:`ShardedReadMappingPipeline.map_read` and the chunked,
+multi-threaded :meth:`ShardedReadMappingPipeline.run` make
+bit-identical decisions under a fixed seed.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.matcher import AsmCapMatcher, MatchOutcome
+from repro.arch.scheduler import bank_row_ranges
+from repro.cam.array import CamArray
+from repro.core.matcher import (
+    AsmCapMatcher,
+    MatchBatchOutcome,
+    MatchOutcome,
+    MatcherConfig,
+)
 from repro.errors import CamConfigError
+from repro.genome.edits import ErrorModel
 from repro.genome.reads import ReadRecord
+
+#: Reads handed to one worker task at a time; bounds the per-pass
+#: blocks a shard materialises while streaming a workload.
+DEFAULT_READ_CHUNK = 2048
 
 
 @dataclass(frozen=True)
@@ -75,6 +118,34 @@ class MappingReport:
             return 0.0
         return self.n_reads / (self.total_latency_ns * 1e-9)
 
+    def add(self, mapping: ReadMapping) -> None:
+        """Fold one read's mapping into the aggregates."""
+        self.mappings.append(mapping)
+        self.n_reads += 1
+        self.n_mapped += int(mapping.is_mapped)
+        self.n_unique += int(mapping.is_unique)
+        self.n_searches += mapping.outcome.n_searches
+        self.total_energy_joules += mapping.outcome.energy_joules
+        self.total_latency_ns += mapping.outcome.latency_ns
+
+
+def _read_codes(read: "np.ndarray | ReadRecord") -> np.ndarray:
+    return read.read.codes if isinstance(read, ReadRecord) else np.asarray(read)
+
+
+def _codes_matrix(reads: "Sequence[np.ndarray] | Sequence[ReadRecord]",
+                  ) -> np.ndarray:
+    """Stack a read sequence into a ``(B, N)`` uint8 matrix."""
+    rows = [np.asarray(_read_codes(read), dtype=np.uint8) for read in reads]
+    if not rows:
+        return np.zeros((0, 0), dtype=np.uint8)
+    widths = {row.shape for row in rows}
+    if len(widths) != 1 or rows[0].ndim != 1:
+        raise CamConfigError(
+            f"reads must share one 1-D shape, got {sorted(widths)}"
+        )
+    return np.stack(rows)
+
 
 class ReadMappingPipeline:
     """Batch read mapping over one matcher."""
@@ -89,25 +160,255 @@ class ReadMappingPipeline:
     def map_read(self, read: "np.ndarray | ReadRecord",
                  threshold: int, index: int = 0) -> ReadMapping:
         """Map a single read; returns its matched row indices."""
-        codes = read.read.codes if isinstance(read, ReadRecord) else np.asarray(read)
-        outcome = self._matcher.match(codes, threshold)
+        outcome = self._matcher.match(_read_codes(read), threshold)
         matched_rows = tuple(int(i) for i in np.flatnonzero(outcome.decisions))
         return ReadMapping(read_index=index, matched_rows=matched_rows,
                            outcome=outcome)
 
     def run(self, reads: "Sequence[np.ndarray] | Sequence[ReadRecord]",
             threshold: int) -> MappingReport:
-        """Map every read and aggregate the statistics."""
-        if not len(reads):
-            raise CamConfigError("pipeline invoked with an empty read batch")
+        """Map every read and aggregate the statistics.
+
+        An empty batch is a valid degenerate input for a streaming
+        caller and yields an empty report.
+        """
         report = MappingReport()
         for index, read in enumerate(reads):
-            mapping = self.map_read(read, threshold, index=index)
-            report.mappings.append(mapping)
-            report.n_reads += 1
-            report.n_mapped += int(mapping.is_mapped)
-            report.n_unique += int(mapping.is_unique)
-            report.n_searches += mapping.outcome.n_searches
-            report.total_energy_joules += mapping.outcome.energy_joules
-            report.total_latency_ns += mapping.outcome.latency_ns
+            report.add(self.map_read(read, threshold, index=index))
         return report
+
+    def run_batched(self,
+                    reads: "Sequence[np.ndarray] | Sequence[ReadRecord]",
+                    threshold: int) -> MappingReport:
+        """Map the whole batch through the vectorised matcher passes.
+
+        Decisions are bit-identical to a scalar loop that calls
+        ``matcher.match(read, threshold, query_key=index)`` per read —
+        the keyed noise streams make execution order irrelevant.
+        """
+        codes = _codes_matrix(reads)
+        if codes.shape[0] == 0:
+            return MappingReport()
+        outcome = self._matcher.match_batch(codes, threshold)
+        return _build_report(
+            decisions=outcome.decisions,
+            thresholds=outcome.thresholds,
+            n_searches=outcome.n_searches,
+            energy=outcome.energy_joules,
+            latency=outcome.latency_ns,
+            hdac_probabilities=outcome.hdac_probabilities,
+            tasr_lower_bound=outcome.tasr_lower_bound,
+            read_indices=list(range(outcome.n_queries)),
+        )
+
+
+def _build_report(decisions: np.ndarray, thresholds: np.ndarray,
+                  n_searches: np.ndarray, energy: np.ndarray,
+                  latency: np.ndarray, hdac_probabilities: np.ndarray,
+                  tasr_lower_bound: int,
+                  read_indices: "list[int]") -> MappingReport:
+    """Assemble a :class:`MappingReport` from per-query batch arrays."""
+    n_queries = decisions.shape[0]
+    # One global nonzero pass instead of B per-row scans, and plain
+    # python lists so the hot loop never touches numpy scalars.
+    hit_query, hit_row = np.nonzero(decisions)
+    boundaries = np.searchsorted(hit_query, np.arange(1, n_queries))
+    rows_per_read = np.split(hit_row, boundaries)
+    thresholds_l = thresholds.tolist()
+    n_searches_l = n_searches.tolist()
+    energy_l = np.asarray(energy, dtype=float).tolist()
+    latency_l = np.asarray(latency, dtype=float).tolist()
+    hdac_l = hdac_probabilities.tolist()
+    report = MappingReport()
+    for q in range(n_queries):
+        per_read = MatchOutcome(
+            decisions=decisions[q],
+            threshold=thresholds_l[q],
+            n_searches=n_searches_l[q],
+            energy_joules=energy_l[q],
+            latency_ns=latency_l[q],
+            hdac_probability=hdac_l[q],
+            tasr_lower_bound=tasr_lower_bound,
+        )
+        report.add(ReadMapping(
+            read_index=read_indices[q],
+            matched_rows=tuple(rows_per_read[q].tolist()),
+            outcome=per_read,
+        ))
+    return report
+
+
+class ShardedReadMappingPipeline:
+    """Read mapping over a reference partitioned across array shards.
+
+    The software model of Fig. 4(a)'s system view: the reference's
+    segment rows are assigned to ``n_shards`` CAM arrays using the
+    accelerator's contiguous bank assignment
+    (:func:`repro.arch.scheduler.bank_row_ranges`), every read is
+    broadcast to all shards (the global buffer + H-tree), and shards
+    search concurrently.  Matched row indices are reported in global
+    (whole-reference) coordinates.
+
+    Cost semantics: per-read energy *sums* over shards (every bank
+    spends its search energy) while per-read latency takes the *max*
+    (banks search in parallel behind the H-tree).
+
+    Parameters
+    ----------
+    segments:
+        ``(n_rows, N)`` uint8 matrix of reference segments.
+    error_model:
+        Workload error rates driving the HDAC/TASR policies.
+    n_shards:
+        Number of array shards to partition the rows across; shards
+        that would receive no rows are dropped.
+    config:
+        Strategy configuration shared by every shard's matcher.
+    domain / noisy / seed:
+        Array configuration; shard ``s`` derives its seed as
+        ``seed + s`` so shards draw independent (but reproducible)
+        noise streams.
+    max_workers:
+        Worker threads for the shard fan-out (default: one per shard,
+        capped at the machine's CPU count — extra threads on a small
+        host only add contention).
+    chunk_size:
+        Reads per worker task; bounds peak memory of the vectorised
+        comparison blocks.
+    """
+
+    def __init__(self, segments: np.ndarray, error_model: ErrorModel,
+                 n_shards: int = 4,
+                 config: "MatcherConfig | None" = None,
+                 domain: str = "charge",
+                 noisy: bool = True,
+                 seed: int = 0,
+                 max_workers: "int | None" = None,
+                 chunk_size: int = DEFAULT_READ_CHUNK):
+        segments = np.asarray(segments, dtype=np.uint8)
+        if segments.ndim != 2 or segments.shape[0] == 0:
+            raise CamConfigError(
+                f"segments must be a non-empty (rows, N) matrix, got "
+                f"shape {segments.shape}"
+            )
+        if chunk_size <= 0:
+            raise CamConfigError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
+        self._ranges = bank_row_ranges(segments.shape[0], n_shards)
+        self._cols = int(segments.shape[1])
+        self._chunk_size = int(chunk_size)
+        self._matchers: list[AsmCapMatcher] = []
+        for shard, (start, stop) in enumerate(self._ranges):
+            array = CamArray(rows=stop - start, cols=self._cols,
+                             domain=domain, noisy=noisy, seed=seed + shard)
+            array.store(segments[start:stop])
+            self._matchers.append(
+                AsmCapMatcher(array, error_model, config, seed=seed + shard)
+            )
+        self._max_workers = max_workers or max(
+            1, min(len(self._matchers), os.cpu_count() or 1)
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._matchers)
+
+    @property
+    def shard_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Global ``(start, stop)`` row range held by each shard."""
+        return self._ranges
+
+    @property
+    def matchers(self) -> tuple[AsmCapMatcher, ...]:
+        """Per-shard matchers (shard order)."""
+        return tuple(self._matchers)
+
+    def map_read(self, read: "np.ndarray | ReadRecord",
+                 threshold: int, index: int = 0) -> ReadMapping:
+        """Map one read — a thin batch-of-one wrapper.
+
+        Bit-identical to the read's row in a :meth:`run` over any
+        workload that places it at global position *index*.
+        """
+        codes = np.asarray(_read_codes(read), dtype=np.uint8)[None, :]
+        report = self._run_keyed(codes, threshold, keys=[index])
+        return report.mappings[0]
+
+    def run(self, reads: "Sequence[np.ndarray] | Sequence[ReadRecord]",
+            threshold: int) -> MappingReport:
+        """Map every read across all shards and merge the reports."""
+        codes = _codes_matrix(reads)
+        if codes.shape[0] == 0:
+            return MappingReport()
+        return self._run_keyed(codes, threshold,
+                               keys=list(range(codes.shape[0])))
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_keyed(self, codes: np.ndarray, threshold: int,
+                   keys: "list[int]") -> MappingReport:
+        """Search *codes* on every shard concurrently and merge."""
+        if codes.shape[1] != self._cols:
+            raise CamConfigError(
+                f"read width {codes.shape[1]} does not fit shard width "
+                f"{self._cols}"
+            )
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            futures = [
+                pool.submit(self._match_shard, matcher, codes, threshold,
+                            keys)
+                for matcher in self._matchers
+            ]
+            shard_outcomes = [future.result() for future in futures]
+        return self._merge(shard_outcomes, keys)
+
+    def _match_shard(self, matcher: AsmCapMatcher, codes: np.ndarray,
+                     threshold: int,
+                     keys: "list[int]") -> MatchBatchOutcome:
+        """One shard's matches for the whole workload, chunk by chunk."""
+        chunks = []
+        for start in range(0, codes.shape[0], self._chunk_size):
+            stop = start + self._chunk_size
+            chunks.append(matcher.match_batch(
+                codes[start:stop], threshold, query_keys=keys[start:stop]
+            ))
+        if len(chunks) == 1:
+            return chunks[0]
+        return MatchBatchOutcome(
+            decisions=np.concatenate([c.decisions for c in chunks]),
+            thresholds=np.concatenate([c.thresholds for c in chunks]),
+            n_searches=np.concatenate([c.n_searches for c in chunks]),
+            energy_joules=np.concatenate([c.energy_joules for c in chunks]),
+            latency_ns=np.concatenate([c.latency_ns for c in chunks]),
+            hdac_probabilities=np.concatenate(
+                [c.hdac_probabilities for c in chunks]
+            ),
+            tasr_lower_bound=chunks[0].tasr_lower_bound,
+            hdac_mask=np.concatenate([c.hdac_mask for c in chunks]),
+            tasr_mask=np.concatenate([c.tasr_mask for c in chunks]),
+        )
+
+    def _merge(self, shard_outcomes: "list[MatchBatchOutcome]",
+               keys: "list[int]") -> MappingReport:
+        """Merge per-shard outcomes into one global report.
+
+        Row decisions concatenate in shard (= global row) order;
+        energy sums over shards while latency takes the shard maximum
+        (banks search in parallel behind the H-tree).
+        """
+        first = shard_outcomes[0]
+        decisions = np.hstack([o.decisions for o in shard_outcomes])
+        n_searches = np.sum([o.n_searches for o in shard_outcomes], axis=0)
+        energy = np.sum([o.energy_joules for o in shard_outcomes], axis=0)
+        latency = np.max([o.latency_ns for o in shard_outcomes], axis=0)
+        return _build_report(
+            decisions=decisions,
+            thresholds=first.thresholds,
+            n_searches=n_searches,
+            energy=energy,
+            latency=latency,
+            hdac_probabilities=first.hdac_probabilities,
+            tasr_lower_bound=first.tasr_lower_bound,
+            read_indices=keys,
+        )

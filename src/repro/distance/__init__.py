@@ -17,7 +17,9 @@ from repro.distance.comparison_matrix import (
 from repro.distance.ed_star import (
     ed_star,
     ed_star_batch,
+    ed_star_counts_batch,
     match_planes,
+    match_planes_batch,
     mismatch_counts_all_reads,
 )
 from repro.distance.edit_distance import (
@@ -57,12 +59,14 @@ __all__ = [
     "comparison_matrix_distance",
     "ed_star",
     "ed_star_batch",
+    "ed_star_counts_batch",
     "edit_distance",
     "edit_distance_matrix",
     "hamming_distance",
     "hamming_distance_batch",
     "hamming_matches",
     "match_planes",
+    "match_planes_batch",
     "mismatch_counts_all_reads",
     "myers_distance_to_all",
     "myers_edit_distance",

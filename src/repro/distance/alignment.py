@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.distance.edit_distance import edit_distance_matrix
 from repro.errors import SequenceError

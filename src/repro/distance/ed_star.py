@@ -73,6 +73,74 @@ def ed_star_batch(segments: np.ndarray, read: np.ndarray) -> np.ndarray:
     return np.count_nonzero(~matched, axis=1)
 
 
+def match_planes_batch(
+        segments: np.ndarray,
+        reads: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The ``(O_L, O_C, O_R)`` planes for a whole block of reads.
+
+    The batched counterpart of :func:`match_planes`: one 3-D broadcast
+    evaluates every (read, row, cell) comparison at once, modelling a
+    global buffer streaming ``B`` reads into the array back-to-back.
+
+    Parameters
+    ----------
+    segments:
+        ``(M, N)`` uint8 matrix of stored rows.
+    reads:
+        ``(B, N)`` uint8 matrix of read codes.
+
+    Returns
+    -------
+    Three boolean ``(B, M, N)`` planes; ``plane[q, i, j]`` is the
+    comparison outcome of read ``q`` against stored base ``j`` of row
+    ``i``, bit-exact with :func:`match_planes` applied per read.
+    """
+    segments = np.asarray(segments)
+    reads = np.asarray(reads)
+    if segments.ndim != 2:
+        raise SequenceError(f"segments must be 2-D, got shape {segments.shape}")
+    if reads.ndim != 2 or reads.shape[1] != segments.shape[1]:
+        raise SequenceError(
+            f"reads shape {reads.shape} incompatible with segments "
+            f"{segments.shape}"
+        )
+    o_c = segments[None, :, :] == reads[:, None, :]
+    o_l = np.zeros_like(o_c)
+    o_r = np.zeros_like(o_c)
+    if reads.shape[1] > 1:
+        o_l[:, :, 1:] = segments[None, :, 1:] == reads[:, None, :-1]
+        o_r[:, :, :-1] = segments[None, :, :-1] == reads[:, None, 1:]
+    return o_l, o_c, o_r
+
+
+def ed_star_counts_batch(segments: np.ndarray,
+                         reads: np.ndarray) -> np.ndarray:
+    """ED* of every read against every segment, ``(B, M)`` ints.
+
+    Memory-lean version of :func:`match_planes_batch` + reduce: the
+    neighbour planes are OR-ed into one buffer instead of being
+    materialised separately.
+    """
+    segments = np.asarray(segments)
+    reads = np.asarray(reads)
+    if segments.ndim != 2:
+        raise SequenceError(f"segments must be 2-D, got shape {segments.shape}")
+    if reads.ndim != 2 or reads.shape[1] != segments.shape[1]:
+        raise SequenceError(
+            f"reads shape {reads.shape} incompatible with segments "
+            f"{segments.shape}"
+        )
+    matched = segments[None, :, :] == reads[:, None, :]
+    if reads.shape[1] > 1:
+        np.logical_or(matched[:, :, 1:],
+                      segments[None, :, 1:] == reads[:, None, :-1],
+                      out=matched[:, :, 1:])
+        np.logical_or(matched[:, :, :-1],
+                      segments[None, :, :-1] == reads[:, None, 1:],
+                      out=matched[:, :, :-1])
+    return matched.shape[2] - np.count_nonzero(matched, axis=2)
+
+
 def ed_star(segment: DnaSequence, read: DnaSequence) -> int:
     """ED* between one stored segment and one read (equal lengths)."""
     if len(segment) != len(read):
@@ -84,10 +152,28 @@ def ed_star(segment: DnaSequence, read: DnaSequence) -> int:
     return int(ed_star_batch(segment.codes[None, :], read.codes)[0])
 
 
+#: Target element count per (chunk, M, N) block of the batched kernels.
+_CHUNK_ELEMS = 1 << 23
+
+
 def mismatch_counts_all_reads(segments: np.ndarray,
                               reads: np.ndarray) -> np.ndarray:
-    """ED* for every (read, segment) pair: ``(R, M)`` int matrix."""
+    """ED* for every (read, segment) pair: ``(R, M)`` int matrix.
+
+    Vectorised through :func:`ed_star_counts_batch` in chunks so peak
+    memory stays bounded for workload-sized read blocks.
+    """
+    segments = np.asarray(segments)
     reads = np.asarray(reads)
     if reads.ndim != 2:
         raise SequenceError(f"reads must be 2-D, got shape {reads.shape}")
-    return np.stack([ed_star_batch(segments, read) for read in reads])
+    if segments.ndim != 2:
+        raise SequenceError(f"segments must be 2-D, got shape {segments.shape}")
+    n_reads = reads.shape[0]
+    counts = np.empty((n_reads, segments.shape[0]), dtype=np.intp)
+    chunk = max(1, _CHUNK_ELEMS // max(1, segments.size))
+    for start in range(0, n_reads, chunk):
+        counts[start:start + chunk] = ed_star_counts_batch(
+            segments, reads[start:start + chunk]
+        )
+    return counts

@@ -33,7 +33,6 @@ def run_summary(n_runs: int, n_reads: int, n_segments: int,
     for display, cost_key in ((fig7.SYSTEM_EDAM, "EDAM"),
                               (fig7.SYSTEM_PLAIN, "ASMCap w/o H&T"),
                               (fig7.SYSTEM_FULL, "ASMCap w/ H&T")):
-        cost = fig8_result.costs[cost_key]
         rows.append((
             display, f"{mean_f1[display]:.1f} %",
             format_ratio(

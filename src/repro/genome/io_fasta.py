@@ -19,7 +19,7 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, TextIO, Union
+from typing import Iterable, TextIO, Union
 
 import numpy as np
 

@@ -15,7 +15,6 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import DatasetError
-from repro.genome import alphabet
 from repro.genome.sequence import DnaSequence
 
 #: Maximum k supported by the 2-bit integer packing (Python ints are

@@ -5,13 +5,51 @@ from __future__ import annotations
 import pytest
 
 from repro.arch.config import ArchConfig
-from repro.arch.scheduler import ROW_WRITE_NS, BatchScheduler
+from repro.arch.scheduler import ROW_WRITE_NS, BatchScheduler, bank_row_ranges
 from repro.errors import ArchConfigError
 
 
 @pytest.fixture
 def scheduler():
     return BatchScheduler(ArchConfig.paper_system(), searches_per_read=1.0)
+
+
+class TestBankRowRanges:
+    def test_even_split_covers_all_rows(self):
+        ranges = bank_row_ranges(100, 4)
+        assert ranges == ((0, 25), (25, 50), (50, 75), (75, 100))
+
+    def test_uneven_split_balances_within_one_row(self):
+        ranges = bank_row_ranges(10, 4)
+        assert ranges == ((0, 3), (3, 6), (6, 8), (8, 10))
+        sizes = [stop - start for start, stop in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_all_requested_banks_used_when_possible(self):
+        ranges = bank_row_ranges(9, 8)
+        assert len(ranges) == 8
+        sizes = [stop - start for start, stop in ranges]
+        assert sorted(sizes, reverse=True) == [2, 1, 1, 1, 1, 1, 1, 1]
+
+    def test_more_banks_than_rows_drops_empty_banks(self):
+        ranges = bank_row_ranges(3, 8)
+        assert ranges == ((0, 1), (1, 2), (2, 3))
+
+    def test_explicit_capacity_matches_load_phase(self):
+        ranges = bank_row_ranges(600, 4, bank_capacity=256)
+        assert ranges == ((0, 256), (256, 512), (512, 600))
+
+    def test_capacity_overflow_rejected(self):
+        with pytest.raises(ArchConfigError):
+            bank_row_ranges(1025, 4, bank_capacity=256)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ArchConfigError):
+            bank_row_ranges(0, 4)
+        with pytest.raises(ArchConfigError):
+            bank_row_ranges(10, 0)
+        with pytest.raises(ArchConfigError):
+            bank_row_ranges(10, 4, bank_capacity=0)
 
 
 class TestLoadPhase:

@@ -173,6 +173,121 @@ class TestCostAccounting:
         assert charge_array.stats.total_latency_ns == pytest.approx(3 * 0.9)
 
 
+class TestBatchSearch:
+    def test_counts_match_scalar_all_modes(self, charge_array,
+                                           stored_segments, rng):
+        reads = rng.integers(0, 4, (9, 32)).astype(np.uint8)
+        for mode in (MatchMode.ED_STAR, MatchMode.HAMMING):
+            counts = charge_array.mismatch_counts_batch(reads, mode)
+            for q in range(9):
+                assert np.array_equal(
+                    counts[q], charge_array.mismatch_counts(reads[q], mode)
+                )
+
+    def test_dual_counts_match_single_mode(self, charge_array, rng):
+        reads = rng.integers(0, 4, (6, 32)).astype(np.uint8)
+        ed, hd = charge_array.mismatch_counts_batch_dual(reads)
+        assert np.array_equal(
+            ed, charge_array.mismatch_counts_batch(reads, MatchMode.ED_STAR)
+        )
+        assert np.array_equal(
+            hd, charge_array.mismatch_counts_batch(reads, MatchMode.HAMMING)
+        )
+
+    def test_sequential_stream_equivalence(self, stored_segments, rng):
+        """Un-keyed batch == consecutive scalar searches, same seed."""
+        reads = rng.integers(0, 4, (5, 32)).astype(np.uint8)
+        for domain in ("charge", "current"):
+            batch_array = CamArray(rows=16, cols=32, domain=domain,
+                                   noisy=True, seed=8)
+            batch_array.store(stored_segments)
+            scalar_array = CamArray(rows=16, cols=32, domain=domain,
+                                    noisy=True, seed=8)
+            scalar_array.store(stored_segments)
+            batch = batch_array.search_batch(reads, 6)
+            for q in range(5):
+                scalar = scalar_array.search(reads[q], 6)
+                assert np.array_equal(batch.matches[q], scalar.matches)
+                assert np.allclose(batch.v_ml[q], scalar.v_ml)
+
+    def test_keyed_noise_is_order_independent(self, stored_segments, rng):
+        """Keyed scalar replay in any order matches the batch rows."""
+        reads = rng.integers(0, 4, (5, 32)).astype(np.uint8)
+        array = CamArray(rows=16, cols=32, domain="charge", noisy=True,
+                         seed=4)
+        array.store(stored_segments)
+        keys = [(100 + q, 1) for q in range(5)]
+        batch = array.search_batch(reads, 6, noise_keys=keys)
+        for q in reversed(range(5)):
+            scalar = array.search(reads[q], 6, noise_key=keys[q])
+            assert np.allclose(batch.v_ml[q], scalar.v_ml)
+            assert np.array_equal(batch.matches[q], scalar.matches)
+
+    def test_per_query_thresholds(self, charge_array, rng):
+        reads = rng.integers(0, 4, (4, 32)).astype(np.uint8)
+        thresholds = np.array([0, 4, 16, 32])
+        batch = charge_array.search_batch(reads, thresholds)
+        for q in range(4):
+            scalar = charge_array.search(reads[q], int(thresholds[q]))
+            assert np.array_equal(batch.matches[q], scalar.matches)
+
+    def test_energy_matches_scalar(self, charge_array, current_array, rng):
+        reads = rng.integers(0, 4, (3, 32)).astype(np.uint8)
+        for array in (charge_array, current_array):
+            batch = array.search_batch(reads, 5)
+            for q in range(3):
+                scalar = array.search(reads[q], 5)
+                assert batch.energy_per_query_joules[q] == pytest.approx(
+                    scalar.energy_joules
+                )
+            assert batch.energy_joules == pytest.approx(
+                batch.energy_per_query_joules.sum()
+            )
+
+    def test_batch_stats_recorded(self, stored_segments, rng):
+        array = CamArray(rows=16, cols=32, noisy=False)
+        array.store(stored_segments)
+        reads = rng.integers(0, 4, (6, 32)).astype(np.uint8)
+        array.search_batch(reads, 4)
+        assert array.stats.n_searches == 6
+        assert array.stats.total_latency_ns == pytest.approx(6 * 0.9)
+
+    def test_empty_batch(self, charge_array):
+        batch = charge_array.search_batch(
+            np.zeros((0, 32), dtype=np.uint8), 4
+        )
+        assert batch.n_queries == 0
+        assert batch.matches.shape == (0, 16)
+        assert batch.energy_joules == 0.0
+        assert batch.amortised_latency_per_query_ns == 0.0
+
+    def test_bad_shapes_rejected(self, charge_array, rng):
+        with pytest.raises(CamConfigError):
+            charge_array.search_batch(np.zeros((2, 31), dtype=np.uint8), 4)
+        with pytest.raises(ThresholdError):
+            charge_array.search_batch(
+                rng.integers(0, 4, (2, 32)).astype(np.uint8),
+                np.array([2, 33]),
+            )
+        with pytest.raises(CamConfigError):
+            charge_array.search_batch(
+                rng.integers(0, 4, (2, 32)).astype(np.uint8), 4,
+                noise_keys=[(0, 0)],
+            )
+
+    def test_non_dna_query_codes_use_fallback(self, charge_array, rng):
+        """Query codes outside ACGT still search (comparison fallback)."""
+        reads = rng.integers(0, 9, (5, 32)).astype(np.uint8)
+        assert reads.max() > 3
+        counts = charge_array.mismatch_counts_batch(reads,
+                                                    MatchMode.ED_STAR)
+        for q in range(5):
+            assert np.array_equal(
+                counts[q],
+                charge_array.mismatch_counts(reads[q], MatchMode.ED_STAR),
+            )
+
+
 class TestRotatedSearch:
     def test_rotation_applied(self, charge_array, stored_segments):
         # Store a segment, search its right-rotated version with a left

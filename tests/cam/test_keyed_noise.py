@@ -1,0 +1,85 @@
+"""Tests for the counter-based keyed noise streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cam.keyed_noise import (
+    fold_key,
+    fold_key_block,
+    fold_key_from,
+    standard_normals,
+    uniforms,
+)
+
+
+class TestFolding:
+    def test_fold_is_deterministic(self):
+        assert fold_key((1, 2, 3)) == fold_key((1, 2, 3))
+
+    def test_fold_separates_nearby_keys(self):
+        states = {fold_key((seed, tag)) for seed in range(4)
+                  for tag in range(4)}
+        assert len(states) == 16
+
+    def test_fold_is_order_sensitive(self):
+        assert fold_key((1, 2)) != fold_key((2, 1))
+
+    def test_fold_from_continues_prefix(self):
+        assert fold_key_from(fold_key((7, 8)), (9, 10)) == \
+            fold_key((7, 8, 9, 10))
+
+    def test_fold_block_matches_scalar_folds(self):
+        prefix = fold_key((42,))
+        columns = np.array([[0, 5], [1, 5], [2, 9]])
+        block = fold_key_block(prefix, columns)
+        for q, (a, b) in enumerate(columns.tolist()):
+            assert int(block[q]) == fold_key((42, a, b))
+
+    def test_fold_block_1d_columns(self):
+        prefix = fold_key((3,))
+        block = fold_key_block(prefix, np.arange(5))
+        for q in range(5):
+            assert int(block[q]) == fold_key((3, q))
+
+    def test_negative_components_mask_consistently(self):
+        assert fold_key((-1,)) == fold_key((0xFFFFFFFFFFFFFFFF,))
+
+
+class TestStreams:
+    def test_uniforms_in_unit_interval(self):
+        draws = uniforms(fold_key((1,)), np.arange(10_000))
+        assert (draws >= 0.0).all() and (draws < 1.0).all()
+        assert abs(draws.mean() - 0.5) < 0.02
+
+    def test_uniform_counters_are_independent_of_order(self):
+        state = fold_key((2,))
+        forward = uniforms(state, np.arange(16))
+        backward = uniforms(state, np.arange(15, -1, -1))
+        assert np.allclose(forward, backward[::-1])
+
+    def test_normals_rowwise_match_scalar(self):
+        """Row q of a block equals a scalar call with that state."""
+        states = fold_key_block(fold_key((9,)), np.arange(6))
+        block = standard_normals(states, 13)
+        assert block.shape == (6, 13)
+        for q in range(6):
+            assert np.allclose(block[q],
+                               standard_normals(int(states[q]), 13))
+
+    @pytest.mark.parametrize("n", [1, 2, 7, 8])
+    def test_normals_odd_and_even_lengths(self, n):
+        draws = standard_normals(fold_key((4,)), n)
+        assert draws.shape == (n,)
+        assert np.isfinite(draws).all()
+
+    def test_normals_are_standard(self):
+        draws = standard_normals(fold_key((11,)), 200_000)
+        assert abs(draws.mean()) < 0.02
+        assert abs(draws.std() - 1.0) < 0.02
+
+    def test_distinct_states_give_distinct_streams(self):
+        a = standard_normals(fold_key((1, 0)), 32)
+        b = standard_normals(fold_key((1, 1)), 32)
+        assert not np.allclose(a, b)

@@ -1,4 +1,10 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Slow-lane split: tests marked ``@pytest.mark.slow`` (large sharded
+stress runs and similar) are skipped unless ``--run-slow`` is given, so
+the default CI gate stays fast while the nightly lane can run
+``pytest --run-slow`` for full coverage.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +14,29 @@ import pytest
 from repro.genome.datasets import Dataset, build_dataset
 from repro.genome.edits import ErrorModel
 from repro.genome.sequence import DnaSequence
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="also run tests marked slow (nightly/stress lane)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: long-running stress test (needs --run-slow)"
+    )
+
+
+def pytest_collection_modifyitems(config: pytest.Config,
+                                  items: "list[pytest.Item]") -> None:
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test; pass --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

@@ -7,6 +7,7 @@ import pytest
 
 from repro.cam.array import CamArray
 from repro.core.matcher import AsmCapMatcher, MatcherConfig
+from repro.errors import CamConfigError
 from repro.genome.datasets import build_dataset
 from repro.genome.edits import ErrorModel
 
@@ -125,7 +126,6 @@ class TestCorrectionBehaviour:
         full = make_matcher(dataset, MatcherConfig(), seed=1)
         fp_plain = fp_full = 0
         for record in dataset.reads:
-            origin = dataset.origin_segment_index(record)
             # With ~6 substitutions expected, ED(origin) > 1 almost
             # surely, so any match at T=1 on the origin row is a FP
             # candidate; count total matches as the FP proxy.
@@ -141,3 +141,96 @@ class TestReproducibility:
         read = dataset_a.reads[0].read.codes
         assert np.array_equal(a.match(read, 2).decisions,
                               b.match(read, 2).decisions)
+
+
+class TestBatchMatching:
+    """match_batch must be bit-identical to the keyed scalar flow."""
+
+    @pytest.mark.parametrize("condition,threshold", [
+        ("A", 2),   # HDAC pass issued, TASR dormant
+        ("A", 8),   # HDAC at larger T
+        ("B", 2),   # neither strategy (below Tl, p ~ 0)
+        ("B", 8),   # TASR rotations issued
+    ])
+    def test_batch_equals_keyed_scalar(self, dataset_a, dataset_b,
+                                       condition, threshold):
+        dataset = dataset_a if condition == "A" else dataset_b
+        matcher = make_matcher(dataset, noisy=True, seed=13)
+        reads = np.stack([r.read.codes for r in dataset.reads])
+        batch = matcher.match_batch(reads, threshold)
+        # Replay in reverse order: keyed streams make order irrelevant.
+        for q in reversed(range(len(reads))):
+            outcome = matcher.match(reads[q], threshold, query_key=q)
+            assert np.array_equal(batch.decisions[q], outcome.decisions)
+            assert batch.n_searches[q] == outcome.n_searches
+            assert batch.energy_joules[q] == pytest.approx(
+                outcome.energy_joules
+            )
+            assert batch.latency_ns[q] == pytest.approx(
+                outcome.latency_ns
+            )
+            assert batch.hdac_probabilities[q] == pytest.approx(
+                outcome.hdac_probability
+            )
+            assert batch.tasr_lower_bound == outcome.tasr_lower_bound
+
+    def test_strategy_masks(self, dataset_a, dataset_b):
+        reads_a = np.stack([r.read.codes for r in dataset_a.reads[:4]])
+        hdac_batch = make_matcher(dataset_a).match_batch(reads_a, 2)
+        assert hdac_batch.hdac_mask.all()
+        assert not hdac_batch.tasr_mask.any()
+        assert (hdac_batch.n_searches == 2).all()
+
+        reads_b = np.stack([r.read.codes for r in dataset_b.reads[:4]])
+        matcher_b = make_matcher(dataset_b)
+        tasr_batch = matcher_b.match_batch(
+            reads_b, matcher_b.tasr_lower_bound()
+        )
+        assert tasr_batch.tasr_mask.all()
+        assert not tasr_batch.hdac_mask.any()
+
+    def test_per_query_thresholds_mix_masks(self, dataset_a):
+        """A threshold vector can enable HDAC for only some queries."""
+        matcher = make_matcher(dataset_a)
+        reads = np.stack([r.read.codes for r in dataset_a.reads[:4]])
+        thresholds = np.array([1, 30, 2, 25])
+        batch = matcher.match_batch(reads, thresholds)
+        assert batch.hdac_mask.tolist() == [True, False, True, False]
+        for q in range(4):
+            outcome = matcher.match(reads[q], int(thresholds[q]),
+                                    query_key=q)
+            assert np.array_equal(batch.decisions[q], outcome.decisions)
+
+    def test_totals_consistent(self, dataset_a):
+        matcher = make_matcher(dataset_a)
+        reads = np.stack([r.read.codes for r in dataset_a.reads])
+        batch = matcher.match_batch(reads, 4)
+        assert batch.n_queries == len(reads)
+        assert batch.total_searches == batch.n_searches.sum()
+        assert batch.total_energy_joules == pytest.approx(
+            batch.energy_joules.sum()
+        )
+
+    def test_empty_batch(self, dataset_a):
+        matcher = make_matcher(dataset_a)
+        empty = np.zeros((0, dataset_a.read_length), dtype=np.uint8)
+        batch = matcher.match_batch(empty, 4)
+        assert batch.n_queries == 0
+        assert batch.total_searches == 0
+
+    def test_rotation_cycles_accounted(self, dataset_b):
+        matcher = make_matcher(dataset_b)
+        reads = np.stack([r.read.codes for r in dataset_b.reads[:5]])
+        threshold = matcher.tasr_lower_bound()
+        before = matcher.array.stats.n_rotation_cycles
+        matcher.match_batch(reads, threshold)
+        # NR = 2 in both directions: 1+2+1+2 cycles per query.
+        assert matcher.array.stats.n_rotation_cycles - before == 6 * 5
+
+    def test_bad_inputs(self, dataset_a):
+        matcher = make_matcher(dataset_a)
+        reads = np.stack([r.read.codes for r in dataset_a.reads[:2]])
+        with pytest.raises(CamConfigError):
+            matcher.match_batch(reads[0], 4)  # 1-D block
+        with pytest.raises(CamConfigError):
+            matcher.match_batch(reads, 4, query_keys=[1])

@@ -1,4 +1,4 @@
-"""Tests for the batch read-mapping pipeline."""
+"""Tests for the scalar, batched and sharded read-mapping pipelines."""
 
 from __future__ import annotations
 
@@ -7,7 +7,10 @@ import pytest
 
 from repro.cam.array import CamArray
 from repro.core.matcher import AsmCapMatcher, MatcherConfig
-from repro.core.pipeline import ReadMappingPipeline
+from repro.core.pipeline import (
+    ReadMappingPipeline,
+    ShardedReadMappingPipeline,
+)
 from repro.errors import CamConfigError
 from repro.genome.datasets import build_dataset
 
@@ -63,13 +66,188 @@ class TestMapping:
         report = pipeline.run(raw, threshold=4)
         assert report.n_reads == 3
 
-    def test_empty_batch_rejected(self, pipeline_and_dataset):
+    def test_empty_batch_yields_empty_report(self, pipeline_and_dataset):
+        """An empty batch is a valid degenerate streaming input."""
         pipeline, _ = pipeline_and_dataset
-        with pytest.raises(CamConfigError):
-            pipeline.run([], threshold=4)
+        report = pipeline.run([], threshold=4)
+        assert report.n_reads == 0
+        assert report.mappings == []
+        assert report.mapped_fraction == 0.0
+        assert report.reads_per_second == 0.0
 
     def test_map_read_indices(self, pipeline_and_dataset):
         pipeline, dataset = pipeline_and_dataset
         mapping = pipeline.map_read(dataset.reads[0], threshold=8, index=7)
         assert mapping.read_index == 7
         assert all(0 <= row < 16 for row in mapping.matched_rows)
+
+    def test_mismatched_read_widths_rejected(self, pipeline_and_dataset):
+        pipeline, _ = pipeline_and_dataset
+        ragged = [np.zeros(128, dtype=np.uint8), np.zeros(64, dtype=np.uint8)]
+        with pytest.raises(CamConfigError):
+            pipeline.run_batched(ragged, threshold=4)
+
+
+@pytest.fixture(scope="module")
+def noisy_dataset():
+    return build_dataset("A", n_reads=24, read_length=128, n_segments=32,
+                         seed=61)
+
+
+def make_noisy_pipeline(dataset, seed=9):
+    array = CamArray(rows=dataset.n_segments, cols=dataset.read_length,
+                     domain="charge", noisy=True, seed=seed)
+    array.store(dataset.segments)
+    matcher = AsmCapMatcher(array, dataset.model, MatcherConfig(), seed=seed)
+    return ReadMappingPipeline(matcher)
+
+
+class TestBatchedPipeline:
+    def test_batched_equals_keyed_scalar_loop(self, noisy_dataset):
+        """run_batched must be bit-identical to the keyed scalar path."""
+        pipeline = make_noisy_pipeline(noisy_dataset)
+        batched = pipeline.run_batched(noisy_dataset.reads, threshold=8)
+        for index, record in enumerate(noisy_dataset.reads):
+            outcome = pipeline.matcher.match(record.read.codes, 8,
+                                             query_key=index)
+            mapping = batched.mappings[index]
+            assert np.array_equal(mapping.outcome.decisions,
+                                  outcome.decisions)
+            assert mapping.outcome.n_searches == outcome.n_searches
+            assert mapping.outcome.energy_joules == pytest.approx(
+                outcome.energy_joules
+            )
+
+    def test_batched_aggregates_consistent(self, noisy_dataset):
+        pipeline = make_noisy_pipeline(noisy_dataset)
+        report = pipeline.run_batched(noisy_dataset.reads, threshold=8)
+        assert report.n_reads == len(noisy_dataset.reads)
+        assert report.n_searches == sum(
+            m.outcome.n_searches for m in report.mappings
+        )
+        assert report.total_energy_joules == pytest.approx(sum(
+            m.outcome.energy_joules for m in report.mappings
+        ))
+
+    def test_batched_empty_batch(self, noisy_dataset):
+        pipeline = make_noisy_pipeline(noisy_dataset)
+        assert pipeline.run_batched([], threshold=4).n_reads == 0
+
+    def test_batched_is_deterministic(self, noisy_dataset):
+        a = make_noisy_pipeline(noisy_dataset, seed=5)
+        b = make_noisy_pipeline(noisy_dataset, seed=5)
+        ra = a.run_batched(noisy_dataset.reads, threshold=8)
+        rb = b.run_batched(noisy_dataset.reads, threshold=8)
+        for ma, mb in zip(ra.mappings, rb.mappings):
+            assert ma.matched_rows == mb.matched_rows
+
+
+class TestShardedPipeline:
+    @pytest.fixture(scope="class")
+    def sharded(self, noisy_dataset):
+        return ShardedReadMappingPipeline(
+            noisy_dataset.segments, noisy_dataset.model, n_shards=4,
+            noisy=True, seed=3, chunk_size=7,
+        )
+
+    def test_partitions_all_rows(self, sharded, noisy_dataset):
+        assert sharded.n_shards == 4
+        covered = []
+        for start, stop in sharded.shard_ranges:
+            covered.extend(range(start, stop))
+        assert covered == list(range(noisy_dataset.n_segments))
+
+    def test_run_equals_map_read(self, sharded, noisy_dataset):
+        """Scalar wrapper and chunked threaded batch are bit-identical."""
+        report = sharded.run(noisy_dataset.reads, threshold=8)
+        for index, record in enumerate(noisy_dataset.reads):
+            single = sharded.map_read(record, 8, index=index)
+            mapping = report.mappings[index]
+            assert single.matched_rows == mapping.matched_rows
+            assert np.array_equal(single.outcome.decisions,
+                                  mapping.outcome.decisions)
+            assert single.outcome.n_searches == mapping.outcome.n_searches
+            assert single.outcome.energy_joules == pytest.approx(
+                mapping.outcome.energy_joules
+            )
+
+    def test_global_row_indices(self, sharded, noisy_dataset):
+        """Matched rows are reported in whole-reference coordinates."""
+        report = sharded.run(noisy_dataset.reads, threshold=8)
+        hits = 0
+        for record, mapping in zip(noisy_dataset.reads, report.mappings):
+            origin = noisy_dataset.origin_segment_index(record)
+            hits += int(origin in mapping.matched_rows)
+        assert hits >= len(noisy_dataset.reads) * 0.8
+
+    def test_matches_unsharded_noiseless(self, noisy_dataset):
+        """With noise and strategies off, sharding is purely structural."""
+        sharded = ShardedReadMappingPipeline(
+            noisy_dataset.segments, noisy_dataset.model, n_shards=3,
+            config=MatcherConfig.plain(), noisy=False,
+        )
+        array = CamArray(rows=noisy_dataset.n_segments,
+                         cols=noisy_dataset.read_length, noisy=False)
+        array.store(noisy_dataset.segments)
+        flat = ReadMappingPipeline(AsmCapMatcher(
+            array, noisy_dataset.model, MatcherConfig.plain()
+        ))
+        sharded_report = sharded.run(noisy_dataset.reads, threshold=8)
+        flat_report = flat.run(noisy_dataset.reads, threshold=8)
+        for a, b in zip(sharded_report.mappings, flat_report.mappings):
+            assert a.matched_rows == b.matched_rows
+
+    def test_more_shards_than_rows(self, noisy_dataset):
+        pipeline = ShardedReadMappingPipeline(
+            noisy_dataset.segments[:3], noisy_dataset.model, n_shards=8,
+            noisy=False,
+        )
+        assert pipeline.n_shards == 3
+        report = pipeline.run(noisy_dataset.reads, threshold=8)
+        assert report.n_reads == len(noisy_dataset.reads)
+
+    def test_latency_is_shard_max_energy_is_sum(self, sharded,
+                                                noisy_dataset):
+        report = sharded.run(noisy_dataset.reads[:4], threshold=8)
+        search_time = sharded.matchers[0].array.search_time_ns
+        for mapping in report.mappings:
+            # Latency counts one shard's (parallel) search chain...
+            assert mapping.outcome.latency_ns <= (
+                mapping.outcome.n_searches * search_time
+            )
+            # ...while n_searches/energy sum over every shard.
+            assert mapping.outcome.n_searches >= sharded.n_shards
+
+    def test_empty_batch(self, sharded):
+        assert sharded.run([], threshold=4).n_reads == 0
+
+    def test_invalid_configs(self, noisy_dataset):
+        with pytest.raises(CamConfigError):
+            ShardedReadMappingPipeline(
+                np.zeros((0, 8), dtype=np.uint8), noisy_dataset.model
+            )
+        with pytest.raises(CamConfigError):
+            ShardedReadMappingPipeline(
+                noisy_dataset.segments, noisy_dataset.model, chunk_size=0
+            )
+
+    @pytest.mark.slow
+    def test_sharded_stress_10k_reads(self):
+        """Nightly lane: a 10k-read workload across 4 shards."""
+        dataset = build_dataset("A", n_reads=64, read_length=64,
+                                n_segments=64, seed=77)
+        rng = np.random.default_rng(78)
+        reads = rng.integers(0, 4, (10_000, 64)).astype(np.uint8)
+        # Seed some true positives among the random reads.
+        reads[::100] = dataset.segments[rng.integers(0, 64, 100)]
+        pipeline = ShardedReadMappingPipeline(
+            dataset.segments, dataset.model, n_shards=4, noisy=True,
+            seed=1,
+        )
+        report = pipeline.run(reads, threshold=6)
+        assert report.n_reads == 10_000
+        assert report.n_mapped >= 100  # every seeded copy must map
+        for probe in (0, 1_234, 9_999):
+            single = pipeline.map_read(reads[probe], 6, index=probe)
+            assert single.matched_rows == \
+                report.mappings[probe].matched_rows

@@ -16,7 +16,9 @@ from repro.cam.cell import NO_NEIGHBOR, AsmCapCell, MatchMode
 from repro.distance.ed_star import (
     ed_star,
     ed_star_batch,
+    ed_star_counts_batch,
     match_planes,
+    match_planes_batch,
     mismatch_counts_all_reads,
 )
 from repro.distance.hamming import hamming_distance
@@ -109,6 +111,44 @@ class TestBatch:
         with pytest.raises(SequenceError):
             match_planes(np.zeros((2, 4), dtype=np.uint8),
                          np.zeros(3, dtype=np.uint8))
+
+    def test_planes_batch_rows_match_scalar_planes(self, rng):
+        """match_planes_batch row q == match_planes of read q."""
+        segments = rng.integers(0, 4, (5, 17)).astype(np.uint8)
+        reads = rng.integers(0, 4, (4, 17)).astype(np.uint8)
+        o_l, o_c, o_r = match_planes_batch(segments, reads)
+        assert o_c.shape == (4, 5, 17)
+        for q in range(4):
+            s_l, s_c, s_r = match_planes(segments, reads[q])
+            assert np.array_equal(o_l[q], s_l)
+            assert np.array_equal(o_c[q], s_c)
+            assert np.array_equal(o_r[q], s_r)
+
+    def test_counts_batch_reduces_planes_batch(self, rng):
+        """ed_star_counts_batch == OR-and-count of match_planes_batch."""
+        segments = rng.integers(0, 4, (5, 17)).astype(np.uint8)
+        reads = rng.integers(0, 4, (4, 17)).astype(np.uint8)
+        o_l, o_c, o_r = match_planes_batch(segments, reads)
+        expected = np.count_nonzero(~(o_l | o_c | o_r), axis=2)
+        assert np.array_equal(ed_star_counts_batch(segments, reads),
+                              expected)
+
+    def test_all_reads_matrix_chunks_consistently(self, rng):
+        """Chunked evaluation equals one-shot for workload-sized input."""
+        segments = rng.integers(0, 4, (3, 9)).astype(np.uint8)
+        reads = rng.integers(0, 4, (50, 9)).astype(np.uint8)
+        assert np.array_equal(
+            mismatch_counts_all_reads(segments, reads),
+            ed_star_counts_batch(segments, reads),
+        )
+
+    def test_batch_shape_validation(self):
+        with pytest.raises(SequenceError):
+            match_planes_batch(np.zeros((2, 4), dtype=np.uint8),
+                               np.zeros((2, 3), dtype=np.uint8))
+        with pytest.raises(SequenceError):
+            ed_star_counts_batch(np.zeros((2, 4), dtype=np.uint8),
+                                 np.zeros(4, dtype=np.uint8))
 
 
 class TestAgainstCellModel:

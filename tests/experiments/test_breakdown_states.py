@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro import constants
 from repro.experiments.breakdown import compute_breakdown
 from repro.experiments.states import compute_states
 

@@ -13,7 +13,7 @@ import pytest
 from repro.arch import ArchConfig, AsmCapAccelerator, BatchScheduler
 from repro.baselines import CmCpuBaseline, EdamMatcher, ResmaBaseline
 from repro.cam import CamArray, MatchMode
-from repro.core import AsmCapMatcher, MatcherConfig
+from repro.core import MatcherConfig
 from repro.distance import (
     best_semiglobal_hit,
     edit_distance,

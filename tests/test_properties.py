@@ -130,6 +130,68 @@ class TestEnergyProperties:
         )
 
 
+class TestBatchScalarEquivalence:
+    """search_batch and per-query search are bit-identical.
+
+    Fuzzed over random query blocks, geometries and thresholds, in both
+    analog domains and both match modes — the invariant the batched
+    engine (and everything sharded on top of it) rests on.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**31 - 1),
+           st.sampled_from(["charge", "current"]),
+           st.sampled_from([MatchMode.ED_STAR, MatchMode.HAMMING]))
+    def test_sequential_stream_matches_scalar_loop(self, seed, domain,
+                                                   mode):
+        """Un-keyed batches replay the scalar sequential noise stream."""
+        rng = np.random.default_rng(seed)
+        rows, cols = int(rng.integers(1, 12)), int(rng.integers(2, 24))
+        n_queries = int(rng.integers(1, 8))
+        threshold = int(rng.integers(0, cols + 1))
+        segments = rng.integers(0, 4, (rows, cols)).astype(np.uint8)
+        queries = rng.integers(0, 4, (n_queries, cols)).astype(np.uint8)
+        batch_array = CamArray(rows=rows, cols=cols, domain=domain,
+                               noisy=True, seed=seed)
+        batch_array.store(segments)
+        scalar_array = CamArray(rows=rows, cols=cols, domain=domain,
+                                noisy=True, seed=seed)
+        scalar_array.store(segments)
+        batch = batch_array.search_batch(queries, threshold, mode)
+        for q in range(n_queries):
+            scalar = scalar_array.search(queries[q], threshold, mode)
+            assert np.array_equal(batch.matches[q], scalar.matches)
+            assert np.array_equal(batch.mismatch_counts[q],
+                                  scalar.mismatch_counts)
+            assert np.allclose(batch.v_ml[q], scalar.v_ml)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**31 - 1),
+           st.sampled_from(["charge", "current"]),
+           st.sampled_from([MatchMode.ED_STAR, MatchMode.HAMMING]))
+    def test_keyed_batch_matches_keyed_scalar(self, seed, domain, mode):
+        """Keyed draws depend only on the key: order cannot matter."""
+        rng = np.random.default_rng(seed)
+        rows, cols = int(rng.integers(1, 12)), int(rng.integers(2, 24))
+        n_queries = int(rng.integers(1, 8))
+        threshold = int(rng.integers(0, cols + 1))
+        segments = rng.integers(0, 4, (rows, cols)).astype(np.uint8)
+        queries = rng.integers(0, 4, (n_queries, cols)).astype(np.uint8)
+        array = CamArray(rows=rows, cols=cols, domain=domain,
+                         noisy=True, seed=seed)
+        array.store(segments)
+        keys = [(int(k), 7) for k in rng.integers(0, 1 << 32, n_queries)]
+        batch = array.search_batch(queries, threshold, mode,
+                                   noise_keys=keys)
+        for q in reversed(range(n_queries)):
+            scalar = array.search(queries[q], threshold, mode,
+                                  noise_key=keys[q])
+            assert np.array_equal(batch.matches[q], scalar.matches)
+            assert np.array_equal(batch.mismatch_counts[q],
+                                  scalar.mismatch_counts)
+            assert np.allclose(batch.v_ml[q], scalar.v_ml)
+
+
 class TestStorageRoundTrip:
     @settings(max_examples=30, deadline=None)
     @given(st.integers(0, 2**31 - 1), st.integers(1, 16),
