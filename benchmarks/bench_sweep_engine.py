@@ -1,0 +1,243 @@
+"""Bench: scalar per-threshold vs batched sweep-engine Fig. 7 curves.
+
+The Fig. 7 Monte-Carlo experiment evaluates every system over a whole
+threshold vector.  The scalar path issues one full CAM search flow per
+(run, system, threshold, read) cell; the sweep engine
+(:meth:`repro.core.matcher.AsmCapMatcher.match_sweep` and friends)
+computes each pass's mismatch counts and keyed noise **once** per read
+block and applies the entire threshold vector as vectorised sense-amp
+reference comparisons — a T-point curve costs ~1 search pass per read
+instead of T.
+
+Both paths draw from the same keyed noise streams, so their F1 curves
+are **bit-identical**; this bench asserts that and times the
+difference twice:
+
+* **engine** — the gated comparison: Monte-Carlo inputs (dataset +
+  exact ground-truth labelling) are prepared once and shared, and the
+  timed region covers system construction + the full dataset x system
+  x threshold evaluation.  This isolates exactly the path the sweep
+  engine replaced.
+* **end-to-end** — ``run_fig7``-equivalent wall clock including input
+  preparation (reported, not gated: the exact-ED labeller is the same
+  work in both paths and bounds the achievable ratio).
+
+Timing is best-of-``--repeats`` wall clock (robust against machine
+noise).
+
+Usage::
+
+    python benchmarks/bench_sweep_engine.py                  # seed sizes
+    python benchmarks/bench_sweep_engine.py --smoke          # tiny CI run
+    python benchmarks/bench_sweep_engine.py \
+        --condition A --min-speedup 10      # the PR's acceptance gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.experiment import (
+    AccuracyExperiment,
+    asmcap_full_system,
+    asmcap_plain_system,
+    edam_system,
+    kraken_system,
+)
+from repro.eval.sweeps import run_sweep
+from repro.experiments.fig7 import (
+    SYSTEM_EDAM,
+    SYSTEM_FULL,
+    SYSTEM_KRAKEN,
+    SYSTEM_PLAIN,
+    thresholds_for,
+)
+from repro.genome.datasets import build_dataset
+
+SYSTEMS = {
+    SYSTEM_EDAM: edam_system,
+    SYSTEM_PLAIN: asmcap_plain_system,
+    SYSTEM_FULL: asmcap_full_system,
+    SYSTEM_KRAKEN: kraken_system,
+}
+
+
+def prepare_runs(condition: str, thresholds: "list[int]", n_runs: int,
+                 n_reads: int, read_length: int, n_segments: int,
+                 seed: int):
+    """Build every run's dataset + labelled experiment (shared input).
+
+    Seeding mirrors :func:`repro.eval.sweeps.run_sweep` exactly, so
+    engine results computed on these inputs are bit-comparable to a
+    full ``run_sweep``.
+    """
+    ordered = sorted(set(int(t) for t in thresholds))
+    prepared = []
+    for run in range(n_runs):
+        dataset = build_dataset(condition, n_reads=n_reads,
+                                read_length=read_length,
+                                n_segments=n_segments,
+                                seed=seed + run * 104729)
+        experiment = AccuracyExperiment(dataset, ordered,
+                                        seed=seed + run * 7)
+        reads = np.stack([r.read.codes for r in dataset.reads])
+        prepared.append((dataset, experiment, reads))
+    return ordered, prepared
+
+
+def scalar_engine(ordered: "list[int]", prepared) -> "dict[str, np.ndarray]":
+    """The pre-sweep-engine path: one scalar match per (t, read) cell.
+
+    Keys every scalar match by its read index, so the resulting
+    ``f1_runs`` matrices are bit-comparable to the sweep engine's.
+    """
+    f1_runs: dict[str, list[list[float]]] = {name: [] for name in SYSTEMS}
+    for dataset, experiment, reads in prepared:
+        for i, (name, factory) in enumerate(SYSTEMS.items()):
+            system = factory(dataset, experiment.seed + i * 7919)
+            series: list[float] = []
+            for threshold in ordered:
+                truth = experiment.ground_truth.labels(threshold)
+                matrix = ConfusionMatrix()
+                for q in range(reads.shape[0]):
+                    predicted = system.decide(reads[q], threshold,
+                                              read_index=q)
+                    matrix.update(predicted, truth[q])
+                series.append(matrix.f1)
+            f1_runs[name].append(series)
+    return {name: np.array(runs, dtype=float)
+            for name, runs in f1_runs.items()}
+
+
+def sweep_engine(ordered: "list[int]", prepared) -> "dict[str, np.ndarray]":
+    """The batched sweep engine on the same prepared inputs."""
+    f1_runs: dict[str, list[list[float]]] = {name: [] for name in SYSTEMS}
+    for _, experiment, _ in prepared:
+        outcomes = experiment.evaluate_all(SYSTEMS)
+        for name, outcome in outcomes.items():
+            f1_runs[name].append(
+                [outcome.per_threshold[t].f1 for t in ordered]
+            )
+    return {name: np.array(runs, dtype=float)
+            for name, runs in f1_runs.items()}
+
+
+def end_to_end_scalar(condition, thresholds, n_runs, n_reads,
+                      read_length, n_segments, seed):
+    ordered, prepared = prepare_runs(condition, thresholds, n_runs,
+                                     n_reads, read_length, n_segments,
+                                     seed)
+    return scalar_engine(ordered, prepared)
+
+
+def end_to_end_sweep(condition, thresholds, n_runs, n_reads,
+                     read_length, n_segments, seed, n_workers):
+    result = run_sweep(condition, SYSTEMS, thresholds, n_runs=n_runs,
+                       n_reads=n_reads, read_length=read_length,
+                       n_segments=n_segments, seed=seed,
+                       n_workers=n_workers)
+    return {name: series.f1_runs
+            for name, series in result.systems.items()}
+
+
+def timed(fn, repeats: int):
+    """Best-of-``repeats`` wall time (robust against machine noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def identical(a: "dict[str, np.ndarray]",
+              b: "dict[str, np.ndarray]") -> bool:
+    return all(np.array_equal(a[name], b[name]) for name in SYSTEMS)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--condition", default="both",
+                        choices=("A", "B", "both"))
+    parser.add_argument("--runs", type=int, default=3,
+                        help="Monte-Carlo repetitions per condition")
+    parser.add_argument("--reads", type=int, default=96)
+    parser.add_argument("--read-length", type=int, default=256)
+    parser.add_argument("--segments", type=int, default=128)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="sweep-engine Monte-Carlo worker threads "
+                             "(1 isolates the single-thread engine win)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed repetitions per path (best taken)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI hot-path checks")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless engine sweep/scalar >= this "
+                             "factor on every timed condition")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.runs, args.reads = 2, 24
+        args.read_length, args.segments = 64, 32
+        args.repeats = 1
+
+    conditions = ["A", "B"] if args.condition == "both" \
+        else [args.condition]
+    print(f"\nbench_sweep_engine: {args.runs} runs x {args.reads} reads "
+          f"x {args.segments} segments x {args.read_length} bases, "
+          f"{len(SYSTEMS)} systems, workers={args.workers}")
+    print(f"{'condition':<10} {'scope':<10} {'scalar s':>10} "
+          f"{'sweep s':>10} {'speedup':>9} {'identical':>10}")
+
+    failed = False
+    for condition in conditions:
+        thresholds = thresholds_for(condition)
+        shape = (condition, thresholds, args.runs, args.reads,
+                 args.read_length, args.segments, args.seed)
+
+        # Gated: engines over shared, pre-built Monte-Carlo inputs.
+        ordered, prepared = prepare_runs(*shape)
+        scalar_s, scalar_f1 = timed(
+            lambda: scalar_engine(ordered, prepared), args.repeats)
+        sweep_s, sweep_f1 = timed(
+            lambda: sweep_engine(ordered, prepared), args.repeats)
+        engine_ok = identical(scalar_f1, sweep_f1)
+        engine_speedup = scalar_s / sweep_s if sweep_s else float("inf")
+        print(f"{condition:<10} {'engine':<10} {scalar_s:>10.3f} "
+              f"{sweep_s:>10.3f} {engine_speedup:>8.1f}x "
+              f"{str(engine_ok):>10}")
+
+        # Reported: full run including dataset + ground-truth prep.
+        e2e_scalar_s, e2e_scalar_f1 = timed(
+            lambda: end_to_end_scalar(*shape), args.repeats)
+        e2e_sweep_s, e2e_sweep_f1 = timed(
+            lambda: end_to_end_sweep(*shape, args.workers), args.repeats)
+        e2e_ok = (identical(e2e_scalar_f1, e2e_sweep_f1)
+                  and identical(e2e_sweep_f1, sweep_f1))
+        e2e_speedup = (e2e_scalar_s / e2e_sweep_s if e2e_sweep_s
+                       else float("inf"))
+        print(f"{condition:<10} {'end-to-end':<10} {e2e_scalar_s:>10.3f} "
+              f"{e2e_sweep_s:>10.3f} {e2e_speedup:>8.1f}x "
+              f"{str(e2e_ok):>10}")
+
+        if not (engine_ok and e2e_ok):
+            print(f"FAIL: condition {condition}: sweep-engine F1 curves "
+                  f"differ from the scalar path", file=sys.stderr)
+            failed = True
+        if args.min_speedup and engine_speedup < args.min_speedup:
+            print(f"FAIL: condition {condition}: engine speedup "
+                  f"{engine_speedup:.1f}x < {args.min_speedup:.1f}x",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ from repro.arch.accelerator import (
     ReadCostEstimate,
     SystemMatch,
 )
+from repro.arch.autotune import ShardPlan, plan_shards, sweep_worker_count
 from repro.arch.buffer import Controller, GlobalBuffer
 from repro.arch.config import ArchConfig
 from repro.arch.htree import HTreeModel
@@ -38,6 +39,7 @@ __all__ = [
     "HTreeModel",
     "PowerBreakdown",
     "ReadCostEstimate",
+    "ShardPlan",
     "SystemMatch",
     "TimingModel",
     "array_area_mm2",
@@ -45,5 +47,7 @@ __all__ = [
     "cell_area_fraction",
     "cell_area_um2",
     "component_energies_per_search",
+    "plan_shards",
     "steady_state_search_period_ns",
+    "sweep_worker_count",
 ]

@@ -28,7 +28,12 @@ from repro.arch.htree import HTreeModel
 from repro.arch.timing import TimingModel
 from repro.cam.array import CamArray
 from repro.cam.energy import search_energy_per_row
-from repro.core.matcher import AsmCapMatcher, MatcherConfig, MatchOutcome
+from repro.core.matcher import (
+    AsmCapMatcher,
+    MatchBatchOutcome,
+    MatcherConfig,
+    MatchOutcome,
+)
 from repro.errors import ArchConfigError
 from repro.genome.edits import ErrorModel
 
@@ -201,10 +206,84 @@ class AsmCapAccelerator:
             n_searches=n_searches,
         )
 
-    def match_batch(self, reads: "list[np.ndarray]",
-                    threshold: int) -> list[SystemMatch]:
-        """Match a batch of reads sequentially."""
-        return [self.match_read(read, threshold) for read in reads]
+    def match_batch(self, reads: "list[np.ndarray] | np.ndarray",
+                    threshold: int,
+                    query_keys: "list[int] | None" = None
+                    ) -> list[SystemMatch]:
+        """Broadcast a read block to every array in one batched pass.
+
+        The software image of Fig. 4(a)'s steady state: the global
+        buffer streams the whole ``(B, N)`` block down the H-tree and
+        every array runs its vectorised
+        :meth:`~repro.core.matcher.AsmCapMatcher.match_batch` over it —
+        ED*, masked HDAC and TASR passes included — instead of looping
+        reads through :meth:`match_read` one at a time.  Per-read
+        decisions merge across arrays in global segment order; energy
+        sums over arrays while array latency takes the max (arrays
+        search in parallel behind the H-tree).
+
+        Determinism is anchored on per-read ``query_keys`` (default:
+        the read's position in the block), so chunked calls that pass
+        global positions compose bit-identically.
+
+        .. deprecated:: PR 2
+           The previous implementation silently degraded to a scalar
+           ``match_read`` loop drawing from each array's *sequential*
+           noise stream.  The batched pass draws keyed noise instead,
+           so noisy-array decisions differ from the old loop (both are
+           valid Monte-Carlo draws); ideal arrays (``noisy=False``)
+           match bit-for-bit.  Call :meth:`match_read` per read if the
+           legacy sequential stream is required.
+        """
+        if self._loaded_segments == 0:
+            raise ArchConfigError("no reference loaded")
+        codes = np.asarray(reads, dtype=np.uint8)
+        if codes.ndim != 2:
+            raise ArchConfigError(
+                f"match_batch needs a (B, N) read block, got shape "
+                f"{codes.shape}"
+            )
+        n_reads = codes.shape[0]
+        if n_reads == 0:
+            return []
+        outcomes: list[MatchBatchOutcome] = []
+        for matcher in self._matchers:
+            if matcher.array.plane.n_written == 0:
+                break
+            outcomes.append(
+                matcher.match_batch(codes, threshold,
+                                    query_keys=query_keys)
+            )
+        merged = np.hstack([o.decisions for o in outcomes])
+        merged = merged[:, : self._loaded_segments]
+        array_energy = np.sum([o.energy_joules for o in outcomes], axis=0)
+        array_latency = np.max([o.latency_ns for o in outcomes], axis=0)
+        # All arrays issue the same per-read search schedule.
+        n_searches = np.max([o.n_searches for o in outcomes], axis=0)
+
+        fetch_latency = self._buffer.fetch_latency_ns()
+        broadcast_latency = self._htree.broadcast_latency_ns()
+        fetch_energy = self._buffer.fetch_energy_joules(
+            self._config.read_bits
+        )
+        broadcast_energy = self._htree.broadcast_energy_joules(
+            self._config.read_bits
+        )
+        results: list[SystemMatch] = []
+        for q in range(n_reads):
+            searches = int(n_searches[q])
+            results.append(SystemMatch(
+                matches=merged[q],
+                latency_ns=(fetch_latency + broadcast_latency
+                            + self._controller.dispatch_latency_ns(searches)
+                            + float(array_latency[q])),
+                energy_joules=(fetch_energy + broadcast_energy
+                               + self._controller.dispatch_energy_joules(
+                                   searches)
+                               + float(array_energy[q])),
+                n_searches=searches,
+            ))
+        return results
 
     # -- analytic path ------------------------------------------------------
 

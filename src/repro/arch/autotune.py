@@ -1,0 +1,124 @@
+"""Shard/chunk autotuning: pick execution parameters from the workload.
+
+PR 1's sharded pipeline took ``n_shards`` and ``chunk_size`` as
+constants, which silently mis-sizes both extremes: a 64-row reference
+split across 16 shards wastes every worker on 4-row arrays, while a
+million-row reference on 4 shards leaves cores idle.  This module
+derives the parameters from the only two things that matter — the
+reference size and the machine — with the same memory-bounding logic
+the array's batched GEMM path uses.
+
+Heuristics (all clamped, all deterministic given their inputs):
+
+* **shards** — one worker core per shard, but never shards smaller
+  than :data:`MIN_ROWS_PER_SHARD` rows (a shard must amortise its
+  per-pass Python overhead over enough matchline rows) and never more
+  shards than rows.
+* **chunk size** — bound the peak boolean/one-hot working set of one
+  worker's vectorised pass to :data:`TARGET_CHUNK_ELEMS` elements,
+  mirroring ``repro.cam.array``'s internal chunking, and keep chunks
+  large enough (:data:`MIN_CHUNK_READS`) that per-chunk dispatch cost
+  stays negligible.
+* **workers** — one thread per shard, capped at the CPU count (numpy
+  releases the GIL inside the comparison kernels, so threads scale
+  until cores run out).
+
+The Monte-Carlo sweep runner reuses the same machine signal through
+:func:`sweep_worker_count` (independent repetitions, so the only cap
+is cores vs runs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: A shard below this many rows spends more time in per-pass Python
+#: dispatch than in the vectorised compare kernels.
+MIN_ROWS_PER_SHARD = 32
+
+#: Target element count of one worker chunk's comparison working set
+#: (matches the array's internal ``_BATCH_CHUNK_ELEMS`` bound: ~8 MB
+#: of boolean planes).
+TARGET_CHUNK_ELEMS = 1 << 23
+
+#: Lower bound on reads per chunk — below this the chunk bookkeeping
+#: dominates.
+MIN_CHUNK_READS = 64
+
+#: Upper bound on reads per chunk — above this the merged per-pass
+#: blocks stop fitting in outer caches regardless of element budget.
+MAX_CHUNK_READS = 8192
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Autotuned execution parameters for a sharded pipeline run.
+
+    Attributes
+    ----------
+    n_shards:
+        CAM-array shards to partition the reference across.
+    chunk_size:
+        Reads per worker task.
+    max_workers:
+        Worker threads for the shard fan-out.
+    """
+
+    n_shards: int
+    chunk_size: int
+    max_workers: int
+
+
+def available_cpus(cpu_count: "int | None" = None) -> int:
+    """The core budget used by every heuristic (>= 1)."""
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    return max(1, int(cpu_count))
+
+
+def plan_shards(n_rows: int, cols: int,
+                cpu_count: "int | None" = None) -> ShardPlan:
+    """Pick ``(n_shards, chunk_size, max_workers)`` for a reference.
+
+    Parameters
+    ----------
+    n_rows:
+        Reference segment rows to be partitioned across shards.
+    cols:
+        Segment width in bases (drives the per-read memory bound).
+    cpu_count:
+        Core budget; defaults to ``os.cpu_count()``.  Explicit values
+        make plans reproducible across machines (tests pin this).
+    """
+    if n_rows <= 0:
+        raise ValueError(f"n_rows must be positive, got {n_rows}")
+    if cols <= 0:
+        raise ValueError(f"cols must be positive, got {cols}")
+    cpus = available_cpus(cpu_count)
+    by_size = max(1, n_rows // MIN_ROWS_PER_SHARD)
+    n_shards = max(1, min(cpus, by_size, n_rows))
+
+    # One worker chunk materialises roughly a (chunk, rows_per_shard)
+    # count block plus a (chunk, cols * 4) one-hot encoding per pass;
+    # bound the larger of the two.
+    rows_per_shard = -(-n_rows // n_shards)  # ceil
+    per_read_elems = max(rows_per_shard, cols * 4, 1)
+    chunk = TARGET_CHUNK_ELEMS // per_read_elems
+    chunk_size = int(min(MAX_CHUNK_READS, max(MIN_CHUNK_READS, chunk)))
+
+    return ShardPlan(n_shards=n_shards, chunk_size=chunk_size,
+                     max_workers=min(n_shards, cpus))
+
+
+def sweep_worker_count(n_runs: int,
+                       cpu_count: "int | None" = None) -> int:
+    """Worker threads for a Monte-Carlo sweep of independent runs.
+
+    Each repetition owns its dataset, arrays and noise streams, so runs
+    parallelise freely; the only cap is cores (and it never pays to
+    spawn more workers than runs).
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be positive, got {n_runs}")
+    return max(1, min(int(n_runs), available_cpus(cpu_count)))

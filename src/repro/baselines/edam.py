@@ -23,6 +23,7 @@ improves on; the ablation benches use it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -31,6 +32,12 @@ from repro.cam.array import CamArray, SearchResult
 from repro.cam.cell import MatchMode
 from repro.core.tasr import rotation_offsets
 from repro.errors import CamConfigError
+
+#: Pass tags separating one query's keyed noise streams (mirrors the
+#: ASMCap matcher's tags; streams never mix across arrays because the
+#: array seed is folded in first).
+_PASS_ED_STAR = 0
+_PASS_ROTATION = 512
 
 
 @dataclass(frozen=True)
@@ -87,13 +94,29 @@ class EdamMatcher:
     def store(self, segments: np.ndarray) -> None:
         self._array.store(segments)
 
-    def match(self, read: np.ndarray, threshold: int) -> EdamOutcome:
-        """Match one read at threshold ``T`` (plain ED*, optional SR)."""
+    @staticmethod
+    def _noise_key(query_key: "int | None",
+                   pass_tag: int) -> "tuple[int, int] | None":
+        if query_key is None:
+            return None
+        return (int(query_key), pass_tag)
+
+    def match(self, read: np.ndarray, threshold: int,
+              query_key: "int | None" = None) -> EdamOutcome:
+        """Match one read at threshold ``T`` (plain ED*, optional SR).
+
+        With a ``query_key`` the variation noise comes from keyed
+        streams, making the outcome bit-identical to row ``query_key``
+        of a :meth:`match_sweep` call that used the same key —
+        regardless of which other reads or thresholds rode along.
+        """
         # Pre-charge *energy* is already inside the array's current-domain
         # search energy (CamArray._search_energy); only the pre-charge
         # *latency* phase is added here.
-        base: SearchResult = self._array.search(read, threshold,
-                                                MatchMode.ED_STAR)
+        base: SearchResult = self._array.search(
+            read, threshold, MatchMode.ED_STAR,
+            noise_key=self._noise_key(query_key, _PASS_ED_STAR),
+        )
         decisions = base.matches.copy()
         n_searches = 1
         energy = base.energy_joules
@@ -101,7 +124,9 @@ class EdamMatcher:
         if self._enable_sr:
             for offset in rotation_offsets(self._sr_nr, self._sr_direction):
                 rotated = self._array.search_rotated(
-                    read, threshold, offset, MatchMode.ED_STAR
+                    read, threshold, offset, MatchMode.ED_STAR,
+                    noise_key=self._noise_key(query_key,
+                                              _PASS_ROTATION + offset),
                 )
                 decisions |= rotated.matches
                 n_searches += 1
@@ -110,6 +135,58 @@ class EdamMatcher:
                             + constants.EDAM_PRECHARGE_TIME_NS)
         return EdamOutcome(decisions=decisions, n_searches=n_searches,
                            energy_joules=energy, latency_ns=latency)
+
+    def match_sweep(self, reads: np.ndarray,
+                    thresholds: "Sequence[int] | np.ndarray",
+                    query_keys: "Sequence[int] | None" = None) -> np.ndarray:
+        """Decisions for a ``(B, N)`` block over a whole threshold sweep.
+
+        EDAM has no threshold-dependent escalation, so its sweep is the
+        pure form of the trick: one ED* count + keyed-noise pass (plus
+        one rotated pass per SR offset when SR is enabled — EDAM's SR
+        fires unconditionally, so every threshold shares them) and the
+        whole threshold vector applied as sense-amp reference
+        comparisons.  Slice ``t``, row ``q`` is bit-identical to
+        ``match(reads[q], thresholds[t], query_key=keys[q])``.
+        """
+        reads = np.asarray(reads, dtype=np.uint8)
+        if reads.ndim != 2:
+            raise CamConfigError(
+                f"match_sweep needs a (B, N) block, got shape {reads.shape}"
+            )
+        n_queries = reads.shape[0]
+        thresholds = np.asarray(thresholds, dtype=int)
+        if query_keys is None:
+            keys = np.arange(n_queries, dtype=np.int64)
+        else:
+            if len(query_keys) != n_queries:
+                raise CamConfigError(
+                    f"{len(query_keys)} query keys for {n_queries} reads"
+                )
+            keys = np.asarray([int(k) for k in query_keys], dtype=np.int64)
+
+        def pass_keys(tag: int) -> np.ndarray:
+            return np.column_stack(
+                (keys, np.full(n_queries, tag, dtype=np.int64))
+            )
+
+        base = self._array.search_sweep(
+            reads, thresholds, MatchMode.ED_STAR,
+            noise_keys=pass_keys(_PASS_ED_STAR),
+        )
+        decisions = base.matches.copy()
+        if self._enable_sr:
+            for offset in rotation_offsets(self._sr_nr, self._sr_direction):
+                rotated = self._array.search_sweep(
+                    np.roll(reads, -offset, axis=1), thresholds,
+                    MatchMode.ED_STAR,
+                    noise_keys=pass_keys(_PASS_ROTATION + offset),
+                )
+                decisions |= rotated.matches
+                self._array.stats.n_rotation_cycles += (
+                    abs(int(offset)) * n_queries
+                )
+        return decisions
 
 
 def edam_search_energy_per_array(mismatch_fraction: float =

@@ -13,6 +13,17 @@ This model reproduces that mechanism with a per-(read, segment)
 decision so it plugs into the same confusion-matrix evaluation as the
 CAM matchers: a segment is called a match when enough of the read's
 k-mers occur in that segment.
+
+**Implementation.**  Everything is vectorised and *exact* — no k-mer
+hashing.  The index assigns every distinct reference k-mer window an
+integer id by sorting the raw ``(k,)`` byte windows (a void-dtype
+``np.unique``), and stores a dense id -> segment membership table.
+Classification slides windows over the read block, finds each window's
+id with one ``searchsorted``, and gathers/sums membership rows — so
+:meth:`KrakenLikeClassifier.classify_batch` scores a whole ``(B, L)``
+read block without any per-k-mer Python.  The scalar
+:meth:`KrakenLikeClassifier.classify` is the batch-of-one special case,
+guaranteeing the two agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -20,9 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import DatasetError, ThresholdError
-from repro.genome.kmer import iter_kmers, kmer_profile
 from repro.genome.sequence import DnaSequence
 
 #: Kraken2's default k-mer length.
@@ -36,6 +47,26 @@ class KrakenOutcome:
     hit_fractions: np.ndarray
     decisions: np.ndarray
     n_kmers: int
+
+
+@dataclass(frozen=True)
+class KrakenBatchOutcome:
+    """Per-(read, segment) hit fractions for a read block."""
+
+    hit_fractions: np.ndarray
+    decisions: np.ndarray
+    n_kmers: int
+
+
+def _window_keys(windows: np.ndarray) -> np.ndarray:
+    """View fixed-width uint8 windows as one void key per row.
+
+    Void keys compare as raw bytes, which makes sorting, ``unique``
+    and ``searchsorted`` over k-mer windows exact without packing
+    k-mers into (over-wide) integers.
+    """
+    windows = np.ascontiguousarray(windows)
+    return windows.view(np.dtype((np.void, windows.shape[1]))).ravel()
 
 
 class KrakenLikeClassifier:
@@ -72,10 +103,25 @@ class KrakenLikeClassifier:
             )
         self._k = k
         self._confidence = confidence
-        self._segment_kmers = [
-            frozenset(kmer_profile(DnaSequence(row), k))
-            for row in segments
-        ]
+        self._n_segments = int(segments.shape[0])
+        if self._n_segments:
+            windows = sliding_window_view(segments, k, axis=1)
+            n_windows = windows.shape[1]
+            keys = _window_keys(windows.reshape(-1, k))
+            self._unique_kmers, inverse = np.unique(keys,
+                                                    return_inverse=True)
+            # Dense id -> segment membership; the extra trailing row
+            # stays all-zero and absorbs missing (non-reference) ids.
+            membership = np.zeros(
+                (self._unique_kmers.shape[0] + 1, self._n_segments),
+                dtype=np.uint8,
+            )
+            segment_ids = np.repeat(np.arange(self._n_segments), n_windows)
+            membership[inverse.ravel(), segment_ids] = 1
+            self._membership = membership
+        else:
+            self._unique_kmers = np.empty(0, dtype=np.dtype((np.void, k)))
+            self._membership = np.zeros((1, 0), dtype=np.uint8)
 
     @property
     def k(self) -> int:
@@ -83,7 +129,48 @@ class KrakenLikeClassifier:
 
     @property
     def n_segments(self) -> int:
-        return len(self._segment_kmers)
+        return self._n_segments
+
+    def _window_ids(self, codes: np.ndarray) -> np.ndarray:
+        """``(B, n_kmers)`` membership-row ids for a read block.
+
+        Windows absent from the reference map to the table's all-zero
+        trailing row.
+        """
+        windows = sliding_window_view(codes, self._k, axis=1)
+        keys = _window_keys(windows.reshape(-1, self._k))
+        missing = self._unique_kmers.shape[0]
+        if missing == 0:
+            return np.zeros((codes.shape[0], windows.shape[1]),
+                            dtype=np.intp)
+        positions = np.searchsorted(self._unique_kmers, keys)
+        clipped = np.minimum(positions, missing - 1)
+        found = self._unique_kmers[clipped] == keys
+        ids = np.where(found, clipped, missing)
+        return ids.reshape(codes.shape[0], windows.shape[1])
+
+    def classify_batch(self, reads: np.ndarray) -> KrakenBatchOutcome:
+        """Hit fractions and decisions for a ``(B, L)`` read block."""
+        reads = np.asarray(reads, dtype=np.uint8)
+        if reads.ndim != 2:
+            raise DatasetError(
+                f"classify_batch needs a (B, L) block, got shape "
+                f"{reads.shape}"
+            )
+        if reads.shape[1] < self._k:
+            raise DatasetError(
+                f"reads of length {reads.shape[1]} shorter than "
+                f"k = {self._k}"
+            )
+        ids = self._window_ids(reads)
+        n_kmers = int(ids.shape[1])
+        hits = self._membership[ids].sum(axis=1, dtype=np.int32)
+        fractions = hits / n_kmers
+        return KrakenBatchOutcome(
+            hit_fractions=fractions,
+            decisions=fractions >= self._confidence,
+            n_kmers=n_kmers,
+        )
 
     def classify(self, read: DnaSequence) -> KrakenOutcome:
         """Hit fractions and match decisions against every segment."""
@@ -91,15 +178,9 @@ class KrakenLikeClassifier:
             raise DatasetError(
                 f"read of length {len(read)} shorter than k = {self._k}"
             )
-        read_kmers = [kmer for _, kmer in iter_kmers(read, self._k)]
-        n_kmers = len(read_kmers)
-        hits = np.array([
-            sum(1 for kmer in read_kmers if kmer in segment_set)
-            for segment_set in self._segment_kmers
-        ], dtype=float)
-        fractions = hits / n_kmers
+        batch = self.classify_batch(read.codes[None, :])
         return KrakenOutcome(
-            hit_fractions=fractions,
-            decisions=fractions >= self._confidence,
-            n_kmers=n_kmers,
+            hit_fractions=batch.hit_fractions[0],
+            decisions=batch.decisions[0],
+            n_kmers=batch.n_kmers,
         )

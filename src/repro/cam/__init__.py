@@ -15,6 +15,7 @@ from repro.cam.array import (
     CamArray,
     SearchResult,
     SearchStats,
+    SweepSearchResult,
 )
 from repro.cam.cell import NO_NEIGHBOR, AsmCapCell, MatchMode, PartialMatch
 from repro.cam.defects import DefectiveArray, DefectMap
@@ -46,6 +47,7 @@ __all__ = [
     "PartialMatch",
     "SearchResult",
     "SearchStats",
+    "SweepSearchResult",
     "SenseAmplifier",
     "ShiftRegisterBank",
     "SramPlane",

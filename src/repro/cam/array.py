@@ -148,6 +148,55 @@ class BatchSearchResult:
         return self.latency_ns / self.n_queries if self.n_queries else 0.0
 
 
+@dataclass(frozen=True)
+class SweepSearchResult:
+    """One search pass evaluated against a whole threshold sweep.
+
+    The digital mismatch counts and the keyed variation noise of a
+    search depend only on the query (and its noise key), never on the
+    threshold — so a ``T``-point threshold sweep needs one count pass
+    and one noise draw, with only the sense-amp references varying.
+    Slice ``t`` of :attr:`matches` is bit-identical to the ``matches``
+    of a :meth:`CamArray.search_batch` call at ``thresholds[t]`` with
+    the same noise keys.
+
+    Attributes
+    ----------
+    matches:
+        ``(T, B, M)`` boolean decisions (threshold t, query q, row i).
+    mismatch_counts:
+        ``(B, M)`` digital mismatch counts (threshold-independent).
+    v_ml:
+        ``(B, M)`` noisy analog matchline voltages (shared by every
+        threshold — the sweep's whole point).
+    thresholds:
+        ``(T,)`` the sweep vector.
+    mode:
+        ED*/HD mode of the pass.
+    energy_per_query_joules:
+        ``(B,)`` array energy of issuing this search once per query;
+        a scalar path would spend it once per (query, threshold).
+    latency_ns:
+        Latency of one pass through the array.
+    """
+
+    matches: np.ndarray
+    mismatch_counts: np.ndarray
+    v_ml: np.ndarray
+    thresholds: np.ndarray
+    mode: MatchMode
+    energy_per_query_joules: np.ndarray
+    latency_ns: float
+
+    @property
+    def n_thresholds(self) -> int:
+        return int(self.thresholds.shape[0])
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.mismatch_counts.shape[0])
+
+
 @dataclass
 class SearchStats:
     """Cumulative per-array counters (benchmark bookkeeping)."""
@@ -166,6 +215,19 @@ class SearchStats:
         self.n_searches += result.n_queries
         self.total_energy_joules += result.energy_joules
         self.total_latency_ns += result.latency_ns
+
+    def record_sweep(self, result: SweepSearchResult) -> None:
+        """Record the *physical* cost of one sweep pass.
+
+        A sweep issues each query's search once and reuses the analog
+        levels for every threshold, so the counters grow by ``B``
+        searches — not ``T * B`` — mirroring what the engine computed.
+        """
+        self.n_searches += result.n_queries
+        self.total_energy_joules += float(
+            result.energy_per_query_joules.sum()
+        )
+        self.total_latency_ns += result.latency_ns * result.n_queries
 
 
 class CamArray:
@@ -537,6 +599,74 @@ class CamArray:
             energy_per_query_joules=energy_per_query,
         )
         self.stats.record_batch(result)
+        return result
+
+    def search_sweep(self, queries: np.ndarray,
+                     thresholds: np.ndarray,
+                     mode: MatchMode = MatchMode.ED_STAR,
+                     noise_keys: "Sequence[tuple[int, ...]] | None" = None,
+                     precomputed_counts: "np.ndarray | None" = None
+                     ) -> SweepSearchResult:
+        """Evaluate one search pass against a whole threshold sweep.
+
+        Counts and (keyed) variation noise are threshold-independent,
+        so the pass is computed once and the ``(T,)`` threshold vector
+        is applied as ``T`` vectorised sense-amp reference comparisons
+        — slice ``t`` of the result is bit-identical to
+        :meth:`search_batch` at ``thresholds[t]`` with the same keys.
+
+        Parameters
+        ----------
+        queries:
+            ``(B, N)`` uint8 read codes.
+        thresholds:
+            ``(T,)`` sweep vector shared by every query.
+        mode:
+            ED*/HD mode of the pass.
+        noise_keys:
+            Optional per-query noise keys (length ``B``); without keys
+            the pass consumes the sequential stream **once** — i.e. a
+            sweep is *not* equivalent to ``T`` un-keyed searches, which
+            would each draw fresh noise.  Pass keys whenever scalar
+            equivalence matters.
+        precomputed_counts:
+            Digital counts for these queries in this mode, if already
+            available (e.g. from :meth:`mismatch_counts_batch_dual`).
+        """
+        queries = self._check_queries(queries)
+        n_queries = queries.shape[0]
+        thresholds = np.asarray(thresholds, dtype=int)
+        if thresholds.ndim != 1 or thresholds.shape[0] == 0:
+            raise ThresholdError(
+                f"thresholds must be a non-empty 1-D sweep vector, got "
+                f"shape {thresholds.shape}"
+            )
+        if not ((thresholds >= 0) & (thresholds <= self.cols)).all():
+            raise ThresholdError(
+                f"sweep thresholds out of range 0..{self.cols}"
+            )
+        if noise_keys is not None and len(noise_keys) != n_queries:
+            raise CamConfigError(
+                f"{len(noise_keys)} noise keys for {n_queries} queries"
+            )
+        if precomputed_counts is None:
+            counts = self.mismatch_counts_batch(queries, mode)
+        else:
+            counts = precomputed_counts
+        v_ml = self._noisy_voltages_batch(counts, noise_keys)
+        if n_queries:
+            matches = self._sense_amp.decide_sweep(v_ml, thresholds,
+                                                   self.cols)
+        else:
+            matches = np.zeros((thresholds.shape[0],) + counts.shape,
+                               dtype=bool)
+        result = SweepSearchResult(
+            matches=matches, mismatch_counts=counts, v_ml=v_ml,
+            thresholds=thresholds, mode=mode,
+            energy_per_query_joules=self._search_energy_batch(counts),
+            latency_ns=self._search_time_ns,
+        )
+        self.stats.record_sweep(result)
         return result
 
     def search_rotated(self, read: np.ndarray, threshold: int, rotation: int,

@@ -80,6 +80,41 @@ class SenseAmplifier:
             return mismatch_fraction * self.vdd
         return (1.0 - mismatch_fraction) * self.vdd
 
+    def decide_sweep(self, v_ml: np.ndarray, thresholds: np.ndarray,
+                     n_cells: int) -> np.ndarray:
+        """Decisions for every threshold of a sweep over one voltage block.
+
+        ``v_ml`` is the ``(B, M)`` (or ``(M,)``) voltage block of one
+        search pass; ``thresholds`` is the ``(T,)`` sweep vector.  The
+        returned ``(T,) + v_ml.shape`` block's slice ``t`` is
+        bit-identical to ``decide(v_ml, thresholds[t], n_cells)`` — the
+        voltages are sampled once and every reference is compared
+        against the same analog levels, which is what makes a
+        threshold sweep cost one search pass instead of ``T``.
+
+        Offset sampling is a per-decision draw, so a sweep over an
+        imperfect SA bank (``offset_sigma > 0``) cannot share one
+        voltage block; such banks must use :meth:`decide` per
+        threshold.
+        """
+        if self.offset_sigma > 0.0:
+            raise ThresholdError(
+                "decide_sweep requires offset_sigma == 0; offset draws "
+                "are per-decision and cannot be shared across a sweep"
+            )
+        v_ml = np.asarray(v_ml, dtype=float)
+        thresholds = np.asarray(thresholds)
+        if thresholds.ndim != 1:
+            raise ThresholdError(
+                f"thresholds must be a 1-D sweep vector, got shape "
+                f"{thresholds.shape}"
+            )
+        v_ref = self.reference_voltages(thresholds, n_cells)
+        v_ref = v_ref.reshape((thresholds.shape[0],) + (1,) * v_ml.ndim)
+        if self.rising:
+            return v_ml[None, ...] <= v_ref
+        return v_ml[None, ...] >= v_ref
+
     def decide(self, v_ml: np.ndarray, threshold: "int | np.ndarray",
                n_cells: int,
                rng: "np.random.Generator | None" = None) -> np.ndarray:

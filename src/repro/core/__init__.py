@@ -13,6 +13,7 @@ from repro.core.matcher import (
     AsmCapMatcher,
     MatchBatchOutcome,
     MatchOutcome,
+    MatchSweepOutcome,
     MatcherConfig,
 )
 from repro.core.pipeline import (
@@ -39,6 +40,7 @@ __all__ = [
     "MappingReport",
     "MatchBatchOutcome",
     "MatchOutcome",
+    "MatchSweepOutcome",
     "MatcherConfig",
     "ReadMapping",
     "ReadMappingPipeline",

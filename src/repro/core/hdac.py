@@ -134,6 +134,59 @@ def hdac_correct_keyed(ed_star_decisions: np.ndarray,
                        n_hd_selected=int(selected.sum()))
 
 
+def hdac_correct_sweep(ed_star_decisions: np.ndarray,
+                       hamming_decisions: np.ndarray,
+                       p: np.ndarray,
+                       states: np.ndarray) -> np.ndarray:
+    """Vectorised Algorithm 1 over a ``(T, B, M)`` threshold sweep.
+
+    Every threshold of a sweep re-runs the correction on the *same*
+    per-query keyed streams — exactly what a scalar per-threshold loop
+    does, since the stream key is ``(seed, query)`` and never includes
+    the threshold.  The draw a row receives still depends on its
+    disagreement ordinal, which varies with the threshold's decision
+    pattern, so slices are corrected independently.
+
+    Parameters
+    ----------
+    ed_star_decisions / hamming_decisions:
+        ``(T, B, M)`` boolean decision blocks.
+    p:
+        ``(T,)`` per-threshold Hamming-selection probabilities.
+    states:
+        ``(B,)`` folded keyed-stream states (uint64), one per query.
+
+    Returns
+    -------
+    The corrected ``(T, B, M)`` decisions; slice ``t`` is bit-identical
+    to ``hdac_correct_batch(ed[t], hd[t], full(B, p[t]), states)``.
+    """
+    ed = np.asarray(ed_star_decisions, dtype=bool)
+    hd = np.asarray(hamming_decisions, dtype=bool)
+    if ed.shape != hd.shape or ed.ndim != 3:
+        raise ThresholdError(
+            f"sweep decision blocks must share one (T, B, M) shape, got "
+            f"{ed.shape} vs {hd.shape}"
+        )
+    p = np.asarray(p, dtype=float)
+    if p.shape != (ed.shape[0],):
+        raise ThresholdError(
+            f"p must be per-threshold with shape ({ed.shape[0]},), got "
+            f"{p.shape}"
+        )
+    if ((p < 0.0) | (p > 1.0)).any():
+        raise ThresholdError("p entries must be probabilities in [0, 1]")
+    states = np.asarray(states, dtype=np.uint64)
+    if states.shape != (ed.shape[1],):
+        raise ThresholdError(
+            f"states must be per-query with shape ({ed.shape[1]},), got "
+            f"{states.shape}"
+        )
+    selected = _keyed_selection(ed, hd, p[:, None, None],
+                                states[None, :, None])
+    return np.where(selected, hd, ed)
+
+
 def hdac_correct_batch(ed_star_decisions: np.ndarray,
                        hamming_decisions: np.ndarray,
                        p: np.ndarray,

@@ -42,6 +42,7 @@ from repro.core.hdac import (
     hdac_correct,
     hdac_correct_batch,
     hdac_correct_keyed,
+    hdac_correct_sweep,
 )
 from repro.core.tasr import TasrOutcome, rotation_offsets, tasr_correct
 from repro.errors import CamConfigError
@@ -167,6 +168,66 @@ class MatchBatchOutcome:
     @property
     def total_latency_ns(self) -> float:
         return float(self.latency_ns.sum())
+
+
+@dataclass(frozen=True)
+class MatchSweepOutcome:
+    """Decisions and cost accounting for a block x threshold sweep.
+
+    The threshold axis leads; slice ``t`` carries exactly what a
+    :class:`MatchBatchOutcome` at ``thresholds[t]`` would have carried.
+
+    Attributes
+    ----------
+    decisions:
+        ``(T, B, M)`` final decisions (threshold, query, stored row).
+    thresholds:
+        ``(T,)`` the sweep vector.
+    n_searches:
+        ``(T, B)`` search operations a scalar path would have issued
+        per (threshold, query) cell.
+    energy_joules / latency_ns:
+        ``(T, B)`` the equivalent scalar path's per-cell array costs
+        (what Fig. 7's Monte-Carlo accounting charges); the sweep
+        engine *computed* far less — see
+        :attr:`repro.cam.array.SearchStats`.
+    hdac_probabilities:
+        ``(T,)`` the ``p`` in force per threshold (0 where HDAC was
+        skipped).
+    tasr_lower_bound:
+        The ``Tl`` in force for the sweep.
+    hdac_mask / tasr_mask:
+        ``(T,)`` thresholds whose HD pass / rotation passes applied
+        (eligibility is per threshold — every query of a sweep shares
+        its threshold).
+    """
+
+    decisions: np.ndarray
+    thresholds: np.ndarray
+    n_searches: np.ndarray
+    energy_joules: np.ndarray
+    latency_ns: np.ndarray
+    hdac_probabilities: np.ndarray
+    tasr_lower_bound: int
+    hdac_mask: np.ndarray
+    tasr_mask: np.ndarray
+
+    @property
+    def n_thresholds(self) -> int:
+        return int(self.decisions.shape[0])
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.decisions.shape[1])
+
+    def at_threshold(self, threshold: int) -> np.ndarray:
+        """The ``(B, M)`` decision slice for one sweep threshold."""
+        index = np.flatnonzero(self.thresholds == int(threshold))
+        if index.size == 0:
+            raise CamConfigError(
+                f"threshold {threshold} is not part of this sweep"
+            )
+        return self.decisions[int(index[0])]
 
 
 class AsmCapMatcher:
@@ -431,6 +492,142 @@ class AsmCapMatcher:
                     latency[idx] += self._array.search_time_ns
 
         return MatchBatchOutcome(
+            decisions=decisions, thresholds=thresholds,
+            n_searches=n_searches, energy_joules=energy,
+            latency_ns=latency, hdac_probabilities=probabilities,
+            tasr_lower_bound=lower_bound,
+            hdac_mask=hdac_mask, tasr_mask=tasr_mask,
+        )
+
+    def match_sweep(self, reads: np.ndarray,
+                    thresholds: "Sequence[int] | np.ndarray",
+                    query_keys: "Sequence[int] | None" = None
+                    ) -> MatchSweepOutcome:
+        """Match a ``(B, N)`` block against a whole threshold sweep.
+
+        The engine behind Fig. 7's curves: every random draw of the
+        flow is keyed by ``(query_key, pass)`` — never by the threshold
+        — so a ``T``-point sweep computes each pass's mismatch counts
+        and noisy matchline voltages **once** and applies the threshold
+        vector as vectorised sense-amp reference comparisons:
+
+        1. one ED* count + noise pass, ``T`` reference comparisons;
+        2. one HD count + noise pass shared by every threshold whose
+           ``p`` clears the HDAC disable cut, with Algorithm 1 applied
+           per threshold on the per-query keyed streams;
+        3. one rotated ED* pass per TASR offset shared by every
+           threshold at or above ``Tl`` (Algorithm 2).
+
+        A sweep therefore issues ``2 + 2 * NR`` array passes instead of
+        the scalar path's up-to ``T * (2 + 2 * NR)``, while slice ``t``
+        of the result stays bit-identical to
+        ``match_batch(reads, thresholds[t], query_keys)`` — and hence
+        to per-read ``match(read, thresholds[t], query_key=k)`` calls.
+
+        Parameters
+        ----------
+        reads:
+            ``(B, N)`` uint8 read codes.
+        thresholds:
+            ``(T,)`` sweep vector shared by the whole block.
+        query_keys:
+            Per-query determinism keys; defaults to ``0..B-1``.
+        """
+        reads = np.asarray(reads, dtype=np.uint8)
+        if reads.ndim != 2:
+            raise CamConfigError(
+                f"match_sweep needs a (B, N) block, got shape {reads.shape}"
+            )
+        n_queries = reads.shape[0]
+        thresholds = np.asarray(thresholds, dtype=int)
+        if thresholds.ndim != 1 or thresholds.shape[0] == 0:
+            raise CamConfigError(
+                f"thresholds must be a non-empty 1-D sweep vector, got "
+                f"shape {thresholds.shape}"
+            )
+        n_thresholds = thresholds.shape[0]
+        if query_keys is None:
+            keys = np.arange(n_queries, dtype=np.int64)
+        else:
+            if len(query_keys) != n_queries:
+                raise CamConfigError(
+                    f"{len(query_keys)} query keys for {n_queries} reads"
+                )
+            keys = np.asarray([int(k) for k in query_keys], dtype=np.int64)
+
+        def pass_keys(tag: int) -> np.ndarray:
+            return np.column_stack(
+                (keys, np.full(n_queries, tag, dtype=np.int64))
+            )
+
+        # Per-threshold HDAC eligibility (p is an off-line function of
+        # the threshold alone; every query of a sweep shares it).
+        p_per_threshold = np.zeros(n_thresholds)
+        hdac_mask = np.zeros(n_thresholds, dtype=bool)
+        if self._config.enable_hdac:
+            p_per_threshold = np.asarray(
+                [self.hdac_probability(int(t)) for t in thresholds]
+            )
+            hdac_mask = (p_per_threshold
+                         >= self._config.hdac_disable_threshold)
+
+        ed_counts = hd_counts = None
+        if n_queries and hdac_mask.any():
+            ed_counts, hd_counts = \
+                self._array.mismatch_counts_batch_dual(reads)
+
+        base = self._array.search_sweep(
+            reads, thresholds, MatchMode.ED_STAR,
+            noise_keys=pass_keys(_PASS_ED_STAR),
+            precomputed_counts=ed_counts,
+        )
+        decisions = base.matches.copy()
+        n_searches = np.ones((n_thresholds, n_queries), dtype=int)
+        energy = np.tile(base.energy_per_query_joules, (n_thresholds, 1))
+        latency = np.full((n_thresholds, n_queries),
+                          self._array.search_time_ns)
+
+        # --- HDAC (Algorithm 1), shared HD pass, per-threshold apply --
+        probabilities = np.where(hdac_mask, p_per_threshold, 0.0)
+        if hdac_mask.any() and n_queries:
+            idx = np.flatnonzero(hdac_mask)
+            hd = self._array.search_sweep(
+                reads, thresholds[idx], MatchMode.HAMMING,
+                noise_keys=pass_keys(_PASS_HAMMING),
+                precomputed_counts=hd_counts,
+            )
+            states = fold_key_block(self._hdac_prefix, keys)
+            decisions[idx] = hdac_correct_sweep(
+                decisions[idx], hd.matches, p_per_threshold[idx], states
+            )
+            n_searches[idx] += 1
+            energy[idx] += hd.energy_per_query_joules
+            latency[idx] += self._array.search_time_ns
+
+        # --- TASR (Algorithm 2), shared rotated passes above Tl -------
+        lower_bound = self.tasr_lower_bound()
+        tasr_mask = np.zeros(n_thresholds, dtype=bool)
+        if self._config.enable_tasr and n_queries:
+            tasr_mask = thresholds >= lower_bound
+            if tasr_mask.any():
+                idx = np.flatnonzero(tasr_mask)
+                offsets = rotation_offsets(self._config.tasr_nr,
+                                           self._config.tasr_direction)
+                for offset in offsets:
+                    rotated = np.roll(reads, -offset, axis=1)
+                    result = self._array.search_sweep(
+                        rotated, thresholds[idx], MatchMode.ED_STAR,
+                        noise_keys=pass_keys(_PASS_ROTATION + offset),
+                    )
+                    decisions[idx] |= result.matches
+                    self._array.stats.n_rotation_cycles += (
+                        abs(int(offset)) * n_queries
+                    )
+                    n_searches[idx] += 1
+                    energy[idx] += result.energy_per_query_joules
+                    latency[idx] += self._array.search_time_ns
+
+        return MatchSweepOutcome(
             decisions=decisions, thresholds=thresholds,
             n_searches=n_searches, energy_joules=energy,
             latency_ns=latency, hdac_probabilities=probabilities,

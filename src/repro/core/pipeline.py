@@ -47,6 +47,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.arch.autotune import plan_shards
 from repro.arch.scheduler import bank_row_ranges
 from repro.cam.array import CamArray
 from repro.core.matcher import (
@@ -261,7 +262,9 @@ class ShardedReadMappingPipeline:
         Workload error rates driving the HDAC/TASR policies.
     n_shards:
         Number of array shards to partition the rows across; shards
-        that would receive no rows are dropped.
+        that would receive no rows are dropped.  ``None`` autotunes
+        the shard count from the reference size and the machine's CPU
+        count (:func:`repro.arch.autotune.plan_shards`).
     config:
         Strategy configuration shared by every shard's matcher.
     domain / noisy / seed:
@@ -269,28 +272,36 @@ class ShardedReadMappingPipeline:
         ``seed + s`` so shards draw independent (but reproducible)
         noise streams.
     max_workers:
-        Worker threads for the shard fan-out (default: one per shard,
-        capped at the machine's CPU count — extra threads on a small
-        host only add contention).
+        Worker threads for the shard fan-out (default: the autotuned
+        plan's worker count — one per shard, capped at the machine's
+        CPU count; extra threads on a small host only add contention).
     chunk_size:
         Reads per worker task; bounds peak memory of the vectorised
-        comparison blocks.
+        comparison blocks.  ``None`` autotunes it from the per-shard
+        row count and segment width.
     """
 
     def __init__(self, segments: np.ndarray, error_model: ErrorModel,
-                 n_shards: int = 4,
+                 n_shards: "int | None" = 4,
                  config: "MatcherConfig | None" = None,
                  domain: str = "charge",
                  noisy: bool = True,
                  seed: int = 0,
                  max_workers: "int | None" = None,
-                 chunk_size: int = DEFAULT_READ_CHUNK):
+                 chunk_size: "int | None" = DEFAULT_READ_CHUNK):
         segments = np.asarray(segments, dtype=np.uint8)
         if segments.ndim != 2 or segments.shape[0] == 0:
             raise CamConfigError(
                 f"segments must be a non-empty (rows, N) matrix, got "
                 f"shape {segments.shape}"
             )
+        if n_shards is None or chunk_size is None:
+            plan = plan_shards(segments.shape[0],
+                               max(1, segments.shape[1]))
+            if n_shards is None:
+                n_shards = plan.n_shards
+            if chunk_size is None:
+                chunk_size = plan.chunk_size
         if chunk_size <= 0:
             raise CamConfigError(
                 f"chunk_size must be positive, got {chunk_size}"

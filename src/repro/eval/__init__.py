@@ -7,7 +7,12 @@
 * :mod:`repro.eval.reporting` — table/series formatting.
 """
 
-from repro.eval.confusion import ConfusionMatrix, f1_from_decisions
+from repro.eval.confusion import (
+    ConfusionMatrix,
+    confusion_from_decisions,
+    confusion_series,
+    f1_from_decisions,
+)
 from repro.eval.experiment import (
     AccuracyExperiment,
     AccuracyResult,
@@ -47,6 +52,8 @@ __all__ = [
     "ThresholdSelector",
     "asmcap_full_system",
     "asmcap_plain_system",
+    "confusion_from_decisions",
+    "confusion_series",
     "edam_sr_system",
     "edam_system",
     "expected_confusion",

@@ -93,3 +93,46 @@ def f1_from_decisions(predicted: np.ndarray, actual: np.ndarray) -> float:
     matrix = ConfusionMatrix()
     matrix.update(predicted, actual)
     return matrix.f1
+
+
+def confusion_from_decisions(predicted: np.ndarray,
+                             actual: np.ndarray) -> ConfusionMatrix:
+    """One-shot confusion matrix for a single decision batch."""
+    matrix = ConfusionMatrix()
+    matrix.update(predicted, actual)
+    return matrix
+
+
+def confusion_series(predicted: np.ndarray,
+                     actual: np.ndarray) -> "list[ConfusionMatrix]":
+    """Per-slice confusion matrices for a stacked decision block.
+
+    The sweep engine produces a ``(T, B, M)`` decision tensor (one
+    slice per threshold) and a matching truth tensor; this accumulates
+    all four quadrant counts for every slice in four vectorised
+    reductions instead of ``T * B`` :meth:`ConfusionMatrix.update`
+    calls.  Equivalent to building each slice's matrix with
+    :func:`confusion_from_decisions`.
+    """
+    predicted = np.asarray(predicted, dtype=bool)
+    actual = np.asarray(actual, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ExperimentError(
+            f"prediction shape {predicted.shape} != truth shape "
+            f"{actual.shape}"
+        )
+    if predicted.ndim < 2:
+        raise ExperimentError(
+            f"confusion_series needs a stacked (T, ...) block, got "
+            f"shape {predicted.shape}"
+        )
+    axes = tuple(range(1, predicted.ndim))
+    tp = (predicted & actual).sum(axis=axes)
+    fp = (predicted & ~actual).sum(axis=axes)
+    fn = (~predicted & actual).sum(axis=axes)
+    tn = (~predicted & ~actual).sum(axis=axes)
+    return [
+        ConfusionMatrix(tp=int(tp[i]), fp=int(fp[i]), fn=int(fn[i]),
+                        tn=int(tn[i]))
+        for i in range(predicted.shape[0])
+    ]

@@ -14,10 +14,23 @@ The provided system factories cover the paper's four accuracy curves:
 
 Each factory receives the dataset and a seed so Monte-Carlo repetitions
 re-instantiate hardware noise independently.
+
+**Sweep execution.**  Fig. 7 evaluates every system over a whole
+threshold vector; a system that exposes ``decide_sweep(reads,
+thresholds)`` (all the built-in adapters do) is evaluated in **one**
+batched pass over the ``(B, N)`` read block — the hardware matchers
+compute each search pass's mismatch counts and keyed noise once and
+apply every threshold as a sense-amp reference comparison, so a T-point
+curve costs ~1 search pass per read instead of T.  Noise determinism is
+anchored on per-read query keys (the read's dataset index): the sweep
+is bit-identical to a per-threshold scalar loop that passes
+``query_key=read_index``, regardless of batching.  Systems without
+``decide_sweep`` fall back to the legacy per-read ``decide`` loop.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -28,13 +41,19 @@ from repro.baselines.kraken import KrakenLikeClassifier
 from repro.cam.array import CamArray
 from repro.core.matcher import AsmCapMatcher, MatcherConfig
 from repro.errors import ExperimentError
-from repro.eval.confusion import ConfusionMatrix
+from repro.eval.confusion import ConfusionMatrix, confusion_series
 from repro.eval.ground_truth import GroundTruth, label_dataset
 from repro.genome.datasets import Dataset
 
 
 class MatchSystem(Protocol):
-    """Anything that maps (read codes, threshold) -> per-segment bools."""
+    """Anything that maps (read codes, threshold) -> per-segment bools.
+
+    Systems may additionally expose ``decide_sweep(reads, thresholds)
+    -> (T, B, M) bool`` to let :class:`AccuracyExperiment` evaluate a
+    whole threshold sweep in one batched pass; without it, evaluation
+    falls back to per-read :meth:`decide` calls.
+    """
 
     def decide(self, read: np.ndarray, threshold: int) -> np.ndarray: ...
 
@@ -49,8 +68,14 @@ class _MatcherSystem:
 
     matcher: AsmCapMatcher
 
-    def decide(self, read: np.ndarray, threshold: int) -> np.ndarray:
-        return self.matcher.match(read, threshold).decisions
+    def decide(self, read: np.ndarray, threshold: int,
+               read_index: "int | None" = None) -> np.ndarray:
+        return self.matcher.match(read, threshold,
+                                  query_key=read_index).decisions
+
+    def decide_sweep(self, reads: np.ndarray,
+                     thresholds: np.ndarray) -> np.ndarray:
+        return self.matcher.match_sweep(reads, thresholds).decisions
 
 
 @dataclass
@@ -59,8 +84,14 @@ class _EdamSystem:
 
     matcher: EdamMatcher
 
-    def decide(self, read: np.ndarray, threshold: int) -> np.ndarray:
-        return self.matcher.match(read, threshold).decisions
+    def decide(self, read: np.ndarray, threshold: int,
+               read_index: "int | None" = None) -> np.ndarray:
+        return self.matcher.match(read, threshold,
+                                  query_key=read_index).decisions
+
+    def decide_sweep(self, reads: np.ndarray,
+                     thresholds: np.ndarray) -> np.ndarray:
+        return self.matcher.match_sweep(reads, thresholds)
 
 
 @dataclass
@@ -70,9 +101,17 @@ class _KrakenSystem:
     classifier: KrakenLikeClassifier
     read_length: int
 
-    def decide(self, read: np.ndarray, threshold: int) -> np.ndarray:
+    def decide(self, read: np.ndarray, threshold: int,
+               read_index: "int | None" = None) -> np.ndarray:
         from repro.genome.sequence import DnaSequence
         return self.classifier.classify(DnaSequence(read)).decisions
+
+    def decide_sweep(self, reads: np.ndarray,
+                     thresholds: np.ndarray) -> np.ndarray:
+        # Exact matching ignores the threshold: classify the block
+        # once, share the decisions across the whole sweep.
+        once = self.classifier.classify_batch(reads).decisions
+        return np.broadcast_to(once, (len(thresholds),) + once.shape)
 
 
 def asmcap_full_system(dataset: Dataset, seed: int) -> MatchSystem:
@@ -176,23 +215,86 @@ class AccuracyExperiment:
         return list(self._thresholds)
 
     @property
+    def seed(self) -> int:
+        """Base seed handed to system factories."""
+        return self._seed
+
+    @property
     def ground_truth(self) -> GroundTruth:
         return self._truth
 
     def evaluate(self, name: str, factory: SystemFactory,
                  seed_offset: int = 0) -> AccuracyResult:
-        """Run one system over all reads and thresholds."""
+        """Run one system over all reads and thresholds.
+
+        Systems exposing ``decide_sweep`` are evaluated in one batched
+        sweep pass (see the module docstring); the confusion matrices
+        of the whole threshold vector then accumulate in four
+        vectorised reductions (:func:`repro.eval.confusion
+        .confusion_series`).  Other systems run the legacy per-read
+        loop, keyed by read index so both paths agree bit-for-bit
+        whenever the system supports keys.
+        """
         system = factory(self._dataset, self._seed + seed_offset)
-        reads = [record.read.codes for record in self._dataset.reads]
-        per_threshold: dict[int, ConfusionMatrix] = {}
-        for threshold in self._thresholds:
-            truth = self._truth.labels(threshold)
-            matrix = ConfusionMatrix()
-            for read_index, read in enumerate(reads):
-                predicted = system.decide(read, threshold)
-                matrix.update(predicted, truth[read_index])
-            per_threshold[threshold] = matrix
+        thresholds = np.asarray(self._thresholds, dtype=int)
+        if not self._dataset.reads:
+            # A zero-read dataset is a valid degenerate input for a
+            # streaming caller: every matrix stays empty.
+            return AccuracyResult(name=name, per_threshold={
+                int(t): ConfusionMatrix() for t in thresholds
+            })
+        reads = np.stack(
+            [record.read.codes for record in self._dataset.reads]
+        )
+        decide_sweep = getattr(system, "decide_sweep", None)
+        if decide_sweep is not None:
+            decisions = np.asarray(decide_sweep(reads, thresholds),
+                                   dtype=bool)
+            if decisions.shape[:2] != (thresholds.shape[0],
+                                       reads.shape[0]):
+                raise ExperimentError(
+                    f"decide_sweep returned shape {decisions.shape} for "
+                    f"{thresholds.shape[0]} thresholds x "
+                    f"{reads.shape[0]} reads"
+                )
+        else:
+            keyed = self._accepts_read_index(system)
+            decisions = np.stack([
+                np.stack([
+                    np.asarray(
+                        system.decide(read, int(threshold),
+                                      read_index=read_index)
+                        if keyed else system.decide(read, int(threshold)),
+                        dtype=bool,
+                    )
+                    for read_index, read in enumerate(reads)
+                ])
+                for threshold in thresholds
+            ])
+        truth = np.stack(
+            [self._truth.labels(int(t)) for t in thresholds]
+        )
+        matrices = confusion_series(decisions, truth)
+        per_threshold = {
+            int(t): matrix for t, matrix in zip(thresholds, matrices)
+        }
         return AccuracyResult(name=name, per_threshold=per_threshold)
+
+    @staticmethod
+    def _accepts_read_index(system: MatchSystem) -> bool:
+        """Whether the fallback loop can key ``decide`` by read index.
+
+        Systems whose ``decide`` accepts a ``read_index`` keyword (all
+        the built-in adapters) get the read's dataset index, which is
+        what keeps the fallback bit-identical to the sweep path;
+        plain two-argument systems are called as-is.  Probed once per
+        system — the answer is constant.
+        """
+        try:
+            parameters = inspect.signature(system.decide).parameters
+        except (TypeError, ValueError):
+            return False
+        return "read_index" in parameters
 
     def evaluate_all(self, systems: "dict[str, SystemFactory]"
                      ) -> dict[str, AccuracyResult]:

@@ -79,6 +79,13 @@ def label_dataset(dataset: Dataset, max_threshold: int,
             f"max_threshold must be non-negative, got {max_threshold}"
         )
     band = max_threshold + margin
+    if not dataset.reads:
+        # A zero-read dataset labels to an empty truth matrix (valid
+        # degenerate input for a streaming caller).
+        return GroundTruth(
+            distances=np.zeros((0, dataset.n_segments), dtype=np.int32),
+            band=band,
+        )
     reads = np.stack([record.read.codes for record in dataset.reads])
     distances = banded_edit_distance_batch(dataset.segments, reads, band)
     return GroundTruth(distances=distances, band=band)

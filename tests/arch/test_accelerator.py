@@ -84,6 +84,66 @@ class TestSystemMatch:
         assert len(results) == 3
 
 
+class TestBatchedBroadcast:
+    """match_batch is a real batched pass, not a scalar loop."""
+
+    def test_matches_per_read_broadcast_on_ideal_arrays(self, accelerator,
+                                                        dataset):
+        """Ideal (noiseless) arrays make the keyed batch bit-identical
+        to the scalar per-read broadcast."""
+        reads = np.stack([r.read.codes for r in dataset.reads])
+        batch = accelerator.match_batch(reads, threshold=8)
+        for q in range(reads.shape[0]):
+            single = accelerator.match_read(reads[q], 8)
+            assert np.array_equal(batch[q].matches, single.matches)
+            assert batch[q].n_searches == single.n_searches
+            assert batch[q].latency_ns == pytest.approx(single.latency_ns)
+            assert batch[q].energy_joules == pytest.approx(
+                single.energy_joules)
+
+    def test_single_batched_pass_per_array(self, dataset):
+        """The arrays see one batched search per pass, not B scalar
+        searches issued one read at a time."""
+        config = ArchConfig(array_rows=32, array_cols=128, n_arrays=3)
+        acc = AsmCapAccelerator(config, error_model=dataset.model,
+                                matcher_config=MatcherConfig.plain(),
+                                noisy=False, seed=0)
+        acc.load_reference(dataset.segments)
+        reads = np.stack([r.read.codes for r in dataset.reads])
+        before = [array.stats.n_searches for array in acc.arrays]
+        acc.match_batch(reads, threshold=8)
+        after = [array.stats.n_searches for array in acc.arrays]
+        for b, a in zip(before, after):
+            assert a - b == reads.shape[0]
+
+    def test_empty_batch(self, accelerator, dataset):
+        empty = np.zeros((0, dataset.read_length), dtype=np.uint8)
+        assert accelerator.match_batch(empty, threshold=8) == []
+
+    def test_global_keys_compose_chunked(self, accelerator, dataset):
+        """Chunked calls with global query keys equal one whole batch."""
+        reads = np.stack([r.read.codes for r in dataset.reads])
+        whole = accelerator.match_batch(reads, threshold=8)
+        first = accelerator.match_batch(reads[:4], threshold=8,
+                                        query_keys=list(range(4)))
+        rest = accelerator.match_batch(
+            reads[4:], threshold=8,
+            query_keys=list(range(4, reads.shape[0])),
+        )
+        for q, result in enumerate(first + rest):
+            assert np.array_equal(result.matches, whole[q].matches)
+
+    def test_bad_shape_rejected(self, accelerator, dataset):
+        with pytest.raises(ArchConfigError):
+            accelerator.match_batch(dataset.reads[0].read.codes, 8)
+
+    def test_unloaded_system_rejected(self):
+        config = ArchConfig(array_rows=8, array_cols=64, n_arrays=1)
+        acc = AsmCapAccelerator(config, noisy=False)
+        with pytest.raises(ArchConfigError):
+            acc.match_batch(np.zeros((2, 64), dtype=np.uint8), 4)
+
+
 class TestAnalyticPath:
     def test_estimate_fields(self, accelerator):
         estimate = accelerator.estimate_read_cost(searches_per_read=2.0)

@@ -44,6 +44,29 @@ class TestClassification:
         assert np.mean(fractions) < 0.95
         assert min(fractions) < 0.8
 
+    def test_classify_batch_matches_scalar(self, dataset):
+        """The batch path is the scalar path's implementation — the
+        two must agree bit-for-bit, fractions included."""
+        classifier = KrakenLikeClassifier(dataset.segments, k=31)
+        reads = np.stack([r.read.codes for r in dataset.reads])
+        batch = classifier.classify_batch(reads)
+        assert batch.decisions.shape == (reads.shape[0],
+                                         classifier.n_segments)
+        for q, record in enumerate(dataset.reads):
+            outcome = classifier.classify(record.read)
+            assert np.array_equal(batch.decisions[q], outcome.decisions)
+            assert np.array_equal(batch.hit_fractions[q],
+                                  outcome.hit_fractions)
+            assert batch.n_kmers == outcome.n_kmers
+
+    def test_classify_batch_validation(self, dataset):
+        classifier = KrakenLikeClassifier(dataset.segments, k=31)
+        with pytest.raises(DatasetError):
+            classifier.classify_batch(dataset.segments[0])
+        with pytest.raises(DatasetError):
+            classifier.classify_batch(
+                np.zeros((2, 16), dtype=np.uint8))
+
     def test_confidence_threshold_applied(self, dataset):
         strict = KrakenLikeClassifier(dataset.segments, k=31,
                                       confidence=0.99)

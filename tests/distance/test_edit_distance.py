@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.distance.edit_distance import (
     banded_edit_distance,
     banded_edit_distance_batch,
+    composition_lower_bound,
     edit_distance,
     edit_distance_matrix,
 )
@@ -124,6 +125,55 @@ class TestBatch:
         segments = rng.integers(0, 4, (7, 12)).astype(np.uint8)
         reads = rng.integers(0, 4, (3, 12)).astype(np.uint8)
         assert banded_edit_distance_batch(segments, reads, 4).shape == (3, 7)
+
+
+class TestCompositionLowerBound:
+    """The prefilter bound must never exceed the true distance."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_bound_below_exact_distance(self, seed):
+        rng = np.random.default_rng(seed)
+        segments = rng.integers(0, 4, (6, 24)).astype(np.uint8)
+        reads = rng.integers(0, 4, (4, 24)).astype(np.uint8)
+        bound = composition_lower_bound(segments, reads)
+        for r in range(reads.shape[0]):
+            for s in range(segments.shape[0]):
+                exact = edit_distance(DnaSequence(reads[r]),
+                                      DnaSequence(segments[s]))
+                assert bound[r, s] <= exact
+
+    def test_identical_rows_bound_zero(self, rng):
+        rows = rng.integers(0, 4, (3, 16)).astype(np.uint8)
+        assert (np.diag(composition_lower_bound(rows, rows)) == 0).all()
+
+    def test_batch_dp_unaffected_by_prefilter(self, rng):
+        """Pairs the bound prunes get the cap; survivors keep the exact
+        banded value — i.e. the prefilter changes nothing observable."""
+        segments = rng.integers(0, 4, (9, 32)).astype(np.uint8)
+        reads = rng.integers(0, 4, (5, 32)).astype(np.uint8)
+        reads[0] = segments[3]
+        band = 6
+        batch = banded_edit_distance_batch(segments, reads, band)
+        for r in range(reads.shape[0]):
+            for s in range(segments.shape[0]):
+                exact = edit_distance(DnaSequence(reads[r]),
+                                      DnaSequence(segments[s]))
+                assert batch[r, s] == min(exact, band + 1)
+
+
+class TestLongSequenceFallback:
+    def test_int32_fallback_beyond_int16_range(self):
+        """Sequences too long for the int16 tables stay exact."""
+        length = 16400  # length + band + 1 exceeds the int16 sentinel
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 4, length).astype(np.uint8)
+        edited = base.copy()
+        edited[[10, 5000, 16000]] = (edited[[10, 5000, 16000]] + 1) % 4
+        batch = banded_edit_distance_batch(base[None, :],
+                                           np.stack([base, edited]), 4)
+        assert batch[0, 0] == 0
+        assert batch[1, 0] == 3
 
 
 class TestMatrix:

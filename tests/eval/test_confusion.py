@@ -8,7 +8,12 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ExperimentError
-from repro.eval.confusion import ConfusionMatrix, f1_from_decisions
+from repro.eval.confusion import (
+    ConfusionMatrix,
+    confusion_from_decisions,
+    confusion_series,
+    f1_from_decisions,
+)
 
 bool_arrays = st.integers(1, 100).flatmap(
     lambda n: st.tuples(
@@ -96,3 +101,42 @@ class TestMetrics:
         summary = matrix.as_dict()
         assert summary["tp"] == 3
         assert summary["f1"] == pytest.approx(matrix.f1)
+
+
+class TestConfusionSeries:
+    """Vectorised sweep accumulation == per-slice update loops."""
+
+    def test_matches_per_slice_updates(self):
+        rng = np.random.default_rng(4)
+        predicted = rng.random((5, 7, 11)) < 0.4
+        actual = rng.random((5, 7, 11)) < 0.5
+        series = confusion_series(predicted, actual)
+        assert len(series) == 5
+        for t in range(5):
+            reference = ConfusionMatrix()
+            for q in range(7):
+                reference.update(predicted[t, q], actual[t, q])
+            assert series[t] == reference
+
+    def test_counts_partition_total(self):
+        rng = np.random.default_rng(9)
+        predicted = rng.random((3, 4, 6)) < 0.5
+        actual = rng.random((3, 4, 6)) < 0.5
+        for matrix in confusion_series(predicted, actual):
+            assert matrix.total == 4 * 6
+
+    def test_single_slice_matches_one_shot(self):
+        predicted = np.array([[True, False], [False, True]])
+        actual = np.array([[True, True], [False, False]])
+        series = confusion_series(predicted[None], actual[None])
+        assert series[0] == confusion_from_decisions(predicted, actual)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            confusion_series(np.zeros((2, 3), dtype=bool),
+                             np.zeros((2, 4), dtype=bool))
+
+    def test_unstacked_input_rejected(self):
+        with pytest.raises(ExperimentError):
+            confusion_series(np.zeros(3, dtype=bool),
+                             np.zeros(3, dtype=bool))

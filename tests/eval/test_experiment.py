@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import ExperimentError
@@ -73,6 +74,68 @@ class TestEvaluation:
         origin pairs are within threshold: F1 must improve."""
         result = experiment.evaluate("plain", asmcap_plain_system)
         assert result.f1(6) > result.f1(1)
+
+
+class TestFallbackPath:
+    """Systems without decide_sweep run the keyed per-read loop."""
+
+    def test_keyed_fallback_matches_sweep_path(self, dataset):
+        from repro.eval.experiment import _asmcap_system
+        from repro.core.matcher import MatcherConfig
+
+        class _NoSweep:
+            """Keyed scalar adapter that hides decide_sweep."""
+
+            def __init__(self, dataset, seed):
+                self._inner = _asmcap_system(dataset, seed,
+                                             MatcherConfig())
+
+            def decide(self, read, threshold, read_index=None):
+                return self._inner.decide(read, threshold,
+                                          read_index=read_index)
+
+        experiment = AccuracyExperiment(dataset, [2, 4], seed=3)
+        fallback = experiment.evaluate("fallback", _NoSweep)
+        swept = experiment.evaluate("sweep", asmcap_full_system)
+        assert fallback.f1_series() == swept.f1_series()
+
+    def test_plain_two_argument_system_supported(self, dataset):
+        class _Exact:
+            """Minimal protocol-only system (no read_index keyword)."""
+
+            def __init__(self, dataset, seed):
+                self._segments = dataset.segments
+
+            def decide(self, read, threshold):
+                return (self._segments != read).sum(axis=1) <= threshold
+
+        experiment = AccuracyExperiment(dataset, [2, 4], seed=0)
+        result = experiment.evaluate("hamming", _Exact)
+        assert sorted(result.per_threshold) == [2, 4]
+
+    def test_zero_read_dataset_degenerate(self, dataset):
+        """A streaming caller's empty dataset yields empty matrices."""
+        import dataclasses
+        empty = dataclasses.replace(dataset, reads=[])
+        experiment = AccuracyExperiment(empty, [2, 4], seed=0)
+        result = experiment.evaluate("x", asmcap_full_system)
+        assert result.f1_series() == {2: 0.0, 4: 0.0}
+        assert all(m.total == 0 for m in result.per_threshold.values())
+
+    def test_bad_sweep_shape_rejected(self, dataset):
+        class _Broken:
+            def __init__(self, dataset, seed):
+                self._n = dataset.n_segments
+
+            def decide(self, read, threshold):
+                return np.zeros(self._n, dtype=bool)
+
+            def decide_sweep(self, reads, thresholds):
+                return np.zeros((1, 1, self._n), dtype=bool)
+
+        experiment = AccuracyExperiment(dataset, [2, 4], seed=0)
+        with pytest.raises(ExperimentError):
+            experiment.evaluate("broken", _Broken)
 
 
 class TestDeterminism:

@@ -56,7 +56,47 @@ class TestValidation:
         with pytest.raises(ExperimentError):
             run_sweep("A", {"plain": asmcap_plain_system}, [2], n_runs=0)
 
+    def test_negative_runs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_sweep("A", {"plain": asmcap_plain_system}, [2], n_runs=-3)
+
+    def test_empty_systems_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_sweep("A", {}, [2], n_runs=1)
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_sweep("A", {"plain": asmcap_plain_system}, [2],
+                      n_runs=1, n_workers=0)
+
     def test_runs_vary_across_seeds(self, sweep):
         """Different repetitions draw different datasets."""
         runs = sweep.systems["EDAM"].f1_runs
         assert not np.allclose(runs[0], runs[1])
+
+
+class TestWorkerDeterminism:
+    """Monte-Carlo runs are self-contained, so fan-out cannot matter."""
+
+    def test_one_vs_four_workers_bit_identical(self):
+        kwargs = dict(
+            thresholds=[2, 4, 6],
+            n_runs=4, n_reads=12, read_length=96, n_segments=16, seed=9,
+        )
+        systems = {"EDAM": edam_system, "plain": asmcap_plain_system}
+        serial = run_sweep("A", systems, n_workers=1, **kwargs)
+        parallel = run_sweep("A", systems, n_workers=4, **kwargs)
+        for name in systems:
+            assert np.array_equal(serial.systems[name].f1_runs,
+                                  parallel.systems[name].f1_runs)
+
+    def test_default_workers_match_serial(self):
+        kwargs = dict(
+            thresholds=[2, 4],
+            n_runs=2, n_reads=8, read_length=96, n_segments=16, seed=1,
+        )
+        systems = {"plain": asmcap_plain_system}
+        serial = run_sweep("A", systems, n_workers=1, **kwargs)
+        auto = run_sweep("A", systems, **kwargs)
+        assert np.array_equal(serial.systems["plain"].f1_runs,
+                              auto.systems["plain"].f1_runs)
