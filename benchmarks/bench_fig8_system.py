@@ -1,17 +1,34 @@
 """Bench: regenerate Fig. 8 (system-level speedup and energy bars).
 
-Checks ordering and that every measured ratio sits within 3x of the
-paper's reported anchor.
+Two entry points:
+
+* ``pytest benchmarks/bench_fig8_system.py --benchmark-only`` — the
+  pytest-benchmark harness (``bench_fig8``);
+* ``python benchmarks/bench_fig8_system.py [--smoke]`` — a standalone
+  driver for CI's bench-smoke job and the nightly lane: times the
+  measured-profile and analytic paths, checks ordering and that every
+  measured ratio sits within 3x of the paper's reported anchor, and
+  asserts the ledger-measured strategy statistics equal the analytic
+  cross-check.
+
+Usage::
+
+    python benchmarks/bench_fig8_system.py            # timed repeats
+    python benchmarks/bench_fig8_system.py --smoke    # single CI pass
 """
 
 from __future__ import annotations
+
+import argparse
+import sys
+import time
 
 from repro import constants
 from repro.experiments.fig8 import SYSTEMS, compute_fig8
 
 
-def bench_fig8(benchmark):
-    result = benchmark(compute_fig8)
+def check_result(result) -> None:
+    """Ordering + paper-anchor assertions shared by both entry points."""
     latencies = [result.costs[name].latency_ns for name in SYSTEMS[:5]]
     assert all(a > b for a, b in zip(latencies, latencies[1:]))
     for name, key in (("CM-CPU", "cm_cpu"), ("ReSMA", "resma"),
@@ -22,5 +39,67 @@ def bench_fig8(benchmark):
         measured_e = result.energy_efficiency_over(name, "ASMCap w/o H&T")
         anchor_e = constants.FIG8_ENERGY_EFF_NO_STRATEGY[key]
         assert anchor_e / 3 <= measured_e <= anchor_e * 3
+
+
+def check_measured_profiles(result) -> None:
+    """The ledger-measured statistics must equal the analytic profile."""
+    for condition, profile in result.profiles.items():
+        analytic = result.analytic_profiles[condition]
+        assert abs(profile.searches_per_read
+                   - analytic.searches_per_read) < 1e-12, condition
+        assert abs(profile.rotation_cycles_per_read
+                   - analytic.rotation_cycles_per_read) < 1e-12, condition
+
+
+def bench_fig8(benchmark):
+    result = benchmark(compute_fig8)
+    check_result(result)
+    check_measured_profiles(result)
     print()
     print(result.render())
+
+
+def timed(fn, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="single pass per path (CI hot-path check)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per path (best taken)")
+    args = parser.parse_args(argv)
+    repeats = 1 if args.smoke else args.repeats
+
+    measured_s, measured = timed(
+        lambda: compute_fig8(measured=True), repeats
+    )
+    analytic_s, analytic = timed(
+        lambda: compute_fig8(measured=False), repeats
+    )
+
+    check_result(measured)
+    check_result(analytic)
+    check_measured_profiles(measured)
+
+    print("\nbench_fig8_system: Fig. 8 regeneration "
+          f"({'smoke' if args.smoke else f'best of {repeats}'})")
+    print(f"{'path':<28} {'seconds':>9}")
+    print(f"{'measured (match_sweep x2)':<28} {measured_s:>9.3f}")
+    print(f"{'analytic (policies only)':<28} {analytic_s:>9.3f}")
+    print()
+    print(measured.render())
+    print("\nOK: ordering, paper anchors (within 3x), and "
+          "measured == analytic strategy statistics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

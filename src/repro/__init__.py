@@ -12,6 +12,9 @@ memories.  This library re-implements the full system in Python:
   current-domain ML-CAM arrays (variation, energy, sensing);
 * :mod:`repro.core` — the paper's contribution: the matching flow with
   the HDAC and TASR misjudgment-correction strategies;
+* :mod:`repro.cost` — unified cost accounting: typed hardware events
+  collected in a ledger, with energy/latency/power as derived views
+  and measured strategy profiles for Fig. 8;
 * :mod:`repro.arch` — the 512-array system with timing/power models;
 * :mod:`repro.baselines` — EDAM, CM-CPU, ReSMA, SaVI, Kraken-like;
 * :mod:`repro.eval` — F1 evaluation machinery;

@@ -34,6 +34,9 @@ from repro.core.matcher import (
     MatcherConfig,
     MatchOutcome,
 )
+from repro.cost.events import BufferBroadcast, ReferenceLoad
+from repro.cost.ledger import CostLedger
+from repro.cost.profile import StrategyProfile
 from repro.errors import ArchConfigError
 from repro.genome.edits import ErrorModel
 
@@ -117,6 +120,9 @@ class AsmCapAccelerator:
         self._controller = Controller()
         self._timing = TimingModel(domain=self._config.domain)
         self._loaded_segments = 0
+        #: System-level traffic events (reference loads, broadcasts);
+        #: the per-array search passes live in each array's ledger.
+        self.ledger = CostLedger()
 
     # -- introspection -----------------------------------------------------
 
@@ -139,6 +145,19 @@ class AsmCapAccelerator:
     @property
     def loaded_segments(self) -> int:
         return self._loaded_segments
+
+    def merged_ledger(self) -> CostLedger:
+        """One deterministic ledger over the whole system: the
+        accelerator's traffic events, then every functional array's
+        search passes in array order.  Arrays contribute search passes
+        only — their per-chunk ``ReferenceLoad`` events cover the same
+        rows as the accelerator's system-level load and would double
+        count the storage traffic."""
+        return CostLedger.merged(
+            self.ledger,
+            *(CostLedger(array.ledger.search_passes())
+              for array in self._arrays),
+        )
 
     # -- data loading ------------------------------------------------------
 
@@ -166,6 +185,10 @@ class AsmCapAccelerator:
                 break
             array.store(chunk)
         self._loaded_segments = int(segments.shape[0])
+        self.ledger.record(ReferenceLoad(
+            n_segments=self._loaded_segments,
+            n_cells=self._config.array_cols,
+        ))
 
     # -- functional path ------------------------------------------------
 
@@ -174,6 +197,9 @@ class AsmCapAccelerator:
         if self._loaded_segments == 0:
             raise ArchConfigError("no reference loaded")
         read = np.asarray(read, dtype=np.uint8)
+        self.ledger.record(BufferBroadcast(
+            n_reads=1, read_bits=self._config.read_bits,
+        ))
         decisions: list[np.ndarray] = []
         array_energy = 0.0
         array_latency = 0.0
@@ -246,6 +272,9 @@ class AsmCapAccelerator:
         n_reads = codes.shape[0]
         if n_reads == 0:
             return []
+        self.ledger.record(BufferBroadcast(
+            n_reads=n_reads, read_bits=self._config.read_bits,
+        ))
         outcomes: list[MatchBatchOutcome] = []
         for matcher in self._matchers:
             if matcher.array.plane.n_written == 0:
@@ -287,23 +316,40 @@ class AsmCapAccelerator:
 
     # -- analytic path ------------------------------------------------------
 
-    def estimate_read_cost(self, searches_per_read: float = 1.0,
-                           rotation_cycles_per_read: float = 0.0,
+    def estimate_read_cost(self, searches_per_read: "float | None" = None,
+                           rotation_cycles_per_read: "float | None" = None,
                            mismatch_fraction: float =
-                           constants.TYPICAL_ED_STAR_MISMATCH_FRACTION
+                           constants.TYPICAL_ED_STAR_MISMATCH_FRACTION,
+                           profile: "StrategyProfile | None" = None
                            ) -> ReadCostEstimate:
         """Closed-form per-read cost at full configured scale.
 
         Parameters
         ----------
+        profile:
+            The workload's :class:`~repro.cost.profile.StrategyProfile`
+            — preferred source of the strategy statistics; measure it
+            with :func:`repro.cost.profile.measure_strategy_profile`
+            (one ``match_sweep`` pass per condition).
         searches_per_read:
             Average searches issued per read (1 for plain ED*; higher
-            with HDAC/TASR — measure it on the functional path).
+            with HDAC/TASR).
+
+            .. deprecated:: PR 3
+               Pass a measured ``profile`` instead of hand-carried
+               scalars; the scalar arguments remain as a compatibility
+               shim (mirroring the PR 2 ``match_batch`` deprecation)
+               and may not be combined with ``profile``.
         rotation_cycles_per_read:
-            Average shift-register cycles per read.
+            Average shift-register cycles per read (deprecated with
+            ``searches_per_read``).
         mismatch_fraction:
             Typical per-row ED* mismatch fraction for the energy model.
         """
+        searches_per_read, rotation_cycles_per_read = StrategyProfile.resolve(
+            searches_per_read, rotation_cycles_per_read, profile,
+            error_cls=ArchConfigError,
+        )
         if searches_per_read <= 0.0:
             raise ArchConfigError("searches_per_read must be positive")
         cols = self._config.array_cols

@@ -13,6 +13,13 @@ shift registers, SAs) divided by the steady-state search period.  The
 period is *derived* from the 7.67 mW Section V-B anchor once, here, and
 the resulting component fractions (~75 / 19 / 6 %) then follow from the
 component energy models — they are checked, not hard-coded.
+
+Since the cost-ledger refactor the per-component energies are read
+from :func:`repro.cost.views.component_energies` over a synthetic
+typical-activity search pass
+(:func:`repro.cost.profile.typical_search_event`) — the same view
+every *measured* pass of the functional engine flows through, so the
+Section V-B breakdown, Table I and the ledger cannot drift apart.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ from dataclasses import dataclass
 
 from repro import constants
 from repro.cam.cell import AsmCapCell
+from repro.cost.profile import typical_search_event
+from repro.cost.views import component_energies
 from repro.errors import ArchConfigError
 
 #: Layout area per transistor, calibrated so a 28-transistor ASMCap cell
@@ -88,15 +97,18 @@ def component_energies_per_search(rows: int = constants.ARRAY_ROWS,
                                   constants.TYPICAL_ED_STAR_MISMATCH_FRACTION,
                                   vdd: float = constants.VDD_VOLTS
                                   ) -> dict[str, float]:
-    """Per-search energy of each array component at typical activity."""
+    """Per-search energy of each array component at typical activity.
+
+    Computed as the ledger view over a synthetic typical-activity pass
+    (every row at the typical ED* mismatch fraction), i.e. exactly the
+    accounting a measured pass of the functional engine receives.
+    """
     if not 0.0 <= mismatch_fraction <= 1.0:
         raise ArchConfigError("mismatch_fraction must be in [0, 1]")
-    n_mis = mismatch_fraction * cols
-    cells = (rows * n_mis * (cols - n_mis) / cols
-             * constants.MIM_CAPACITOR_FARADS * vdd**2)
-    shift = constants.SHIFT_REGISTER_ENERGY_PER_SEARCH_J
-    sense = constants.SA_ENERGY_PER_ROW_J * rows
-    return {"cells": cells, "shift_registers": shift, "sense_amps": sense}
+    event = typical_search_event(rows=rows, cols=cols,
+                                 mismatch_fraction=mismatch_fraction,
+                                 vdd=vdd)
+    return component_energies(event)
 
 
 def steady_state_search_period_ns(rows: int = constants.ARRAY_ROWS,

@@ -111,7 +111,7 @@ class EdamMatcher:
         regardless of which other reads or thresholds rode along.
         """
         # Pre-charge *energy* is already inside the array's current-domain
-        # search energy (CamArray._search_energy); only the pre-charge
+        # search energy (repro.cost.views); only the pre-charge
         # *latency* phase is added here.
         base: SearchResult = self._array.search(
             read, threshold, MatchMode.ED_STAR,
@@ -181,11 +181,9 @@ class EdamMatcher:
                     np.roll(reads, -offset, axis=1), thresholds,
                     MatchMode.ED_STAR,
                     noise_keys=pass_keys(_PASS_ROTATION + offset),
+                    rotation=offset,
                 )
                 decisions |= rotated.matches
-                self._array.stats.n_rotation_cycles += (
-                    abs(int(offset)) * n_queries
-                )
         return decisions
 
 

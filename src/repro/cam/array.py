@@ -10,7 +10,9 @@
 * a variation model that perturbs the analog voltage;
 * a bank of sense amplifiers that turn voltages into match decisions;
 * shift registers for TASR rotations;
-* energy/latency accounting per search.
+* a cost ledger recording every physical pass as a typed event
+  (:mod:`repro.cost`); per-search energy/latency are derived views
+  over those events.
 
 The same class models both ASMCap (``domain="charge"``) and EDAM
 (``domain="current"``); the EDAM baseline wraps it with EDAM's
@@ -46,13 +48,21 @@ from repro.cam.sense_amp import SenseAmplifier
 from repro.cam.shift_register import ShiftRegisterBank
 from repro.cam.sram import SramPlane
 from repro.cam.variation import ChargeDomainVariation, CurrentDomainVariation
-from repro.cam.energy import search_energy_per_row
 from repro.cam.keyed_noise import (
     fold_key,
     fold_key_block,
     fold_key_from,
     standard_normals,
 )
+from repro.cost.events import (
+    EdStarPass,
+    HdacPass,
+    ReferenceLoad,
+    SearchPassEvent,
+    TasrRotationPass,
+)
+from repro.cost.ledger import CostLedger
+from repro.cost.views import SearchStats, search_stats
 from repro.distance.ed_star import match_planes, mismatch_counts_all_reads
 from repro.errors import CamConfigError, ThresholdError
 from repro.genome import alphabet
@@ -197,37 +207,6 @@ class SweepSearchResult:
         return int(self.mismatch_counts.shape[0])
 
 
-@dataclass
-class SearchStats:
-    """Cumulative per-array counters (benchmark bookkeeping)."""
-
-    n_searches: int = 0
-    n_rotation_cycles: int = 0
-    total_energy_joules: float = 0.0
-    total_latency_ns: float = 0.0
-
-    def record(self, result: SearchResult) -> None:
-        self.n_searches += 1
-        self.total_energy_joules += result.energy_joules
-        self.total_latency_ns += result.latency_ns
-
-    def record_batch(self, result: BatchSearchResult) -> None:
-        self.n_searches += result.n_queries
-        self.total_energy_joules += result.energy_joules
-        self.total_latency_ns += result.latency_ns
-
-    def record_sweep(self, result: SweepSearchResult) -> None:
-        """Record the *physical* cost of one sweep pass.
-
-        A sweep issues each query's search once and reuses the analog
-        levels for every threshold, so the counters grow by ``B``
-        searches — not ``T * B`` — mirroring what the engine computed.
-        """
-        self.n_searches += result.n_queries
-        self.total_energy_joules += float(
-            result.energy_per_query_joules.sum()
-        )
-        self.total_latency_ns += result.latency_ns * result.n_queries
 
 
 class CamArray:
@@ -291,7 +270,8 @@ class CamArray:
                 vdd=vdd, rising=False, strict_paper_rule=strict_paper_vref
             )
             self._search_time_ns = constants.EDAM_SEARCH_TIME_NS
-        self.stats = SearchStats()
+        #: The array's cost ledger: one typed event per physical pass.
+        self.ledger = CostLedger()
 
     # -- configuration ----------------------------------------------------
 
@@ -331,12 +311,26 @@ class CamArray:
     def variation(self):
         return self._variation
 
+    @property
+    def stats(self) -> SearchStats:
+        """Cumulative counters, derived on demand from the ledger.
+
+        A sweep pass counts its ``B`` physical searches (not
+        ``T * B``): the analog levels are computed once per query and
+        reused for every threshold, mirroring what the engine computed.
+        """
+        return search_stats(self.ledger)
+
     # -- data path --------------------------------------------------------
 
     def store(self, segments: np.ndarray) -> None:
         """Write reference segments into the rows (row 0 upward)."""
+        segments = np.asarray(segments, dtype=np.uint8)
         self._plane.write_all(segments)
         self._onehot_cache = None
+        self.ledger.record(ReferenceLoad(
+            n_segments=int(segments.shape[0]), n_cells=self.cols,
+        ))
 
     def stored_segments(self) -> np.ndarray:
         """The valid stored rows as an ``(n_written, N)`` matrix."""
@@ -508,15 +502,51 @@ class CamArray:
             )
         return counts
 
+    def _emit_pass(self, counts: np.ndarray, thresholds: np.ndarray,
+                   mode: MatchMode, sweep: bool,
+                   noise_keys, rotation: int) -> SearchPassEvent:
+        """Record one physical pass as a typed event in the ledger.
+
+        Classification: a Hamming pass is HDAC's extra search, a
+        rotated ED* pass is a TASR/SR rotation (carrying its
+        shift-cycle count), an unrotated ED* pass is the base search.
+        The event carries the per-row mismatch populations; energy and
+        latency are *derived views* (:mod:`repro.cost.views`).
+        """
+        if mode is MatchMode.HAMMING and rotation == 0:
+            cls, extra = HdacPass, {}
+        elif rotation != 0:
+            cls, extra = TasrRotationPass, {"rotation": int(rotation)}
+        else:
+            cls, extra = EdStarPass, {}
+        event = cls(
+            domain=self._domain,
+            mode="hamming" if mode is MatchMode.HAMMING else "ed_star",
+            n_cells=self.cols, vdd=self._vdd,
+            search_time_ns=self._search_time_ns,
+            mismatch_counts=counts,
+            thresholds=np.asarray(thresholds, dtype=int),
+            sweep=sweep,
+            query_keys=(None if noise_keys is None
+                        else np.asarray(noise_keys)),
+            **extra,
+        )
+        self.ledger.record(event)
+        return event
+
     def search(self, read: np.ndarray, threshold: int,
                mode: MatchMode = MatchMode.ED_STAR,
-               noise_key: "tuple[int, ...] | None" = None) -> SearchResult:
+               noise_key: "tuple[int, ...] | None" = None,
+               rotation: int = 0) -> SearchResult:
         """One parallel search of *read* against all stored rows.
 
         ``noise_key`` switches variation noise from the array's
         sequential stream to the keyed stream for that tuple (see the
         module docstring); batched and scalar executions that use the
-        same keys are bit-identical.
+        same keys are bit-identical.  ``rotation`` tags the emitted
+        cost event when the read was pre-rotated (the shift registers
+        spent ``|rotation|`` cycles) — :meth:`search_rotated` passes it
+        through.
         """
         if not 0 <= threshold <= self.cols:
             raise ThresholdError(
@@ -525,21 +555,25 @@ class CamArray:
         counts = self.mismatch_counts(read, mode)
         v_ml = self._noisy_voltages(counts, noise_key)
         matches = self._sense_amp.decide(v_ml, threshold, self.cols)
-        energy = self._search_energy(counts)
+        event = self._emit_pass(
+            counts[None, :], np.asarray([threshold]), mode, sweep=False,
+            noise_keys=None if noise_key is None else [noise_key],
+            rotation=rotation,
+        )
         result = SearchResult(
             matches=matches, mismatch_counts=counts, v_ml=v_ml,
-            threshold=threshold, mode=mode, energy_joules=energy,
+            threshold=threshold, mode=mode,
+            energy_joules=float(event.energy_per_query_joules[0]),
             latency_ns=self._search_time_ns,
         )
-        self.stats.record(result)
         return result
 
     def search_batch(self, queries: np.ndarray,
                      threshold: "int | np.ndarray",
                      mode: MatchMode = MatchMode.ED_STAR,
                      noise_keys: "Sequence[tuple[int, ...]] | None" = None,
-                     precomputed_counts: "np.ndarray | None" = None
-                     ) -> BatchSearchResult:
+                     precomputed_counts: "np.ndarray | None" = None,
+                     rotation: int = 0) -> BatchSearchResult:
         """Search a ``(B, N)`` block of queries in one vectorised pass.
 
         Parameters
@@ -561,6 +595,10 @@ class CamArray:
             caller already holds them (e.g. one half of a
             :meth:`mismatch_counts_batch_dual` sweep); must equal what
             :meth:`mismatch_counts_batch` would return.
+        rotation:
+            Signed rotation offset the caller applied to the queries
+            before the search (tags the cost event as a rotation pass
+            and charges its shift-register cycles).
 
         Returns
         -------
@@ -590,7 +628,9 @@ class CamArray:
             matches = self._sense_amp.decide(v_ml, thresholds, self.cols)
         else:
             matches = np.zeros_like(counts, dtype=bool)
-        energy_per_query = self._search_energy_batch(counts)
+        event = self._emit_pass(counts, thresholds, mode, sweep=False,
+                                noise_keys=noise_keys, rotation=rotation)
+        energy_per_query = event.energy_per_query_joules
         result = BatchSearchResult(
             matches=matches, mismatch_counts=counts, v_ml=v_ml,
             thresholds=thresholds, mode=mode,
@@ -598,15 +638,14 @@ class CamArray:
             latency_ns=self._search_time_ns * n_queries,
             energy_per_query_joules=energy_per_query,
         )
-        self.stats.record_batch(result)
         return result
 
     def search_sweep(self, queries: np.ndarray,
                      thresholds: np.ndarray,
                      mode: MatchMode = MatchMode.ED_STAR,
                      noise_keys: "Sequence[tuple[int, ...]] | None" = None,
-                     precomputed_counts: "np.ndarray | None" = None
-                     ) -> SweepSearchResult:
+                     precomputed_counts: "np.ndarray | None" = None,
+                     rotation: int = 0) -> SweepSearchResult:
         """Evaluate one search pass against a whole threshold sweep.
 
         Counts and (keyed) variation noise are threshold-independent,
@@ -632,6 +671,10 @@ class CamArray:
         precomputed_counts:
             Digital counts for these queries in this mode, if already
             available (e.g. from :meth:`mismatch_counts_batch_dual`).
+        rotation:
+            Signed rotation offset the caller applied to the queries
+            before the pass (tags the cost event as a rotation pass
+            and charges its shift-register cycles).
         """
         queries = self._check_queries(queries)
         n_queries = queries.shape[0]
@@ -660,13 +703,14 @@ class CamArray:
         else:
             matches = np.zeros((thresholds.shape[0],) + counts.shape,
                                dtype=bool)
+        event = self._emit_pass(counts, thresholds, mode, sweep=True,
+                                noise_keys=noise_keys, rotation=rotation)
         result = SweepSearchResult(
             matches=matches, mismatch_counts=counts, v_ml=v_ml,
             thresholds=thresholds, mode=mode,
-            energy_per_query_joules=self._search_energy_batch(counts),
+            energy_per_query_joules=event.energy_per_query_joules,
             latency_ns=self._search_time_ns,
         )
-        self.stats.record_sweep(result)
         return result
 
     def search_rotated(self, read: np.ndarray, threshold: int, rotation: int,
@@ -676,16 +720,16 @@ class CamArray:
         """Search with the read rotated through the shift registers.
 
         Positive *rotation* rotates left; each base of rotation costs
-        one register cycle which the stats record (TASR's overhead,
-        Section IV-B).
+        one register cycle, recorded on the emitted
+        :class:`~repro.cost.events.TasrRotationPass` event (TASR's
+        overhead, Section IV-B).
         """
         read = self._check_read(read)
         self._registers.load(read)
         if rotation != 0:
             self._registers.rotate_left(rotation)
-            self.stats.n_rotation_cycles += abs(int(rotation))
         return self.search(self._registers.contents(), threshold, mode,
-                           noise_key=noise_key)
+                           noise_key=noise_key, rotation=int(rotation))
 
     # -- internals ----------------------------------------------------------
 
@@ -753,33 +797,3 @@ class CamArray:
         if self._domain == "current":
             noise = -noise
         return v_ideal + noise
-
-    def _search_energy(self, counts: np.ndarray) -> float:
-        """Array energy for one search with the given per-row counts."""
-        n_rows = counts.shape[0]
-        if self._domain == "charge":
-            cells = float(search_energy_per_row(counts, self.cols,
-                                                vdd=self._vdd).sum())
-        else:
-            precharge = (constants.EDAM_ML_PRECHARGE_CAP_F
-                         * self._vdd**2 * n_rows)
-            discharge = (constants.EDAM_DISCHARGE_ENERGY_PER_MISMATCH_J
-                         * float(counts.sum()))
-            cells = precharge + discharge
-        peripherals = constants.SA_ENERGY_PER_ROW_J * n_rows
-        return cells + peripherals
-
-    def _search_energy_batch(self, counts: np.ndarray) -> np.ndarray:
-        """Per-query array energies for a ``(B, M)`` count block."""
-        n_rows = counts.shape[1]
-        if self._domain == "charge":
-            cells = search_energy_per_row(counts, self.cols,
-                                          vdd=self._vdd).sum(axis=1)
-        else:
-            precharge = (constants.EDAM_ML_PRECHARGE_CAP_F
-                         * self._vdd**2 * n_rows)
-            discharge = (constants.EDAM_DISCHARGE_ENERGY_PER_MISMATCH_J
-                         * counts.sum(axis=1, dtype=float))
-            cells = precharge + discharge
-        peripherals = constants.SA_ENERGY_PER_ROW_J * n_rows
-        return np.asarray(cells + peripherals, dtype=float)

@@ -95,8 +95,9 @@ class MatchOutcome:
     n_searches:
         Total search operations issued (base + HD + rotations).
     energy_joules / latency_ns:
-        Summed over all issued searches (plus rotation cycles are
-        folded into the rotated searches' latency by the array model).
+        Summed over all issued searches — thin sums over the cost
+        ledger's derived views (each pass the matcher sequences is a
+        typed event in the array's ledger; see :mod:`repro.cost`).
     hdac_probability:
         The ``p`` used this call (0 when HDAC was skipped).
     tasr_lower_bound:
@@ -482,11 +483,9 @@ class AsmCapMatcher:
                         rotated, thresholds[idx], MatchMode.ED_STAR,
                         noise_keys=pass_keys(keys[idx],
                                              _PASS_ROTATION + offset),
+                        rotation=offset,
                     )
                     decisions[idx] |= result.matches
-                    self._array.stats.n_rotation_cycles += (
-                        abs(int(offset)) * len(idx)
-                    )
                     n_searches[idx] += 1
                     energy[idx] += result.energy_per_query_joules
                     latency[idx] += self._array.search_time_ns
@@ -618,11 +617,9 @@ class AsmCapMatcher:
                     result = self._array.search_sweep(
                         rotated, thresholds[idx], MatchMode.ED_STAR,
                         noise_keys=pass_keys(_PASS_ROTATION + offset),
+                        rotation=offset,
                     )
                     decisions[idx] |= result.matches
-                    self._array.stats.n_rotation_cycles += (
-                        abs(int(offset)) * n_queries
-                    )
                     n_searches[idx] += 1
                     energy[idx] += result.energy_per_query_joules
                     latency[idx] += self._array.search_time_ns

@@ -50,6 +50,8 @@ import numpy as np
 from repro.arch.autotune import plan_shards
 from repro.arch.scheduler import bank_row_ranges
 from repro.cam.array import CamArray
+from repro.cost.events import BufferBroadcast
+from repro.cost.ledger import CostLedger
 from repro.core.matcher import (
     AsmCapMatcher,
     MatchBatchOutcome,
@@ -57,6 +59,7 @@ from repro.core.matcher import (
     MatcherConfig,
 )
 from repro.errors import CamConfigError
+from repro.genome import alphabet
 from repro.genome.edits import ErrorModel
 from repro.genome.reads import ReadRecord
 
@@ -84,7 +87,12 @@ class ReadMapping:
 
 @dataclass
 class MappingReport:
-    """Aggregate statistics for one pipeline run."""
+    """Aggregate statistics for one pipeline run.
+
+    A thin view: per-read costs come from the match outcomes, whose
+    energies/latencies are derived from the cost-ledger events
+    (:mod:`repro.cost`); the report only sums them in read order.
+    """
 
     n_reads: int = 0
     n_mapped: int = 0
@@ -157,6 +165,12 @@ class ReadMappingPipeline:
     @property
     def matcher(self) -> AsmCapMatcher:
         return self._matcher
+
+    @property
+    def ledger(self) -> CostLedger:
+        """The underlying array's cost ledger (every pass this
+        pipeline issued is recorded there as a typed event)."""
+        return self._matcher.array.ledger
 
     def map_read(self, read: "np.ndarray | ReadRecord",
                  threshold: int, index: int = 0) -> ReadMapping:
@@ -320,10 +334,30 @@ class ShardedReadMappingPipeline:
         self._max_workers = max_workers or max(
             1, min(len(self._matchers), os.cpu_count() or 1)
         )
+        #: System-level traffic events (global-buffer broadcasts); the
+        #: per-shard search passes live in each shard array's ledger.
+        self._ledger = CostLedger()
 
     @property
     def n_shards(self) -> int:
         return len(self._matchers)
+
+    @property
+    def ledger(self) -> CostLedger:
+        """This pipeline's system-level traffic events."""
+        return self._ledger
+
+    def merged_ledger(self) -> CostLedger:
+        """One deterministic ledger over the whole sharded system.
+
+        Broadcast events first, then every shard array's passes in
+        shard order — independent of worker scheduling, so ledger
+        views over a sharded run are reproducible.
+        """
+        return CostLedger.merged(
+            self._ledger,
+            *(matcher.array.ledger for matcher in self._matchers),
+        )
 
     @property
     def shard_ranges(self) -> tuple[tuple[int, int], ...]:
@@ -365,6 +399,14 @@ class ShardedReadMappingPipeline:
                 f"read width {codes.shape[1]} does not fit shard width "
                 f"{self._cols}"
             )
+        # The global buffer broadcasts each chunk to every shard once
+        # (Fig. 4(a)'s H-tree); record the traffic before the fan-out.
+        read_bits = self._cols * alphabet.BITS_PER_BASE
+        for start in range(0, codes.shape[0], self._chunk_size):
+            stop = min(start + self._chunk_size, codes.shape[0])
+            self._ledger.record(BufferBroadcast(
+                n_reads=stop - start, read_bits=read_bits,
+            ))
         with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
             futures = [
                 pool.submit(self._match_shard, matcher, codes, threshold,

@@ -1,0 +1,72 @@
+"""The cost ledger: an append-only collector of typed cost events.
+
+Every :class:`~repro.cam.array.CamArray` owns a :class:`CostLedger`
+and records one :class:`~repro.cost.events.SearchPassEvent` per
+physical pass; system-level components (the accelerator, the sharded
+pipeline) own their own ledgers for :class:`ReferenceLoad` /
+:class:`BufferBroadcast` traffic and merge the array ledgers in
+deterministic (shard) order when a whole-system view is needed.
+
+The ledger stores events only; every energy/latency/power number is a
+*view* computed by :mod:`repro.cost.views` on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.cost.events import LedgerEvent, SearchPassEvent
+
+
+class CostLedger:
+    """Append-only, order-preserving event collector."""
+
+    def __init__(self, events: "Iterable[LedgerEvent] | None" = None):
+        self._events: list[LedgerEvent] = list(events or ())
+
+    def record(self, event: LedgerEvent) -> LedgerEvent:
+        """Append one event and return it (for fluent call sites)."""
+        self._events.append(event)
+        return event
+
+    def extend(self, events: Iterable[LedgerEvent]) -> None:
+        """Append a batch of events, preserving their order."""
+        self._events.extend(events)
+
+    def clear(self) -> None:
+        """Drop every recorded event (long-lived arrays can trim)."""
+        self._events.clear()
+
+    @property
+    def events(self) -> tuple[LedgerEvent, ...]:
+        """Every recorded event, oldest first."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[LedgerEvent]:
+        return iter(self._events)
+
+    def search_passes(self) -> "tuple[SearchPassEvent, ...]":
+        """The search-pass events, oldest first."""
+        return tuple(event for event in self._events
+                     if isinstance(event, SearchPassEvent))
+
+    def of_type(self, *types: type) -> "tuple[LedgerEvent, ...]":
+        """Events matching any of the given event classes."""
+        return tuple(event for event in self._events
+                     if isinstance(event, types))
+
+    @classmethod
+    def merged(cls, *ledgers: "CostLedger") -> "CostLedger":
+        """One ledger holding every input's events, input order.
+
+        Shard merges pass shard-ordered ledgers, so the merged event
+        order — and therefore every order-sensitive view — is
+        deterministic regardless of worker scheduling.
+        """
+        merged = cls()
+        for ledger in ledgers:
+            merged.extend(ledger.events)
+        return merged

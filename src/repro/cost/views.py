@@ -1,0 +1,155 @@
+"""Derived cost views: energy / latency / power computed from events.
+
+This module is the **single accounting implementation** behind every
+joule and nanosecond the simulator reports.  A search-pass event
+carries the per-row mismatch populations the pass observed; the views
+push them through the physical models:
+
+* cell energy — :func:`repro.cam.energy.search_energy_per_row`
+  (Eq. (1)) in the charge domain, the pre-charge + discharge model in
+  the current domain;
+* peripheral energy — the sense-amp per-row constant and the
+  shift-register per-search constant of :mod:`repro.constants`;
+* latency — one search cycle per query at the event's recorded cycle
+  time (the :mod:`repro.arch.timing` constants), with shift-register
+  cycles tracked separately (the system model charges them where they
+  serialise).
+
+:class:`~repro.cam.array.CamArray` derives its per-search energies and
+its cumulative :class:`SearchStats` from here, which is what makes the
+scalar, batched, sweep and sharded paths bit-identical by construction
+— they all read the same view over the same events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro import constants
+from repro.cost.events import (
+    LedgerEvent,
+    SearchPassEvent,
+    TasrRotationPass,
+)
+
+# repro.cam.energy is imported lazily inside the view functions: the
+# cam package's array module imports this module at load time, so a
+# module-level import here would close an import cycle through
+# repro.cam.__init__.
+
+
+def search_pass_energy_per_query(event: SearchPassEvent) -> np.ndarray:
+    """``(B,)`` array energy per query of one search pass.
+
+    The charge domain applies Eq. (1) row by row
+    (:func:`repro.cam.energy.search_energy_per_row`); the current
+    domain charges the matchline pre-charge plus per-mismatch
+    discharge.  Sense-amp energy is charged per stored row.
+    """
+    from repro.cam.energy import search_energy_per_row
+
+    counts = event.mismatch_counts
+    n_rows = counts.shape[1]
+    if event.domain == "charge":
+        cells = search_energy_per_row(counts, event.n_cells,
+                                      vdd=event.vdd).sum(axis=1)
+    else:
+        precharge = (constants.EDAM_ML_PRECHARGE_CAP_F
+                     * event.vdd**2 * n_rows)
+        discharge = (constants.EDAM_DISCHARGE_ENERGY_PER_MISMATCH_J
+                     * counts.sum(axis=1, dtype=float))
+        cells = precharge + discharge
+    peripherals = constants.SA_ENERGY_PER_ROW_J * n_rows
+    return np.asarray(cells + peripherals, dtype=float)
+
+
+def search_pass_energy(event: SearchPassEvent) -> float:
+    """Total array energy of one pass (sum of the per-query view)."""
+    return event.energy_joules
+
+
+def search_pass_latency_ns(event: SearchPassEvent) -> float:
+    """Array-occupancy time of one pass: one cycle per query."""
+    return event.search_time_ns * event.n_queries
+
+
+def component_energies(event: SearchPassEvent) -> dict[str, float]:
+    """Per-component energy of one charge-domain search pass.
+
+    The Section V-B split: cells (Eq. (1) over the pass's mismatch
+    populations), shift registers (per-search constant — the registers
+    hold and shift the read every cycle), sense amplifiers (per-row
+    constant).  Summed over the pass's queries.  Only the charge
+    domain has this decomposition; current-domain events are rejected
+    rather than silently mis-accounted.
+    """
+    from repro.cam.energy import search_energy_per_row
+    from repro.errors import CamConfigError
+
+    if event.domain != "charge":
+        raise CamConfigError(
+            "component_energies models the charge-domain Section V-B "
+            f"split; got a {event.domain!r}-domain pass"
+        )
+    counts = event.mismatch_counts
+    cells = float(search_energy_per_row(counts, event.n_cells,
+                                        vdd=event.vdd).sum())
+    shift = constants.SHIFT_REGISTER_ENERGY_PER_SEARCH_J * event.n_queries
+    sense = constants.SA_ENERGY_PER_ROW_J * event.n_rows * event.n_queries
+    return {"cells": cells, "shift_registers": shift, "sense_amps": sense}
+
+
+def component_energy_totals(
+        events: Iterable[LedgerEvent]) -> dict[str, float]:
+    """Component energies summed over every search pass of a ledger.
+
+    Charge-domain ledgers only (the Section V-B split); a
+    current-domain pass raises rather than being mis-accounted.
+    """
+    totals = {"cells": 0.0, "shift_registers": 0.0, "sense_amps": 0.0}
+    for event in events:
+        if not isinstance(event, SearchPassEvent):
+            continue
+        for key, value in component_energies(event).items():
+            totals[key] += value
+    return totals
+
+
+@dataclass
+class SearchStats:
+    """Cumulative per-array counters (a view over the ledger).
+
+    Field-compatible with the pre-ledger incremental accumulator, so
+    benchmark bookkeeping and tests read the same shape; the values now
+    come from one pass over the recorded events.
+    """
+
+    n_searches: int = 0
+    n_rotation_cycles: int = 0
+    total_energy_joules: float = 0.0
+    total_latency_ns: float = 0.0
+
+
+def search_stats(events: Iterable[LedgerEvent]) -> SearchStats:
+    """Fold a ledger's search passes into cumulative counters.
+
+    Accumulation runs in event order, one pass at a time — exactly the
+    order the pre-ledger per-search accumulation used — so the totals
+    are bit-identical to the incremental bookkeeping they replaced.
+    A sweep pass counts its ``B`` physical searches (each query's
+    analog levels are computed once and reused for every threshold),
+    not ``T * B``.
+    """
+    stats = SearchStats()
+    for event in events:
+        if not isinstance(event, SearchPassEvent):
+            continue
+        stats.n_searches += event.n_queries
+        if isinstance(event, TasrRotationPass):
+            stats.n_rotation_cycles += event.shift_cycles
+        stats.total_energy_joules += event.energy_joules
+        stats.total_latency_ns += search_pass_latency_ns(event)
+    return stats

@@ -3,7 +3,10 @@
 The ASM goal (Section II-B) defines truth: a (read, segment) pair is a
 true match at threshold ``T`` iff ``ED(segment, read) <= T``.  The
 labeller computes the full ``(n_reads, n_segments)`` distance matrix
-once with the batched banded DP, capped just above the largest
+once with the batched banded DP — behind the exact base-composition
+and q-gram (Ukkonen) lower-bound prefilters of
+:mod:`repro.distance.edit_distance`, which prove most pairs "greater
+than band" without running their DP — capped just above the largest
 threshold any experiment will ask about, and answers every subsequent
 threshold query with a comparison.
 """

@@ -22,14 +22,29 @@ of the time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.stats import norm
 
 from repro import constants
 from repro.cam.variation import ChargeDomainVariation, CurrentDomainVariation
 from repro.errors import ThresholdError
+
+# scipy is optional: only the Gaussian survival function is used, and
+# math.erfc reproduces it to double precision when scipy is absent.
+try:
+    from scipy.stats import norm as _norm
+except ImportError:  # pragma: no cover - exercised on scipy-free CI
+    _norm = None
+
+_erfc = np.vectorize(math.erfc, otypes=[float])
+
+
+def _gaussian_sf(z: np.ndarray) -> np.ndarray:
+    if _norm is not None:
+        return _norm.sf(z)
+    return _erfc(np.asarray(z, dtype=float) / math.sqrt(2.0)) * 0.5
 
 
 def _variation_for(domain: str):
@@ -73,7 +88,7 @@ def flip_probability(mismatch_count: "int | np.ndarray", threshold: int,
     with np.errstate(divide="ignore"):
         z = np.where(sigma > 0, margin_volts / np.where(sigma > 0, sigma, 1),
                      np.inf)
-    return norm.sf(z)
+    return _gaussian_sf(z)
 
 
 @dataclass(frozen=True)

@@ -4,6 +4,12 @@ Paper numbers: 1.58 mm^2 and 7.67 mW per array; > 99 % of area in the
 cells; power split ~75 % cells / 19 % shift registers / 6 % SAs.
 The area and the power *split* come from the models; the total power
 anchors the steady-state search period (see :mod:`repro.arch.power`).
+
+The component fractions are read from the cost-ledger views
+(:func:`repro.cost.views.component_energies` over the synthetic
+typical-activity pass, via :mod:`repro.arch.power`) — the same
+accounting every measured search pass of the functional engine flows
+through.
 """
 
 from __future__ import annotations

@@ -7,11 +7,17 @@ Per-read latency and energy models (512 arrays x 256 x 256, 64 Mb):
   period (fetch + broadcast + load + search; derived from the Section
   V-B power anchor).  HDAC's Hamming search and TASR's rotated searches
   reuse the already-loaded read, so each extra search adds one search
-  cycle (plus shift cycles for rotations).  Strategy search counts are
-  computed from the paper's own policies (``p`` >= 1 % enables HDAC;
-  ``T >= Tl`` triggers TASR) averaged over each condition's threshold
-  sweep, then over the two conditions — the same "average effect of the
-  proposed strategies" the paper reports.
+  cycle (plus shift cycles for rotations).  The strategy statistics are
+  **measured** on the functional engine: one
+  :meth:`~repro.core.matcher.AsmCapMatcher.match_sweep` pass per
+  condition, with the per-threshold HDAC/TASR search counts and
+  rotation cycles harvested from the array's cost ledger
+  (:func:`repro.cost.profile.measure_strategy_profile`), averaged over
+  each condition's threshold sweep and then over the two conditions —
+  the same "average effect of the proposed strategies" the paper
+  reports.  The old policy-derived profile
+  (:func:`strategy_search_profile`) is kept as an analytic cross-check
+  the driver prints next to the measurement.
 * **EDAM** — same structure in the current domain (pre-charge +
   discharge + sample), period derived from its Table-I cell power.
 * **CM-CPU / ReSMA / SaVI** — the baseline cost models of
@@ -23,7 +29,7 @@ so deviations are visible at a glance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -41,6 +47,7 @@ from repro.baselines.edam import (
 from repro.baselines.resma import ResmaBaseline
 from repro.baselines.savi import SaviBaseline
 from repro.core import policy
+from repro.cost.profile import StrategyProfile, measure_strategy_profile
 from repro.errors import ExperimentError
 from repro.eval.reporting import format_ratio, format_table
 from repro.genome.edits import ErrorModel
@@ -62,9 +69,19 @@ class SystemCost:
 
 @dataclass
 class Fig8Result:
-    """All systems' per-read costs plus derived ratios."""
+    """All systems' per-read costs plus derived ratios.
+
+    ``profiles`` holds the per-condition strategy statistics the
+    ASMCap-with-strategies cost consumed (measured from the functional
+    engine by default); ``analytic_profiles`` holds the policy-derived
+    cross-check for the same conditions.
+    """
 
     costs: dict[str, SystemCost]
+    profiles: dict[str, StrategyProfile] = field(default_factory=dict)
+    analytic_profiles: dict[str, StrategyProfile] = field(
+        default_factory=dict
+    )
 
     def speedup_over(self, baseline: str, system: str) -> float:
         return (self.costs[baseline].latency_ns
@@ -78,6 +95,31 @@ class Fig8Result:
         """Speedup of *system* over each other system."""
         return {name: self.speedup_over(name, system)
                 for name in SYSTEMS if name != system}
+
+    def render_profiles(self) -> str:
+        """The measured strategy statistics vs the analytic cross-check."""
+        if not self.profiles:
+            return ""
+        rows = []
+        for condition, profile in sorted(self.profiles.items()):
+            analytic = self.analytic_profiles.get(condition)
+            rows.append((
+                condition,
+                f"{profile.searches_per_read:.3f}",
+                ("-" if analytic is None
+                 else f"{analytic.searches_per_read:.3f}"),
+                f"{profile.rotation_cycles_per_read:.2f}",
+                ("-" if analytic is None
+                 else f"{analytic.rotation_cycles_per_read:.2f}"),
+                profile.source,
+            ))
+        return format_table(
+            ["Condition", "searches/read", "analytic", "rot. cycles/read",
+             "analytic", "source"],
+            rows,
+            title="Strategy statistics (one match_sweep pass per "
+                  "condition, ledger-harvested)",
+        )
 
     def render(self) -> str:
         rows = [
@@ -117,7 +159,11 @@ class Fig8Result:
              "energy w/o", "paper", "energy w/", "paper"],
             anchor_rows, title="Measured ratios vs paper anchors",
         )
-        return table + "\n" + anchors
+        parts = [table, anchors]
+        profiles = self.render_profiles()
+        if profiles:
+            parts.append(profiles)
+        return "\n".join(parts)
 
 
 def strategy_search_profile(condition: str,
@@ -128,7 +174,9 @@ def strategy_search_profile(condition: str,
 
     Derived purely from the policies — HDAC issues its extra search
     when ``p >= 1 %``, TASR issues one search per rotation offset when
-    ``T >= Tl`` — so this matches what the functional matcher does.
+    ``T >= Tl``.  Kept as the analytic *cross-check* of the measured
+    :func:`repro.cost.profile.measure_strategy_profile`; the two agree
+    whenever the functional matcher applies the paper's policies.
     """
     label = condition.strip().upper()
     if label == "A":
@@ -159,10 +207,38 @@ def strategy_search_profile(condition: str,
     return float(np.mean(searches)), float(np.mean(cycles))
 
 
-def asmcap_read_cost(searches_per_read: float,
-                     rotation_cycles_per_read: float,
-                     n_arrays: int = constants.ARRAY_COUNT) -> SystemCost:
-    """ASMCap per-read cost with the pipelined extra-search model."""
+def analytic_strategy_profile(condition: str,
+                              tasr_direction: str = "both"
+                              ) -> StrategyProfile:
+    """:func:`strategy_search_profile` as a :class:`StrategyProfile`."""
+    searches, cycles = strategy_search_profile(condition, tasr_direction)
+    return StrategyProfile(
+        condition=condition.strip().upper(),
+        searches_per_read=searches,
+        rotation_cycles_per_read=cycles,
+        source="analytic",
+    )
+
+
+def asmcap_read_cost(searches_per_read: "float | None" = None,
+                     rotation_cycles_per_read: "float | None" = None,
+                     n_arrays: int = constants.ARRAY_COUNT,
+                     profile: "StrategyProfile | None" = None) -> SystemCost:
+    """ASMCap per-read cost with the pipelined extra-search model.
+
+    Pass a :class:`~repro.cost.profile.StrategyProfile` (measured or
+    analytic) as ``profile``.
+
+    .. deprecated:: PR 3
+       The scalar ``searches_per_read`` / ``rotation_cycles_per_read``
+       arguments remain as a compatibility shim (mirroring the PR 2
+       ``match_batch`` deprecation); they may not be combined with
+       ``profile``.
+    """
+    searches_per_read, rotation_cycles_per_read = StrategyProfile.resolve(
+        searches_per_read, rotation_cycles_per_read, profile,
+        error_cls=ExperimentError,
+    )
     period = steady_state_search_period_ns()
     search_cycle = constants.ASMCAP_SEARCH_TIME_NS
     latency = (period + (searches_per_read - 1.0) * search_cycle
@@ -183,19 +259,39 @@ def edam_read_cost(n_arrays: int = constants.ARRAY_COUNT) -> SystemCost:
 
 
 def compute_fig8(read_length: int = constants.READ_LENGTH,
-                 tasr_direction: str = "both") -> Fig8Result:
-    """Regenerate the Fig. 8 comparison."""
+                 tasr_direction: str = "both",
+                 measured: bool = True,
+                 seed: int = 0) -> Fig8Result:
+    """Regenerate the Fig. 8 comparison.
+
+    With ``measured=True`` (the default) the ASMCap strategy
+    statistics come from one functional ``match_sweep`` pass per
+    condition, harvested from the cost ledger; ``measured=False``
+    falls back to the policy-derived analytic profile.  Both paths
+    also compute the analytic profile so the result can render the
+    cross-check.
+    """
     cm = CmCpuBaseline()
     resma = ResmaBaseline()
     savi = SaviBaseline(generate_reference(4096, seed=0))
 
-    profile_a = strategy_search_profile("A", tasr_direction)
-    profile_b = strategy_search_profile("B", tasr_direction)
-    searches = (profile_a[0] + profile_b[0]) / 2.0
-    cycles = (profile_a[1] + profile_b[1]) / 2.0
+    analytic = {label: analytic_strategy_profile(label, tasr_direction)
+                for label in ("A", "B")}
+    if measured:
+        profiles = {
+            label: measure_strategy_profile(
+                label, tasr_direction=tasr_direction, seed=seed,
+            )
+            for label in ("A", "B")
+        }
+    else:
+        profiles = analytic
+    combined = StrategyProfile.average(
+        [profiles["A"], profiles["B"]]
+    )
 
     plain = asmcap_read_cost(1.0, 0.0)
-    full = asmcap_read_cost(searches, cycles)
+    full = asmcap_read_cost(profile=combined)
     costs = {
         "CM-CPU": SystemCost("CM-CPU", cm.read_latency_ns(read_length),
                              cm.read_energy_joules(read_length)),
@@ -207,11 +303,12 @@ def compute_fig8(read_length: int = constants.READ_LENGTH,
         "ASMCap w/o H&T": plain,
         "ASMCap w/ H&T": full,
     }
-    return Fig8Result(costs=costs)
+    return Fig8Result(costs=costs, profiles=profiles,
+                      analytic_profiles=analytic)
 
 
 def main() -> str:
-    """Run and render Fig. 8."""
+    """Run and render Fig. 8 (measured strategy statistics)."""
     return compute_fig8().render()
 
 

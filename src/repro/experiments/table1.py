@@ -4,8 +4,10 @@ Rows reproduced: ML-CAM mode, technology, cell area (with ratio),
 supply voltage, search time (with ratio), average power per cell (with
 ratio).  Areas come from the transistor-budget area model, search times
 from the timing model's cycle composition, and cell powers from the
-energy models at typical genome activity over the steady-state issue
-period — the ratios are model outputs, anchored as described in
+cost-ledger component views at typical genome activity
+(:func:`repro.arch.power.component_energies_per_search`, which reads
+:func:`repro.cost.views.component_energies`) over the steady-state
+issue period — the ratios are model outputs, anchored as described in
 DESIGN.md.
 """
 
