@@ -1,0 +1,228 @@
+"""Soak bench: streamed mapping with a bounded-memory cost ledger.
+
+Streams a large read workload through
+:class:`repro.service.StreamingMappingService` twice — once with the
+ledger's opt-in compaction mode, once append-only — sampling the
+ledger's live event count and retained mismatch-population elements as
+the stream progresses, then runs the same workload through one one-shot
+``run_batched`` call.  It demonstrates and **asserts** the PR's two
+claims:
+
+* **bounded memory** — under compaction the live event count and
+  retained populations plateau at the compaction bound, while the
+  append-only ledger grows linearly with the stream;
+* **determinism** — the streamed session's aggregate
+  :class:`~repro.core.pipeline.MappingReport` (per-read decisions and
+  costs included) is bit-identical to the one-shot ``run_batched``
+  execution, and every ledger view of the compacted run is
+  bit-identical to the uncompacted streamed run.
+
+(The pass-granular ledger views of a *streamed* session agree with the
+one-shot session to float precision, not bit-for-bit: a micro-batch
+boundary changes how per-query energies group into per-pass sums.  The
+per-read report is grouping-invariant — that is the service's
+contract.)
+
+Usage::
+
+    python benchmarks/bench_service_stream.py             # 100k-read soak
+    python benchmarks/bench_service_stream.py --smoke     # tiny CI run
+    python benchmarks/bench_service_stream.py --reads 250000 --engine sharded
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.cam.array import CamArray
+from repro.core.matcher import AsmCapMatcher, MatcherConfig
+from repro.core.pipeline import ReadMappingPipeline, ShardedReadMappingPipeline
+from repro.genome.datasets import build_dataset
+from repro.service import StreamingMappingService
+
+
+def build_workload(n_reads: int, read_length: int, n_segments: int,
+                   condition: str, seed: int):
+    dataset = build_dataset(condition, n_reads=n_reads,
+                            read_length=read_length,
+                            n_segments=n_segments, seed=seed)
+    reads = np.stack([record.read.codes for record in dataset.reads])
+    return dataset, reads
+
+
+def stream_workload(dataset, reads, args, compaction: "int | None"):
+    """One streamed pass; returns (service, report, samples, seconds).
+
+    ``samples`` rows are ``(reads_dispatched, live_events,
+    population_elements)`` taken every ``--sample-every`` micro-batches
+    — the memory trajectory the soak comparison plots.
+    """
+    service = StreamingMappingService(
+        dataset.segments, dataset.model, threshold=args.threshold,
+        engine=args.engine, micro_batch=args.micro_batch,
+        compaction=compaction, seed=args.seed,
+        n_shards=(args.shards if args.engine == "sharded" else None),
+    )
+    samples = []
+    start = time.perf_counter()
+    sampled_batches = 0
+    for begin in range(0, reads.shape[0], args.micro_batch):
+        service.submit_many(reads[begin:begin + args.micro_batch])
+        sampled_batches += 1
+        if sampled_batches % args.sample_every == 0:
+            snap = service.stats()
+            samples.append((snap.reads_dispatched,
+                            snap.ledger_events_live,
+                            snap.ledger_population_elements))
+    report = service.close()
+    elapsed = time.perf_counter() - start
+    snap = service.stats()
+    samples.append((snap.reads_dispatched, snap.ledger_events_live,
+                    snap.ledger_population_elements))
+    return service, report, samples, elapsed
+
+
+def one_shot(dataset, reads, args):
+    """The equivalent one-shot execution (same seeds, same engine)."""
+    start = time.perf_counter()
+    if args.engine == "batched":
+        array = CamArray(rows=dataset.segments.shape[0],
+                         cols=reads.shape[1], domain="charge",
+                         noisy=True, seed=args.seed)
+        array.store(dataset.segments)
+        pipeline = ReadMappingPipeline(
+            AsmCapMatcher(array, dataset.model, MatcherConfig(),
+                          seed=args.seed)
+        )
+        report = pipeline.run_batched(reads, args.threshold)
+    else:
+        pipeline = ShardedReadMappingPipeline(
+            dataset.segments, dataset.model, n_shards=args.shards,
+            noisy=True, seed=args.seed,
+        )
+        report = pipeline.run(reads, args.threshold)
+    return report, time.perf_counter() - start
+
+
+def assert_bit_identical(streamed, reference) -> None:
+    """The streamed report must equal the one-shot report exactly."""
+    assert streamed.n_reads == reference.n_reads
+    assert streamed.n_mapped == reference.n_mapped
+    assert streamed.n_unique == reference.n_unique
+    assert streamed.n_searches == reference.n_searches
+    assert streamed.total_energy_joules == reference.total_energy_joules
+    assert streamed.total_latency_ns == reference.total_latency_ns
+    for ours, theirs in zip(streamed.mappings, reference.mappings):
+        assert ours.read_index == theirs.read_index
+        assert ours.matched_rows == theirs.matched_rows
+        assert ours.outcome.energy_joules == theirs.outcome.energy_joules
+        assert ours.outcome.latency_ns == theirs.outcome.latency_ns
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reads", type=int, default=100_000)
+    parser.add_argument("--read-length", type=int, default=96)
+    parser.add_argument("--segments", type=int, default=32)
+    parser.add_argument("--threshold", type=int, default=6)
+    parser.add_argument("--condition", default="B", choices=("A", "B"),
+                        help="B at T=6 issues ED* + 2*NR TASR rotations "
+                             "per batch (a rich event stream)")
+    parser.add_argument("--engine", default="batched",
+                        choices=("batched", "sharded"))
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--micro-batch", type=int, default=512)
+    parser.add_argument("--compaction", type=int, default=8,
+                        help="live-event bound of the compacting arm")
+    parser.add_argument("--sample-every", type=int, default=16,
+                        help="memory samples every N micro-batches")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI hot-path checks")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.reads, args.read_length, args.segments = 2000, 64, 24
+        args.micro_batch, args.sample_every = 128, 4
+
+    dataset, reads = build_workload(args.reads, args.read_length,
+                                    args.segments, args.condition,
+                                    args.seed)
+
+    compacted_svc, compacted_rep, compacted_samples, compacted_s = \
+        stream_workload(dataset, reads, args, args.compaction)
+    plain_svc, plain_rep, plain_samples, plain_s = \
+        stream_workload(dataset, reads, args, None)
+    reference_rep, reference_s = one_shot(dataset, reads, args)
+
+    print(f"\nbench_service_stream: {args.reads} streamed reads x "
+          f"{args.segments} segments x {args.read_length} bases, "
+          f"T={args.threshold}, condition {args.condition}, "
+          f"engine {args.engine}, micro-batch {args.micro_batch}, "
+          f"compaction bound {args.compaction}")
+
+    print(f"\n{'reads':>9}  {'live events':>22}  {'population elems':>24}")
+    print(f"{'':>9}  {'compacted':>10} {'plain':>11}  "
+          f"{'compacted':>11} {'plain':>12}")
+    for (reads_c, events_c, pop_c), (_, events_p, pop_p) in zip(
+            compacted_samples, plain_samples):
+        print(f"{reads_c:>9}  {events_c:>10} {events_p:>11}  "
+              f"{pop_c:>11} {pop_p:>12}")
+
+    snap = compacted_svc.stats()
+    print(f"\ncompacted arm: {snap.compactions} compactions, "
+          f"{snap.ledger_events_folded} events folded, "
+          f"pass counts {snap.pass_counts}")
+    for label, seconds, report in (
+            ("streamed+compaction", compacted_s, compacted_rep),
+            ("streamed append-only", plain_s, plain_rep),
+            ("one-shot run", reference_s, reference_rep)):
+        print(f"{label:<22} {seconds:>7.2f} s  "
+              f"{args.reads / seconds:>9.0f} reads/s  "
+              f"mapped {report.mapped_fraction:.3f}")
+
+    # -- bounded memory: plateau vs linear ------------------------------
+    peak_live = max(events for _, events, _ in compacted_samples)
+    final_plain = plain_samples[-1][1]
+    # Per ledger, the compacting arm never holds more than the bound
+    # plus its checkpoint; ledger_events_live sums over every ledger
+    # the engine owns (1 for batched, n_shards + 1 for sharded), plus
+    # one not-yet-folded micro-batch of passes as slack.
+    n_batches = max(1, plain_svc.stats().batches_dispatched)
+    passes_per_batch = -(-final_plain // n_batches)  # ceil
+    n_ledgers = len(compacted_svc.ledgers())
+    bound = n_ledgers * (args.compaction + 1) + passes_per_batch + 1
+    failed = False
+    if peak_live > bound:
+        print(f"FAIL: compacted live events peaked at {peak_live} > "
+              f"bound {bound}", file=sys.stderr)
+        failed = True
+    if final_plain < 2 * peak_live:
+        print(f"FAIL: append-only ledger ({final_plain} events) did not "
+              f"outgrow the compacted plateau ({peak_live})",
+              file=sys.stderr)
+        failed = True
+    half = len(plain_samples) // 2
+    if half >= 1 and plain_samples[-1][1] < 1.5 * plain_samples[half - 1][1]:
+        print("FAIL: append-only ledger growth is not linear-like",
+              file=sys.stderr)
+        failed = True
+
+    # -- determinism: streamed == one-shot, compacted == plain ----------
+    assert_bit_identical(compacted_rep, reference_rep)
+    assert_bit_identical(plain_rep, reference_rep)
+    assert compacted_svc.merged_stats() == plain_svc.merged_stats(), \
+        "compacted ledger views drifted from the uncompacted views"
+    print("\nOK: bounded ledger memory"
+          if not failed else "\nbounded-memory check FAILED")
+    print("OK: streamed report bit-identical to one-shot run_batched; "
+          "compacted views bit-identical to append-only views")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

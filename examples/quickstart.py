@@ -1,62 +1,119 @@
 #!/usr/bin/env python
-"""Quickstart: match one erroneous read against a reference with ASMCap.
+"""Quickstart: every execution path of the ASMCap reproduction.
 
-Walks the whole public API in ~60 lines:
+Walks the public API end to end — one workload through the scalar,
+batched, sharded, sweep and streaming-service engines — asserting the
+determinism contracts between them along the way.
 
-1. synthesise a reference and store its segments in a CAM array;
-2. sample a read and inject Condition-A errors;
-3. run the full ASMCap matcher (ED* + HDAC + TASR);
-4. inspect the decision, the analog matchline voltages, and the cost.
+The ``# [readme:<name>]`` markers delimit the code blocks the README's
+quickstart embeds verbatim: ``tools/check_docs.py`` executes the
+README blocks *and* diffs them against these sections, so the front
+door and this example cannot drift apart.  Edit here, then mirror the
+block into README.md (the CI ``docs-smoke`` job fails on any
+mismatch).
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.cam import CamArray
-from repro.core import AsmCapMatcher, MatcherConfig
-from repro.distance import edit_distance
-from repro.genome import ErrorModel, ReadSampler, generate_reference
-
-READ_LENGTH = 256
-N_SEGMENTS = 64
-THRESHOLD = 4
-
 
 def main() -> None:
-    # 1. Reference: 64 segments of 256 bases, stored one per CAM row.
-    reference = generate_reference(N_SEGMENTS * READ_LENGTH + 1024, seed=7)
-    segments = [reference.window(i * READ_LENGTH, READ_LENGTH)
-                for i in range(N_SEGMENTS)]
-    array = CamArray(rows=N_SEGMENTS, cols=READ_LENGTH, domain="charge",
-                     seed=1)
-    array.store([s.codes for s in segments])
-    print(f"stored {N_SEGMENTS} segments of {READ_LENGTH} bases "
-          f"({array.rows}x{array.cols} charge-domain array)")
+    # [readme:setup]
+    import numpy as np
 
-    # 2. A read from segment 10, with Condition-A errors injected.
-    model = ErrorModel.condition_a()
-    sampler = ReadSampler(reference, READ_LENGTH, model, seed=2)
-    record = sampler.sample_at(10 * READ_LENGTH)
-    true_distance = edit_distance(segments[10], record.read)
-    print(f"read sampled from segment 10 with {len(record.plan)} injected "
-          f"edits (true edit distance {true_distance})")
+    from repro.cam import CamArray
+    from repro.core import AsmCapMatcher, MatcherConfig
+    from repro.genome import build_dataset
 
-    # 3. Full ASMCap matching flow.
-    matcher = AsmCapMatcher(array, model, MatcherConfig(), seed=3)
-    outcome = matcher.match(record.read.codes, THRESHOLD)
+    # Condition A of the paper (1 % substitutions, 0.05 % indels):
+    # a synthetic reference cut into 64 stored segments, plus 24
+    # error-injected reads sampled from it.
+    dataset = build_dataset("A", n_reads=24, read_length=128,
+                            n_segments=64, seed=7)
+    reads = np.stack([record.read.codes for record in dataset.reads])
 
-    # 4. Results.
+    # A charge-domain ML-CAM array holding the reference, and the full
+    # ASMCap matching flow (ED* base search + HDAC + TASR) over it.
+    array = CamArray(rows=64, cols=128, domain="charge", seed=1)
+    array.store(dataset.segments)
+    matcher = AsmCapMatcher(array, dataset.model, MatcherConfig(), seed=1)
+    # [/readme:setup]
+
+    # [readme:scalar]
+    # Scalar path: one read, one match() call.  query_key pins the
+    # keyed noise streams, making this row reproducible on every
+    # other execution path.
+    outcome = matcher.match(reads[0], threshold=4, query_key=0)
     matched_rows = [int(i) for i in outcome.decisions.nonzero()[0]]
-    print(f"threshold T={THRESHOLD}: matched rows {matched_rows}")
-    print(f"  searches issued : {outcome.n_searches} "
-          f"(HDAC p={outcome.hdac_probability:.3f}, "
-          f"TASR Tl={outcome.tasr_lower_bound})")
-    print(f"  array energy    : {outcome.energy_joules * 1e12:.1f} pJ")
-    print(f"  latency         : {outcome.latency_ns:.1f} ns")
+    print(f"scalar : read 0 matched rows {matched_rows} "
+          f"({outcome.n_searches} searches, "
+          f"{outcome.energy_joules * 1e12:.1f} pJ)")
+    # [/readme:scalar]
+    assert matched_rows, "read 0 should map somewhere"
 
-    assert 10 in matched_rows, "the origin segment should match"
-    print("OK: the read mapped back to its origin segment.")
+    # [readme:batched]
+    # Batched path: the whole block in vectorised passes.  Row q is
+    # bit-identical to match(reads[q], threshold, query_key=q).
+    from repro.core import ReadMappingPipeline
+
+    pipeline = ReadMappingPipeline(matcher)
+    report = pipeline.run_batched(reads, threshold=4)
+    print(f"batched: {report.n_reads} reads, "
+          f"{report.mapped_fraction:.2f} mapped, "
+          f"{report.total_energy_joules * 1e9:.2f} nJ total")
+    assert report.mappings[0].matched_rows == tuple(matched_rows)
+    # [/readme:batched]
+
+    # [readme:sharded]
+    # Sharded path: the reference partitioned across CAM-array shards
+    # behind a modelled global buffer + H-tree, searched by concurrent
+    # workers (n_shards=None autotunes to the machine).
+    from repro.core import ShardedReadMappingPipeline
+
+    sharded = ShardedReadMappingPipeline(dataset.segments, dataset.model,
+                                         n_shards=4, seed=1)
+    sharded_report = sharded.run(reads, threshold=4)
+    print(f"sharded: {sharded.n_shards} shards, "
+          f"{sharded_report.mapped_fraction:.2f} mapped")
+    # [/readme:sharded]
+    assert sharded_report.n_reads == report.n_reads
+
+    # [readme:sweep]
+    # Sweep path: a whole threshold sweep in ONE count+noise pass per
+    # search — slice t is bit-identical to the batched path at
+    # thresholds[t] (this is what makes Fig. 7 curves cheap).
+    thresholds = np.arange(2, 9)
+    sweep = matcher.match_sweep(reads, thresholds)
+    at_4 = sweep.at_threshold(4)
+    assert np.array_equal(
+        np.flatnonzero(at_4[0]), np.asarray(matched_rows))
+    print(f"sweep  : {thresholds.size} thresholds in "
+          f"{int(sweep.n_searches.max())} passes/read worst-case")
+    # [/readme:sweep]
+
+    # [readme:service]
+    # Streaming service: reads arrive incrementally, are coalesced
+    # into autotuned micro-batches, and the cost ledger stays bounded
+    # via compaction — while the final report is bit-identical to the
+    # one-shot batched run above, for any micro-batch boundaries.
+    from repro.service import StreamingMappingService
+
+    service = StreamingMappingService(dataset.segments, dataset.model,
+                                      threshold=4, micro_batch=8,
+                                      compaction=4, seed=1)
+    service.submit_many(iter(reads))
+    streamed = service.close()
+    stats = service.stats()
+    assert streamed.total_energy_joules == report.total_energy_joules
+    print(f"service: {stats.reads_dispatched} reads in "
+          f"{stats.batches_dispatched} micro-batches, "
+          f"{stats.compactions} ledger compactions, "
+          f"pass counts {stats.pass_counts}")
+    # [/readme:service]
+
+    print("OK: scalar, batched, sharded, sweep and streaming paths "
+          "agree.")
 
 
 if __name__ == "__main__":

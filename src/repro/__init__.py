@@ -16,6 +16,9 @@ memories.  This library re-implements the full system in Python:
   collected in a ledger, with energy/latency/power as derived views
   and measured strategy profiles for Fig. 8;
 * :mod:`repro.arch` — the 512-array system with timing/power models;
+* :mod:`repro.service` — the long-running streaming entry point:
+  incremental read feed, autotuned micro-batches, bounded-memory
+  ledgers via compaction;
 * :mod:`repro.baselines` — EDAM, CM-CPU, ReSMA, SaVI, Kraken-like;
 * :mod:`repro.eval` — F1 evaluation machinery;
 * :mod:`repro.experiments` — drivers regenerating every paper artifact.
@@ -41,8 +44,10 @@ from repro.errors import (
     DatasetError,
     EditModelError,
     ExperimentError,
+    LedgerCompactionError,
     ReproError,
     SequenceError,
+    ServiceError,
     ThresholdError,
 )
 
@@ -55,8 +60,10 @@ __all__ = [
     "DatasetError",
     "EditModelError",
     "ExperimentError",
+    "LedgerCompactionError",
     "ReproError",
     "SequenceError",
+    "ServiceError",
     "ThresholdError",
     "constants",
     "__version__",

@@ -25,7 +25,10 @@ Heuristics (all clamped, all deterministic given their inputs):
 
 The Monte-Carlo sweep runner reuses the same machine signal through
 :func:`sweep_worker_count` (independent repetitions, so the only cap
-is cores vs runs).
+is cores vs runs), and the streaming service sizes its micro-batches
+through :func:`plan_microbatch` (the same working-set bound, applied
+to the coalescing buffer a long-running feed accumulates between
+dispatches).
 """
 
 from __future__ import annotations
@@ -99,16 +102,60 @@ def plan_shards(n_rows: int, cols: int,
     by_size = max(1, n_rows // MIN_ROWS_PER_SHARD)
     n_shards = max(1, min(cpus, by_size, n_rows))
 
-    # One worker chunk materialises roughly a (chunk, rows_per_shard)
-    # count block plus a (chunk, cols * 4) one-hot encoding per pass;
-    # bound the larger of the two.
     rows_per_shard = -(-n_rows // n_shards)  # ceil
+    return ShardPlan(n_shards=n_shards,
+                     chunk_size=_chunk_reads(rows_per_shard, cols),
+                     max_workers=min(n_shards, cpus))
+
+
+def _chunk_reads(rows_per_shard: int, cols: int) -> int:
+    """Reads per dispatch bounding one vectorised pass's working set.
+
+    One block materialises roughly a ``(chunk, rows_per_shard)`` count
+    matrix plus a ``(chunk, cols * 4)`` one-hot encoding per pass;
+    bound the larger of the two to :data:`TARGET_CHUNK_ELEMS`, clamped
+    to ``[MIN_CHUNK_READS, MAX_CHUNK_READS]``.  Shared by the worker
+    chunking (:func:`plan_shards`) and the streaming micro-batches
+    (:func:`plan_microbatch`) so the two sizings cannot drift.
+    """
     per_read_elems = max(rows_per_shard, cols * 4, 1)
     chunk = TARGET_CHUNK_ELEMS // per_read_elems
-    chunk_size = int(min(MAX_CHUNK_READS, max(MIN_CHUNK_READS, chunk)))
+    return int(min(MAX_CHUNK_READS, max(MIN_CHUNK_READS, chunk)))
 
-    return ShardPlan(n_shards=n_shards, chunk_size=chunk_size,
-                     max_workers=min(n_shards, cpus))
+
+def plan_microbatch(n_rows: int, cols: int,
+                    n_shards: int = 1) -> int:
+    """Reads per streaming micro-batch for a reference of this size.
+
+    The streaming service coalesces incrementally-submitted reads and
+    dispatches them through the batched (or sharded) engine once a
+    micro-batch is full.  The size balances the same two forces the
+    worker-chunk heuristic does: batches big enough to amortise
+    per-dispatch Python overhead over the vectorised passes
+    (:data:`MIN_CHUNK_READS`), small enough that one dispatch's
+    comparison working set stays inside the array's ~8 MB target
+    (:data:`TARGET_CHUNK_ELEMS`) — with the per-read footprint taken
+    from the *largest* shard when the reference is partitioned.
+
+    Parameters
+    ----------
+    n_rows:
+        Total reference segment rows stored across the system.
+    cols:
+        Segment width in bases.
+    n_shards:
+        Shards the rows are partitioned across (1 = single array);
+        each shard sees the whole micro-batch, so the bound applies
+        per shard.
+    """
+    if n_rows <= 0:
+        raise ValueError(f"n_rows must be positive, got {n_rows}")
+    if cols <= 0:
+        raise ValueError(f"cols must be positive, got {cols}")
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    rows_per_shard = -(-n_rows // n_shards)  # ceil
+    return _chunk_reads(rows_per_shard, cols)
 
 
 def sweep_worker_count(n_runs: int,

@@ -228,6 +228,12 @@ class CamArray:
     strict_paper_vref:
         Use the literal ``V_ref = T/N*VDD`` rule (see
         :mod:`repro.cam.sense_amp`).
+    ledger_compaction:
+        ``None`` (default) keeps the append-only ledger every one-shot
+        experiment expects; an integer bound opts the array's ledger
+        into bounded-memory compaction (see
+        :class:`repro.cost.ledger.CostLedger`) — what a long-running
+        streaming service passes.
     """
 
     def __init__(self, rows: int = constants.ARRAY_ROWS,
@@ -237,7 +243,8 @@ class CamArray:
                  noisy: bool = True,
                  seed: int = 0,
                  strict_paper_vref: bool = False,
-                 vdd: float = constants.VDD_VOLTS):
+                 vdd: float = constants.VDD_VOLTS,
+                 ledger_compaction: "int | None" = None):
         if domain not in _DOMAINS:
             raise CamConfigError(
                 f"domain must be one of {_DOMAINS}, got {domain!r}"
@@ -271,7 +278,7 @@ class CamArray:
             )
             self._search_time_ns = constants.EDAM_SEARCH_TIME_NS
         #: The array's cost ledger: one typed event per physical pass.
-        self.ledger = CostLedger()
+        self.ledger = CostLedger(compaction=ledger_compaction)
 
     # -- configuration ----------------------------------------------------
 

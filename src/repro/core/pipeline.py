@@ -35,7 +35,11 @@ keys* (the read's global position in the workload): variation noise
 and HDAC draws are keyed by ``(query_key, pass)``, so the scalar
 wrapper :meth:`ShardedReadMappingPipeline.map_read` and the chunked,
 multi-threaded :meth:`ShardedReadMappingPipeline.run` make
-bit-identical decisions under a fixed seed.
+bit-identical decisions under a fixed seed.  The ``first_read_index``
+offset on both ``run`` methods extends the same anchor to incremental
+execution — :mod:`repro.service` streams a workload through these
+engines micro-batch by micro-batch, bit-identical to one call over
+the whole block.
 """
 
 from __future__ import annotations
@@ -52,6 +56,7 @@ from repro.arch.scheduler import bank_row_ranges
 from repro.cam.array import CamArray
 from repro.cost.events import BufferBroadcast
 from repro.cost.ledger import CostLedger
+from repro.cost.views import SearchStats, merge_search_stats, search_stats
 from repro.core.matcher import (
     AsmCapMatcher,
     MatchBatchOutcome,
@@ -194,17 +199,29 @@ class ReadMappingPipeline:
 
     def run_batched(self,
                     reads: "Sequence[np.ndarray] | Sequence[ReadRecord]",
-                    threshold: int) -> MappingReport:
+                    threshold: int,
+                    first_read_index: int = 0) -> MappingReport:
         """Map the whole batch through the vectorised matcher passes.
 
         Decisions are bit-identical to a scalar loop that calls
         ``matcher.match(read, threshold, query_key=index)`` per read —
         the keyed noise streams make execution order irrelevant.
+
+        ``first_read_index`` offsets the query keys (and the reported
+        ``read_index`` values): read ``i`` of this call is keyed as
+        global read ``first_read_index + i``.  A streaming caller that
+        feeds a workload in micro-batches with the right offsets is
+        therefore bit-identical to one ``run_batched`` call over the
+        whole workload, for any micro-batch boundaries (the streaming
+        service's determinism contract — :mod:`repro.service`).
         """
         codes = _codes_matrix(reads)
         if codes.shape[0] == 0:
             return MappingReport()
-        outcome = self._matcher.match_batch(codes, threshold)
+        first = int(first_read_index)
+        keys = list(range(first, first + codes.shape[0]))
+        outcome = self._matcher.match_batch(codes, threshold,
+                                            query_keys=keys)
         return _build_report(
             decisions=outcome.decisions,
             thresholds=outcome.thresholds,
@@ -213,7 +230,7 @@ class ReadMappingPipeline:
             latency=outcome.latency_ns,
             hdac_probabilities=outcome.hdac_probabilities,
             tasr_lower_bound=outcome.tasr_lower_bound,
-            read_indices=list(range(outcome.n_queries)),
+            read_indices=keys,
         )
 
 
@@ -293,6 +310,13 @@ class ShardedReadMappingPipeline:
         Reads per worker task; bounds peak memory of the vectorised
         comparison blocks.  ``None`` autotunes it from the per-shard
         row count and segment width.
+    ledger_compaction:
+        ``None`` (default) keeps every ledger append-only; an integer
+        bound opts every shard array's ledger *and* the system-level
+        traffic ledger into bounded-memory compaction
+        (:class:`repro.cost.ledger.CostLedger`).  With compaction on,
+        read whole-system statistics through :meth:`merged_stats` —
+        :meth:`merged_ledger` needs the full event streams.
     """
 
     def __init__(self, segments: np.ndarray, error_model: ErrorModel,
@@ -302,7 +326,8 @@ class ShardedReadMappingPipeline:
                  noisy: bool = True,
                  seed: int = 0,
                  max_workers: "int | None" = None,
-                 chunk_size: "int | None" = DEFAULT_READ_CHUNK):
+                 chunk_size: "int | None" = DEFAULT_READ_CHUNK,
+                 ledger_compaction: "int | None" = None):
         segments = np.asarray(segments, dtype=np.uint8)
         if segments.ndim != 2 or segments.shape[0] == 0:
             raise CamConfigError(
@@ -326,7 +351,8 @@ class ShardedReadMappingPipeline:
         self._matchers: list[AsmCapMatcher] = []
         for shard, (start, stop) in enumerate(self._ranges):
             array = CamArray(rows=stop - start, cols=self._cols,
-                             domain=domain, noisy=noisy, seed=seed + shard)
+                             domain=domain, noisy=noisy, seed=seed + shard,
+                             ledger_compaction=ledger_compaction)
             array.store(segments[start:stop])
             self._matchers.append(
                 AsmCapMatcher(array, error_model, config, seed=seed + shard)
@@ -336,7 +362,7 @@ class ShardedReadMappingPipeline:
         )
         #: System-level traffic events (global-buffer broadcasts); the
         #: per-shard search passes live in each shard array's ledger.
-        self._ledger = CostLedger()
+        self._ledger = CostLedger(compaction=ledger_compaction)
 
     @property
     def n_shards(self) -> int:
@@ -353,10 +379,32 @@ class ShardedReadMappingPipeline:
         Broadcast events first, then every shard array's passes in
         shard order — independent of worker scheduling, so ledger
         views over a sharded run are reproducible.
+
+        Needs the full event streams: with ``ledger_compaction`` on,
+        the shard checkpoints cannot be spliced mid-stream (the merge
+        raises :class:`~repro.errors.LedgerCompactionError`) — read
+        whole-system statistics through :meth:`merged_stats` instead.
         """
         return CostLedger.merged(
             self._ledger,
             *(matcher.array.ledger for matcher in self._matchers),
+        )
+
+    def merged_stats(self) -> SearchStats:
+        """Whole-system search counters, exact under compaction.
+
+        Each shard ledger is folded by its own
+        :func:`~repro.cost.views.search_stats` (checkpoints restore
+        the folded prefix exactly), and the per-shard folds are summed
+        in deterministic shard order — so a compacted run reads
+        counters bit-identical to the same run without compaction.
+        Note the combination order differs from
+        ``search_stats(merged_ledger())``'s single interleaved fold,
+        so the two agree to float precision, not bit-for-bit.
+        """
+        return merge_search_stats(
+            search_stats(matcher.array.ledger)
+            for matcher in self._matchers
         )
 
     @property
@@ -381,13 +429,22 @@ class ShardedReadMappingPipeline:
         return report.mappings[0]
 
     def run(self, reads: "Sequence[np.ndarray] | Sequence[ReadRecord]",
-            threshold: int) -> MappingReport:
-        """Map every read across all shards and merge the reports."""
+            threshold: int,
+            first_read_index: int = 0) -> MappingReport:
+        """Map every read across all shards and merge the reports.
+
+        ``first_read_index`` offsets the determinism keys exactly as
+        in :meth:`ReadMappingPipeline.run_batched`: a streamed
+        sequence of calls whose offsets tile the workload is
+        bit-identical to one call over the whole workload.
+        """
         codes = _codes_matrix(reads)
         if codes.shape[0] == 0:
             return MappingReport()
+        first = int(first_read_index)
         return self._run_keyed(codes, threshold,
-                               keys=list(range(codes.shape[0])))
+                               keys=list(range(first,
+                                               first + codes.shape[0])))
 
     # -- internals ----------------------------------------------------------
 

@@ -29,9 +29,11 @@ apart — they all read from the same model.
 
 from repro.cost.events import (
     BufferBroadcast,
+    CompactionCheckpoint,
     EdStarPass,
     HdacPass,
     LedgerEvent,
+    PassClassSummary,
     ReferenceLoad,
     SearchPassEvent,
     TasrRotationPass,
@@ -47,6 +49,7 @@ from repro.cost.views import (
     SearchStats,
     component_energies,
     component_energy_totals,
+    merge_search_stats,
     search_pass_energy,
     search_pass_energy_per_query,
     search_pass_latency_ns,
@@ -55,10 +58,12 @@ from repro.cost.views import (
 
 __all__ = [
     "BufferBroadcast",
+    "CompactionCheckpoint",
     "CostLedger",
     "EdStarPass",
     "HdacPass",
     "LedgerEvent",
+    "PassClassSummary",
     "ReferenceLoad",
     "SearchPassEvent",
     "SearchStats",
@@ -67,6 +72,7 @@ __all__ = [
     "component_energies",
     "component_energy_totals",
     "measure_strategy_profile",
+    "merge_search_stats",
     "profile_from_ledger",
     "search_pass_energy",
     "search_pass_energy_per_query",

@@ -129,6 +129,12 @@ def profile_from_ledger(events: Iterable[LedgerEvent],
     measurements, chunked read blocks) is normalised by the number of
     base ED* passes covering each threshold, so the profile is the
     per-read average over runs, never a multiple of it.
+
+    Harvesting needs the *full* sweep-pass events (per-event threshold
+    coverage), which is exactly why ledger compaction never folds
+    sweep passes by default: a ``compact(fold_sweep=True)`` destroys
+    what this function reads, so harvest the profile first (see
+    DESIGN.md, "Cost-ledger contract: compaction").
     """
     sweep_passes = [event for event in events
                     if isinstance(event, SearchPassEvent) and event.sweep]

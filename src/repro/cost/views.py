@@ -30,10 +30,12 @@ import numpy as np
 
 from repro import constants
 from repro.cost.events import (
+    CompactionCheckpoint,
     LedgerEvent,
     SearchPassEvent,
     TasrRotationPass,
 )
+from repro.errors import CamConfigError, LedgerCompactionError
 
 # repro.cam.energy is imported lazily inside the view functions: the
 # cam package's array module imports this module at load time, so a
@@ -102,15 +104,42 @@ def component_energies(event: SearchPassEvent) -> dict[str, float]:
     return {"cells": cells, "shift_registers": shift, "sense_amps": sense}
 
 
+def _reject_midstream_checkpoint(position: int) -> None:
+    """A checkpoint is a fold of the accumulation *prefix*; meeting
+    one anywhere else means the event order the views define no
+    longer exists."""
+    if position != 0:
+        raise LedgerCompactionError(
+            f"compaction checkpoint at event position {position}; a "
+            "checkpoint is only legal as a ledger's first event"
+        )
+
+
 def component_energy_totals(
         events: Iterable[LedgerEvent]) -> dict[str, float]:
     """Component energies summed over every search pass of a ledger.
 
     Charge-domain ledgers only (the Section V-B split); a
-    current-domain pass raises rather than being mis-accounted.
+    current-domain pass raises rather than being mis-accounted — and a
+    checkpoint that folded a current-domain pass keeps raising (its
+    ``component_totals`` is None).  A leading
+    :class:`~repro.cost.events.CompactionCheckpoint` contributes its
+    exact per-component resume sums, so compacted and uncompacted
+    ledgers read bit-identical totals.
     """
     totals = {"cells": 0.0, "shift_registers": 0.0, "sense_amps": 0.0}
-    for event in events:
+    for position, event in enumerate(events):
+        if isinstance(event, CompactionCheckpoint):
+            _reject_midstream_checkpoint(position)
+            if event.component_totals is None:
+                raise CamConfigError(
+                    "component_energy_totals models the charge-domain "
+                    "Section V-B split; this ledger folded a "
+                    "current-domain pass"
+                )
+            for key, value in event.component_totals.items():
+                totals[key] += value
+            continue
         if not isinstance(event, SearchPassEvent):
             continue
         for key, value in component_energies(event).items():
@@ -142,9 +171,23 @@ def search_stats(events: Iterable[LedgerEvent]) -> SearchStats:
     A sweep pass counts its ``B`` physical searches (each query's
     analog levels are computed once and reused for every threshold),
     not ``T * B``.
+
+    A leading :class:`~repro.cost.events.CompactionCheckpoint` restores
+    the exact partial accumulation over the folded prefix (the
+    checkpoint stored the same per-event float additions, in the same
+    order, at fold time), so compacted and uncompacted ledgers read
+    bit-identical counters.  A checkpoint anywhere else raises
+    :class:`~repro.errors.LedgerCompactionError`.
     """
     stats = SearchStats()
-    for event in events:
+    for position, event in enumerate(events):
+        if isinstance(event, CompactionCheckpoint):
+            _reject_midstream_checkpoint(position)
+            stats.n_searches += event.n_searches
+            stats.n_rotation_cycles += event.n_rotation_cycles
+            stats.total_energy_joules += event.total_energy_joules
+            stats.total_latency_ns += event.total_latency_ns
+            continue
         if not isinstance(event, SearchPassEvent):
             continue
         stats.n_searches += event.n_queries
@@ -153,3 +196,21 @@ def search_stats(events: Iterable[LedgerEvent]) -> SearchStats:
         stats.total_energy_joules += event.energy_joules
         stats.total_latency_ns += search_pass_latency_ns(event)
     return stats
+
+
+def merge_search_stats(parts: Iterable[SearchStats]) -> SearchStats:
+    """Sum per-ledger :class:`SearchStats` folds in input order.
+
+    The system-level aggregation for independently-owned (possibly
+    compacted) ledgers: each part is that ledger's own exact fold, and
+    the parts are combined field-wise in deterministic input order —
+    bit-identical between compacted and uncompacted runs because every
+    per-ledger fold is.
+    """
+    merged = SearchStats()
+    for part in parts:
+        merged.n_searches += part.n_searches
+        merged.n_rotation_cycles += part.n_rotation_cycles
+        merged.total_energy_joules += part.total_energy_joules
+        merged.total_latency_ns += part.total_latency_ns
+    return merged

@@ -46,3 +46,19 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was invoked with inconsistent parameters."""
+
+
+class LedgerCompactionError(ReproError):
+    """A cost-ledger compaction rule was violated.
+
+    Raised when a view meets a :class:`~repro.cost.events.
+    CompactionCheckpoint` anywhere but at the head of the event
+    sequence, or when ledgers are merged in a way that would place a
+    checkpoint mid-stream — both would silently change the float
+    accumulation order the views guarantee (see DESIGN.md,
+    "Cost-ledger contract").
+    """
+
+
+class ServiceError(ReproError):
+    """A streaming mapping service was used outside its lifecycle."""

@@ -290,7 +290,12 @@ def compute_fig8(read_length: int = constants.READ_LENGTH,
         [profiles["A"], profiles["B"]]
     )
 
-    plain = asmcap_read_cost(1.0, 0.0)
+    # "w/o H&T" is a one-search, zero-rotation read: the degenerate
+    # strategy profile, not the deprecated scalar-argument shim.
+    plain = asmcap_read_cost(profile=StrategyProfile(
+        condition="plain", searches_per_read=1.0,
+        rotation_cycles_per_read=0.0, source="analytic",
+    ))
     full = asmcap_read_cost(profile=combined)
     costs = {
         "CM-CPU": SystemCost("CM-CPU", cm.read_latency_ns(read_length),

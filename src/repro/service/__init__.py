@@ -1,0 +1,35 @@
+"""Long-running streaming execution: the service layer.
+
+One-shot experiments hand the engines a complete read block;
+:mod:`repro.service` keeps the system up while reads arrive
+incrementally, with flat memory:
+
+* :class:`StreamingMappingService` — accepts reads one at a time (or
+  from any iterator), coalesces them into autotuned micro-batches,
+  dispatches through the batched or sharded engine, and keeps every
+  cost ledger bounded via compaction
+  (:class:`repro.cost.ledger.CostLedger`);
+* :class:`ServiceStats` — the observability snapshot (throughput,
+  backlog, per-strategy pass counts, energy/latency from the
+  compacted ledger views);
+* :func:`stream_mapped` — a pull-style generator over a service.
+
+The streamed session is bit-identical to the equivalent one-shot
+``run_batched`` / sharded ``run`` call for any micro-batch boundaries;
+see the :mod:`repro.service.stream` module docstring for the
+determinism contract.
+"""
+
+from repro.service.stream import (
+    DEFAULT_SERVICE_COMPACTION,
+    ServiceStats,
+    StreamingMappingService,
+    stream_mapped,
+)
+
+__all__ = [
+    "DEFAULT_SERVICE_COMPACTION",
+    "ServiceStats",
+    "StreamingMappingService",
+    "stream_mapped",
+]

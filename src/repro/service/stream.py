@@ -1,0 +1,477 @@
+"""Long-running streaming read-mapping service.
+
+Every pre-existing execution path is one-shot: the caller hands
+:meth:`~repro.core.pipeline.ReadMappingPipeline.run_batched` (or the
+sharded pipeline) a complete read block and gets a report back.  A
+sequencing front-end does not work like that — reads arrive
+incrementally, for hours.  :class:`StreamingMappingService` is the
+long-running entry point:
+
+* **feed** — reads are submitted one at a time (or from any iterator)
+  and coalesced into micro-batches sized by
+  :func:`repro.arch.autotune.plan_microbatch`;
+* **dispatch** — each full micro-batch flows through the existing
+  batched (:meth:`~repro.core.pipeline.ReadMappingPipeline.run_batched`)
+  or sharded (:meth:`~repro.core.pipeline.ShardedReadMappingPipeline.run`)
+  engine with its global read offset as the determinism key base;
+* **bounded memory** — the arrays' cost ledgers run in compaction mode
+  (:class:`repro.cost.ledger.CostLedger`), folding fully-materialised
+  pass events into exact checkpoints, so the retained event count
+  plateaus instead of growing linearly with the stream;
+* **observe** — :meth:`StreamingMappingService.stats` snapshots a
+  :class:`ServiceStats` (throughput, reads in flight, per-strategy
+  pass counts, energy/latency read from the compacted ledger views);
+* **drain / close** — :meth:`flush` dispatches a partial micro-batch,
+  :meth:`drain` flushes and returns the aggregate report,
+  :meth:`close` drains and ends the lifecycle (the service is also a
+  context manager).
+
+**Determinism contract.**  Read ``i`` of the stream (0-based
+submission order) is keyed as global read ``i``, so a streamed session
+is **bit-identical** to one ``run_batched`` (or one sharded ``run``)
+call over the same reads with the same seeds — per-read decisions,
+per-read costs and the aggregate report — for *any* micro-batch
+boundaries.  ``tests/service/test_service.py`` asserts this over
+randomized boundaries; ``benchmarks/bench_service_stream.py`` asserts
+it at soak scale while demonstrating the flat-memory ledger.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.arch.autotune import plan_microbatch
+from repro.cam.array import CamArray
+from repro.core.matcher import AsmCapMatcher, MatcherConfig
+from repro.core.pipeline import (
+    MappingReport,
+    ReadMapping,
+    ReadMappingPipeline,
+    ShardedReadMappingPipeline,
+)
+from repro.cost.ledger import CostLedger
+from repro.cost.views import SearchStats, search_stats
+from repro.errors import CamConfigError, ServiceError
+from repro.genome.edits import ErrorModel
+from repro.genome.reads import ReadRecord
+
+_ENGINES = ("batched", "sharded")
+
+#: Default live-event bound for the service's compacting ledgers: deep
+#: enough that a whole micro-batch's passes (2 + 2*NR events) stay
+#: inspectable between folds, shallow enough that memory is flat.
+DEFAULT_SERVICE_COMPACTION = 64
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One observability snapshot of a streaming service.
+
+    Attributes
+    ----------
+    reads_submitted / reads_dispatched / reads_in_flight:
+        Stream accounting: everything accepted, everything that went
+        through an engine dispatch, and the coalescing-buffer backlog.
+    reads_mapped:
+        Dispatched reads with at least one matched row.
+    batches_dispatched / micro_batch:
+        Micro-batches issued so far and the configured batch size.
+    n_searches:
+        Physical search passes issued (from the ledger views, folded
+        events included).
+    pass_counts:
+        Per-strategy pass counts by event class
+        (``EdStarPass`` / ``HdacPass`` / ``TasrRotationPass``),
+        checkpoint summaries included.
+    total_energy_joules / total_latency_ns:
+        Modelled hardware cost, read from the (compacted) ledger
+        views — bit-identical to an uncompacted run's views.
+    wall_seconds / reads_per_second:
+        Simulator wall-clock since the first submission and the
+        dispatch throughput over it.
+    ledger_events_live / ledger_events_folded /
+    ledger_population_elements:
+        Bounded-memory evidence: live events, events folded into
+        checkpoints, and retained mismatch-population elements
+        (the dominant ledger payload), summed over every ledger.
+    compactions:
+        Total prefix folds across every ledger.
+    """
+
+    reads_submitted: int
+    reads_dispatched: int
+    reads_in_flight: int
+    reads_mapped: int
+    batches_dispatched: int
+    micro_batch: int
+    n_searches: int
+    pass_counts: "dict[str, int]"
+    total_energy_joules: float
+    total_latency_ns: float
+    wall_seconds: float
+    reads_per_second: float
+    ledger_events_live: int
+    ledger_events_folded: int
+    ledger_population_elements: int
+    compactions: int
+
+
+class StreamingMappingService:
+    """Accept reads incrementally; map them in autotuned micro-batches.
+
+    Parameters
+    ----------
+    segments:
+        ``(n_rows, N)`` uint8 matrix of reference segments.
+    error_model:
+        Workload error rates driving the HDAC/TASR policies.
+    threshold:
+        The matching threshold ``T`` applied to every read.
+    config:
+        Strategy configuration (default: the paper's full setting).
+    engine:
+        ``"batched"`` (one CAM array, the default) or ``"sharded"``
+        (the reference partitioned across autotuned shards).
+    micro_batch:
+        Reads coalesced per dispatch; ``None`` autotunes via
+        :func:`repro.arch.autotune.plan_microbatch`.
+    compaction:
+        Live-event bound handed to every ledger
+        (:data:`DEFAULT_SERVICE_COMPACTION`); ``None`` disables
+        compaction and reproduces the append-only ledgers of the
+        one-shot paths (the memory baseline the soak benchmark
+        compares against).
+    domain / noisy / seed:
+        Array configuration.  The batched engine builds its array with
+        ``seed`` and its matcher with the same ``seed`` (the
+        convention of ``benchmarks/bench_batch_pipeline.py``); the
+        sharded engine derives per-shard seeds exactly as
+        :class:`~repro.core.pipeline.ShardedReadMappingPipeline` does
+        — so a one-shot pipeline built the same way is bit-identical.
+    n_shards / chunk_size / max_workers:
+        Sharded-engine knobs, forwarded to the sharded pipeline
+        (``None`` autotunes).
+    retain_mappings:
+        Keep every per-read :class:`~repro.core.pipeline.ReadMapping`
+        in the aggregate report (the one-shot behaviour, needed for
+        bit-identity comparisons).  ``False`` drops them after their
+        counters fold in, bounding result memory for endless streams
+        (aggregate totals stay bit-identical — the same additions run
+        in the same order).
+    """
+
+    def __init__(self, segments: np.ndarray, error_model: ErrorModel,
+                 threshold: int,
+                 config: "MatcherConfig | None" = None,
+                 engine: str = "batched",
+                 micro_batch: "int | None" = None,
+                 compaction: "int | None" = DEFAULT_SERVICE_COMPACTION,
+                 domain: str = "charge",
+                 noisy: bool = True,
+                 seed: int = 0,
+                 n_shards: "int | None" = None,
+                 chunk_size: "int | None" = None,
+                 max_workers: "int | None" = None,
+                 retain_mappings: bool = True):
+        if engine not in _ENGINES:
+            raise ServiceError(
+                f"engine must be one of {_ENGINES}, got {engine!r}"
+            )
+        segments = np.asarray(segments, dtype=np.uint8)
+        if segments.ndim != 2 or segments.shape[0] == 0:
+            raise CamConfigError(
+                f"segments must be a non-empty (rows, N) matrix, got "
+                f"shape {segments.shape}"
+            )
+        self._threshold = int(threshold)
+        self._engine_kind = engine
+        self._cols = int(segments.shape[1])
+        self._retain_mappings = bool(retain_mappings)
+        if engine == "batched":
+            array = CamArray(rows=segments.shape[0], cols=self._cols,
+                             domain=domain, noisy=noisy, seed=seed,
+                             ledger_compaction=compaction)
+            array.store(segments)
+            self._pipeline = ReadMappingPipeline(
+                AsmCapMatcher(array, error_model, config, seed=seed)
+            )
+            n_shards_effective = 1
+        else:
+            # n_shards=None flows straight through — the sharded
+            # pipeline owns the plan_shards autotune.
+            self._pipeline = ShardedReadMappingPipeline(
+                segments, error_model, n_shards=n_shards, config=config,
+                domain=domain, noisy=noisy, seed=seed,
+                max_workers=max_workers, chunk_size=chunk_size,
+                ledger_compaction=compaction,
+            )
+            n_shards_effective = self._pipeline.n_shards
+        if micro_batch is None:
+            micro_batch = plan_microbatch(segments.shape[0], self._cols,
+                                          n_shards=n_shards_effective)
+        if micro_batch < 1:
+            raise ServiceError(
+                f"micro_batch must be positive, got {micro_batch}"
+            )
+        self._micro_batch = int(micro_batch)
+        self._buffer: list[np.ndarray] = []
+        self._report = MappingReport()
+        self._last_batch: tuple[ReadMapping, ...] = ()
+        self._n_submitted = 0
+        self._n_dispatched = 0
+        self._n_batches = 0
+        self._closed = False
+        self._started_at: "float | None" = None
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def micro_batch(self) -> int:
+        """Reads coalesced per engine dispatch."""
+        return self._micro_batch
+
+    @property
+    def engine(self) -> str:
+        """``"batched"`` or ``"sharded"``."""
+        return self._engine_kind
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pipeline(self):
+        """The underlying engine (a :class:`ReadMappingPipeline` or a
+        :class:`ShardedReadMappingPipeline`)."""
+        return self._pipeline
+
+    @property
+    def report(self) -> MappingReport:
+        """The aggregate report over every *dispatched* read so far.
+
+        Buffered (in-flight) reads are not in it yet; :meth:`drain`
+        for a complete view.
+        """
+        return self._report
+
+    @property
+    def batches_dispatched(self) -> int:
+        """Micro-batches the engine has run so far."""
+        return self._n_batches
+
+    @property
+    def last_batch_mappings(self) -> "tuple[ReadMapping, ...]":
+        """The most recent micro-batch's per-read results.
+
+        Replaced wholesale on every dispatch (one micro-batch of
+        memory, independent of ``retain_mappings``) — the hand-off
+        surface :func:`stream_mapped` drains, bounded even on endless
+        feeds.
+        """
+        return self._last_batch
+
+    # -- feed ---------------------------------------------------------------
+
+    def submit(self, read: "np.ndarray | ReadRecord") -> None:
+        """Accept one read into the coalescing buffer.
+
+        Dispatches a micro-batch through the engine whenever the
+        buffer fills; raises :class:`~repro.errors.ServiceError` once
+        the service is closed.
+        """
+        self._check_open()
+        codes = np.asarray(
+            read.read.codes if isinstance(read, ReadRecord) else read,
+            dtype=np.uint8,
+        )
+        if codes.shape != (self._cols,):
+            raise CamConfigError(
+                f"read shape {codes.shape} does not fit reference width "
+                f"{self._cols}"
+            )
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        self._buffer.append(codes)
+        self._n_submitted += 1
+        if len(self._buffer) >= self._micro_batch:
+            self._dispatch()
+
+    def submit_many(
+            self,
+            reads: "Iterable[np.ndarray] | Iterable[ReadRecord]") -> int:
+        """Consume any read iterable, dispatching as batches fill.
+
+        The iterable is read lazily — an endless generator works; only
+        one micro-batch of reads is ever buffered.  Returns how many
+        reads were accepted.
+        """
+        n = 0
+        for read in reads:
+            self.submit(read)
+            n += 1
+        return n
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> int:
+        """Dispatch the buffered reads now, full micro-batch or not.
+
+        Returns how many reads were dispatched.  A timeout-driven
+        caller uses this to bound result latency when the feed stalls
+        below the micro-batch size.
+        """
+        self._check_open()
+        return self._dispatch()
+
+    def drain(self) -> MappingReport:
+        """Flush everything in flight and return the aggregate report.
+
+        The service stays open — a long-running caller drains at
+        checkpoint boundaries and keeps feeding.
+        """
+        self._check_open()
+        self._dispatch()
+        return self._report
+
+    def close(self) -> MappingReport:
+        """Drain, end the lifecycle, and return the final report.
+
+        Idempotent; every later :meth:`submit` / :meth:`flush` raises
+        :class:`~repro.errors.ServiceError`.
+        """
+        if not self._closed:
+            self._dispatch()
+            self._closed = True
+        return self._report
+
+    def __enter__(self) -> "StreamingMappingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- observability ------------------------------------------------------
+
+    def ledgers(self) -> tuple[CostLedger, ...]:
+        """Every cost ledger the service owns (deterministic order:
+        system traffic first for the sharded engine, then arrays)."""
+        if self._engine_kind == "batched":
+            return (self._pipeline.ledger,)
+        return (self._pipeline.ledger,
+                *(m.array.ledger for m in self._pipeline.matchers))
+
+    def merged_stats(self) -> SearchStats:
+        """Whole-service search counters (exact under compaction).
+
+        Delegates to the engine's own fold so there is exactly one
+        definition of the whole-system aggregation per engine.
+        """
+        if self._engine_kind == "sharded":
+            return self._pipeline.merged_stats()
+        return search_stats(self._pipeline.ledger)
+
+    def stats(self) -> ServiceStats:
+        """Snapshot the service's observable state (see
+        :class:`ServiceStats`)."""
+        stats = self.merged_stats()
+        pass_counts: dict[str, int] = {}
+        events_live = 0
+        events_folded = 0
+        population = 0
+        compactions = 0
+        for ledger in self.ledgers():
+            for name, count in ledger.pass_counts().items():
+                pass_counts[name] = pass_counts.get(name, 0) + count
+            events_live += len(ledger)
+            events_folded += ledger.n_folded
+            population += ledger.live_population_elements()
+            compactions += ledger.n_compactions
+        wall = (0.0 if self._started_at is None
+                else time.perf_counter() - self._started_at)
+        return ServiceStats(
+            reads_submitted=self._n_submitted,
+            reads_dispatched=self._n_dispatched,
+            reads_in_flight=len(self._buffer),
+            reads_mapped=self._report.n_mapped,
+            batches_dispatched=self._n_batches,
+            micro_batch=self._micro_batch,
+            n_searches=stats.n_searches,
+            pass_counts=pass_counts,
+            total_energy_joules=stats.total_energy_joules,
+            total_latency_ns=stats.total_latency_ns,
+            wall_seconds=wall,
+            reads_per_second=(self._n_dispatched / wall if wall > 0.0
+                              else 0.0),
+            ledger_events_live=events_live,
+            ledger_events_folded=events_folded,
+            ledger_population_elements=population,
+            compactions=compactions,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the streaming service has been closed")
+
+    def _dispatch(self) -> int:
+        """Run the buffered micro-batch through the engine."""
+        if not self._buffer:
+            return 0
+        batch = self._buffer
+        self._buffer = []
+        first = self._n_dispatched
+        if self._engine_kind == "batched":
+            report = self._pipeline.run_batched(
+                batch, self._threshold, first_read_index=first)
+        else:
+            report = self._pipeline.run(
+                batch, self._threshold, first_read_index=first)
+        # Fold the batch report into the aggregate with the same
+        # per-read add() sequence a one-shot run performs, so the
+        # aggregate totals are bit-identical to it.
+        for mapping in report.mappings:
+            self._report.add(mapping)
+        if not self._retain_mappings:
+            self._report.mappings.clear()
+        self._last_batch = tuple(report.mappings)
+        self._n_dispatched += len(batch)
+        self._n_batches += 1
+        return len(batch)
+
+
+def stream_mapped(service: StreamingMappingService,
+                  reads: "Iterable[np.ndarray] | Iterable[ReadRecord]",
+                  ) -> "Iterator[ReadMapping]":
+    """Feed *reads* through *service*, yielding mappings as batches
+    complete.
+
+    A convenience generator for pull-style callers: reads are
+    submitted lazily and each completed micro-batch's
+    :class:`~repro.core.pipeline.ReadMapping` results are yielded in
+    read order (the trailing partial batch is flushed at the end).
+    Results are handed off per micro-batch
+    (:attr:`StreamingMappingService.last_batch_mappings`), so memory
+    stays bounded on endless feeds — pair with
+    ``retain_mappings=False`` so the aggregate report does not retain
+    them either.
+    """
+    for read in reads:
+        before = service.batches_dispatched
+        service.submit(read)
+        # One submit dispatches at most one micro-batch, and it does
+        # so inside this call — a new batch here is always ours.
+        if service.batches_dispatched != before:
+            yield from service.last_batch_mappings
+    before = service.batches_dispatched
+    service.flush()
+    if service.batches_dispatched != before:
+        yield from service.last_batch_mappings

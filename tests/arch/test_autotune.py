@@ -10,6 +10,7 @@ from repro.arch.autotune import (
     MIN_ROWS_PER_SHARD,
     ShardPlan,
     available_cpus,
+    plan_microbatch,
     plan_shards,
     sweep_worker_count,
 )
@@ -68,6 +69,37 @@ class TestPlanShards:
         assert isinstance(plan, ShardPlan)
         with pytest.raises(AttributeError):
             plan.n_shards = 3
+
+
+class TestPlanMicrobatch:
+    def test_bounds(self):
+        for rows in (8, 256, 1 << 18):
+            for cols in (16, 256, 4096):
+                batch = plan_microbatch(rows, cols)
+                assert MIN_CHUNK_READS <= batch <= MAX_CHUNK_READS
+
+    def test_deterministic(self):
+        assert plan_microbatch(512, 256) == plan_microbatch(512, 256)
+
+    def test_bigger_reference_shrinks_batches(self):
+        small = plan_microbatch(1 << 12, 64)
+        large = plan_microbatch(1 << 20, 64)
+        assert large <= small
+
+    def test_sharding_relaxes_the_bound(self):
+        """Each shard sees a slice of the rows, so the same reference
+        split across shards affords micro-batches at least as large."""
+        whole = plan_microbatch(1 << 18, 64, n_shards=1)
+        split = plan_microbatch(1 << 18, 64, n_shards=8)
+        assert split >= whole
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_microbatch(0, 64)
+        with pytest.raises(ValueError):
+            plan_microbatch(64, 0)
+        with pytest.raises(ValueError):
+            plan_microbatch(64, 64, n_shards=0)
 
 
 class TestSweepWorkers:

@@ -1,0 +1,302 @@
+"""Streaming-service tests: determinism, lifecycle, observability.
+
+The service's determinism contract: a streamed session — any
+micro-batch boundaries, any mix of ``submit`` / ``submit_many`` /
+``flush`` calls — is **bit-identical** to one one-shot
+``run_batched`` (or sharded ``run``) execution over the same reads
+with the same seeds: per-read decisions, per-read costs, and the
+aggregate report.  Ledger compaction must not perturb any of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.autotune import plan_microbatch
+from repro.cam.array import CamArray
+from repro.core.matcher import AsmCapMatcher, MatcherConfig
+from repro.core.pipeline import (
+    MappingReport,
+    ReadMappingPipeline,
+    ShardedReadMappingPipeline,
+)
+from repro.errors import CamConfigError, ServiceError
+from repro.service import (
+    DEFAULT_SERVICE_COMPACTION,
+    StreamingMappingService,
+    stream_mapped,
+)
+
+THRESHOLD = 3
+
+
+def _reads(dataset) -> np.ndarray:
+    return np.stack([record.read.codes for record in dataset.reads])
+
+
+def _one_shot_batched(dataset, reads, seed=0) -> MappingReport:
+    array = CamArray(rows=dataset.n_segments, cols=dataset.read_length,
+                     domain="charge", noisy=True, seed=seed)
+    array.store(dataset.segments)
+    pipeline = ReadMappingPipeline(
+        AsmCapMatcher(array, dataset.model, MatcherConfig(), seed=seed)
+    )
+    return pipeline.run_batched(reads, THRESHOLD)
+
+
+def _assert_reports_identical(ours: MappingReport,
+                              theirs: MappingReport) -> None:
+    assert ours.n_reads == theirs.n_reads
+    assert ours.n_mapped == theirs.n_mapped
+    assert ours.n_unique == theirs.n_unique
+    assert ours.n_searches == theirs.n_searches
+    assert ours.total_energy_joules == theirs.total_energy_joules
+    assert ours.total_latency_ns == theirs.total_latency_ns
+    for a, b in zip(ours.mappings, theirs.mappings):
+        assert a.read_index == b.read_index
+        assert a.matched_rows == b.matched_rows
+        assert a.outcome.energy_joules == b.outcome.energy_joules
+        assert a.outcome.latency_ns == b.outcome.latency_ns
+        assert a.outcome.n_searches == b.outcome.n_searches
+
+
+class TestStreamedBitIdentity:
+    """Streamed == one-shot, for any micro-batch boundaries."""
+
+    def test_fixed_boundaries(self, small_dataset_a):
+        reads = _reads(small_dataset_a)
+        reference = _one_shot_batched(small_dataset_a, reads)
+        service = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD, micro_batch=5, seed=0,
+        )
+        service.submit_many(reads)
+        _assert_reports_identical(service.close(), reference)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_randomized_boundaries(self, small_dataset_a, boundary_seed):
+        """Any chunking of the feed reproduces the one-shot report."""
+        reads = _reads(small_dataset_a)
+        reference = _one_shot_batched(small_dataset_a, reads)
+        rng = np.random.default_rng(boundary_seed)
+        service = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD,
+            micro_batch=int(rng.integers(1, 9)), seed=0,
+        )
+        i = 0
+        while i < reads.shape[0]:
+            step = int(rng.integers(1, 7))
+            service.submit_many(reads[i:i + step])
+            if rng.random() < 0.3:
+                service.flush()
+            i += step
+        _assert_reports_identical(service.close(), reference)
+
+    def test_single_submits_equal_bulk(self, small_dataset_a):
+        reads = _reads(small_dataset_a)
+        one_by_one = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD, micro_batch=4, seed=0,
+        )
+        for read in reads:
+            one_by_one.submit(read)
+        bulk = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD, micro_batch=4, seed=0,
+        )
+        bulk.submit_many(iter(reads))
+        _assert_reports_identical(one_by_one.close(), bulk.close())
+
+    def test_compaction_does_not_perturb_results(self, small_dataset_a):
+        reads = _reads(small_dataset_a)
+        reports = {}
+        services = {}
+        for compaction in (None, 2):
+            service = StreamingMappingService(
+                small_dataset_a.segments, small_dataset_a.model,
+                threshold=THRESHOLD, micro_batch=6, seed=0,
+                compaction=compaction,
+            )
+            service.submit_many(reads)
+            reports[compaction] = service.close()
+            services[compaction] = service
+        _assert_reports_identical(reports[2], reports[None])
+        assert (services[2].merged_stats()
+                == services[None].merged_stats())
+        assert services[2].stats().compactions > 0
+
+    def test_sharded_engine(self, small_dataset_a):
+        reads = _reads(small_dataset_a)
+        reference = ShardedReadMappingPipeline(
+            small_dataset_a.segments, small_dataset_a.model, n_shards=4,
+            noisy=True, seed=0, chunk_size=7,
+        ).run(reads, THRESHOLD)
+        service = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD, engine="sharded", n_shards=4,
+            chunk_size=7, micro_batch=9, seed=0,
+        )
+        service.submit_many(reads)
+        _assert_reports_identical(service.close(), reference)
+
+
+class TestLifecycle:
+    def _service(self, dataset, **kwargs):
+        kwargs.setdefault("micro_batch", 8)
+        return StreamingMappingService(
+            dataset.segments, dataset.model, threshold=THRESHOLD,
+            seed=0, **kwargs,
+        )
+
+    def test_buffer_and_flush(self, small_dataset_a):
+        service = self._service(small_dataset_a)
+        reads = _reads(small_dataset_a)
+        service.submit_many(reads[:5])  # below the micro-batch size
+        snap = service.stats()
+        assert snap.reads_submitted == 5
+        assert snap.reads_in_flight == 5
+        assert snap.reads_dispatched == 0
+        assert service.flush() == 5
+        snap = service.stats()
+        assert snap.reads_in_flight == 0
+        assert snap.reads_dispatched == 5
+        assert snap.batches_dispatched == 1
+
+    def test_drain_keeps_service_open(self, small_dataset_a):
+        service = self._service(small_dataset_a)
+        reads = _reads(small_dataset_a)
+        service.submit_many(reads[:3])
+        report = service.drain()
+        assert report.n_reads == 3
+        service.submit_many(reads[3:6])  # still open
+        assert service.close().n_reads == 6
+
+    def test_close_is_idempotent_and_final(self, small_dataset_a):
+        service = self._service(small_dataset_a)
+        reads = _reads(small_dataset_a)
+        service.submit_many(reads[:5])
+        first = service.close()
+        assert service.closed
+        assert service.close() is first
+        with pytest.raises(ServiceError):
+            service.submit(reads[0])
+        with pytest.raises(ServiceError):
+            service.flush()
+        with pytest.raises(ServiceError):
+            service.drain()
+
+    def test_context_manager_closes(self, small_dataset_a):
+        reads = _reads(small_dataset_a)
+        with self._service(small_dataset_a) as service:
+            service.submit_many(reads[:5])
+        assert service.closed
+        assert service.report.n_reads == 5
+
+    def test_rejects_bad_reads_and_config(self, small_dataset_a):
+        service = self._service(small_dataset_a)
+        with pytest.raises(CamConfigError):
+            service.submit(np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ServiceError):
+            self._service(small_dataset_a, engine="warp")
+        with pytest.raises(ServiceError):
+            self._service(small_dataset_a, micro_batch=0)
+
+    def test_retain_mappings_false_bounds_results(self, small_dataset_a):
+        reads = _reads(small_dataset_a)
+        retained = self._service(small_dataset_a, micro_batch=4)
+        dropped = self._service(small_dataset_a, micro_batch=4,
+                                retain_mappings=False)
+        for service in (retained, dropped):
+            service.submit_many(reads)
+            service.close()
+        assert not dropped.report.mappings
+        assert len(retained.report.mappings) == reads.shape[0]
+        # Aggregate totals fold identically either way.
+        assert (dropped.report.total_energy_joules
+                == retained.report.total_energy_joules)
+        assert dropped.report.n_mapped == retained.report.n_mapped
+
+
+class TestObservability:
+    def test_stats_snapshot(self, small_dataset_a):
+        reads = _reads(small_dataset_a)
+        service = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD, micro_batch=6, seed=0, compaction=2,
+        )
+        service.submit_many(reads)
+        service.close()
+        snap = service.stats()
+        assert snap.reads_dispatched == reads.shape[0]
+        assert snap.reads_in_flight == 0
+        assert snap.micro_batch == 6
+        assert snap.reads_mapped == service.report.n_mapped
+        assert snap.n_searches == service.merged_stats().n_searches
+        assert snap.pass_counts.get("EdStarPass", 0) > 0
+        assert snap.total_energy_joules > 0.0
+        assert snap.wall_seconds > 0.0
+        assert snap.reads_per_second > 0.0
+        assert snap.compactions > 0
+        assert snap.ledger_events_folded > 0
+
+    def test_default_compaction_is_on(self, small_dataset_a):
+        service = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD, seed=0,
+        )
+        assert (service.ledgers()[0].compaction
+                == DEFAULT_SERVICE_COMPACTION)
+
+    def test_autotuned_micro_batch(self, small_dataset_a):
+        service = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD, seed=0,
+        )
+        assert service.micro_batch == plan_microbatch(
+            small_dataset_a.segments.shape[0],
+            small_dataset_a.read_length,
+        )
+
+
+class TestStreamMapped:
+    def test_yields_all_mappings_in_order(self, small_dataset_a):
+        reads = _reads(small_dataset_a)
+        reference = _one_shot_batched(small_dataset_a, reads)
+        service = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD, micro_batch=7, seed=0,
+        )
+        mappings = list(stream_mapped(service, iter(reads)))
+        assert len(mappings) == reads.shape[0]
+        for ours, theirs in zip(mappings, reference.mappings):
+            assert ours.read_index == theirs.read_index
+            assert ours.matched_rows == theirs.matched_rows
+
+    def test_bounded_memory_with_dropped_mappings(self, small_dataset_a):
+        """retain_mappings=False + stream_mapped: every result is
+        still yielded, but nothing accumulates in the service."""
+        reads = _reads(small_dataset_a)
+        reference = _one_shot_batched(small_dataset_a, reads)
+        service = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD, micro_batch=7, seed=0,
+            retain_mappings=False,
+        )
+        mappings = []
+        for mapping in stream_mapped(service, iter(reads)):
+            mappings.append(mapping)
+            # The aggregate report never retains per-read results...
+            assert not service.report.mappings
+            # ...and the hand-off buffer holds at most one batch.
+            assert len(service.last_batch_mappings) <= 7
+        assert len(mappings) == reads.shape[0]
+        for ours, theirs in zip(mappings, reference.mappings):
+            assert ours.read_index == theirs.read_index
+            assert ours.matched_rows == theirs.matched_rows
+        assert service.report.total_energy_joules \
+            == reference.total_energy_joules

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Docs smoke check: the README front door can never rot.
+
+Three guarantees, enforced by CI's ``docs-smoke`` job:
+
+1. **The README quickstart runs.**  Every fenced ``python`` block in
+   README.md is executed, in order, in one shared namespace (so later
+   blocks use earlier blocks' variables, exactly as a reader would).
+2. **README and example share one code path.**  A block preceded by a
+   ``<!-- quickstart:<name> -->`` tag must be byte-identical (after
+   dedent) to the ``# [readme:<name>]`` … ``# [/readme:<name>]``
+   section of ``examples/quickstart.py`` — and every marked section of
+   the example must appear in the README.  Edit either side without
+   the other and this script fails with a diff.
+3. **The example itself still passes.**  ``examples/quickstart.py`` is
+   imported and its ``main()`` executed (it self-checks internally).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+QUICKSTART = REPO_ROOT / "examples" / "quickstart.py"
+
+_TAG_RE = re.compile(r"<!--\s*quickstart:([\w-]+)\s*-->")
+_FENCE_RE = re.compile(
+    r"(?:<!--\s*quickstart:([\w-]+)\s*-->\s*\n)?```python\n(.*?)```",
+    re.DOTALL,
+)
+
+
+def extract_readme_blocks(text: str) -> "list[tuple[str | None, str]]":
+    """``(tag, code)`` for every fenced python block, in order."""
+    return [(match.group(1), match.group(2))
+            for match in _FENCE_RE.finditer(text)]
+
+
+def extract_example_sections(text: str) -> "dict[str, str]":
+    """The dedented ``# [readme:<name>]`` sections of the example."""
+    sections: dict[str, str] = {}
+    for match in re.finditer(
+            r"^([ \t]*)# \[readme:([\w-]+)\]\n(.*?)^[ \t]*# \[/readme:\2\]",
+            text, re.DOTALL | re.MULTILINE):
+        indent, name, body = match.groups()
+        lines = []
+        for line in body.splitlines():
+            if line.strip():
+                if not line.startswith(indent):
+                    raise SystemExit(
+                        f"quickstart section {name!r}: line {line!r} is "
+                        f"shallower than its section marker"
+                    )
+                lines.append(line[len(indent):])
+            else:
+                lines.append("")
+        sections[name] = "\n".join(lines).rstrip() + "\n"
+    return sections
+
+
+def check_sync(blocks, sections) -> "list[str]":
+    """Diff README-tagged blocks against the example's sections."""
+    errors: list[str] = []
+    tagged = {tag: code for tag, code in blocks if tag is not None}
+    for name in sections:
+        if name not in tagged:
+            errors.append(
+                f"example section [readme:{name}] has no tagged README "
+                f"block (<!-- quickstart:{name} -->)"
+            )
+    for name, code in tagged.items():
+        if name not in sections:
+            errors.append(
+                f"README block tagged quickstart:{name} has no "
+                f"[readme:{name}] section in {QUICKSTART.name}"
+            )
+            continue
+        want = sections[name].rstrip() + "\n"
+        got = code.rstrip() + "\n"
+        if want != got:
+            diff = "\n".join(difflib.unified_diff(
+                want.splitlines(), got.splitlines(),
+                fromfile=f"examples/quickstart.py [readme:{name}]",
+                tofile=f"README.md quickstart:{name}", lineterm="",
+            ))
+            errors.append(
+                f"README block quickstart:{name} drifted from the "
+                f"example:\n{diff}"
+            )
+    return errors
+
+
+def run_blocks(blocks) -> None:
+    """Execute every README python block in one shared namespace."""
+    namespace: dict = {"__name__": "__readme__"}
+    for position, (tag, code) in enumerate(blocks):
+        label = tag or f"block {position}"
+        print(f"-- executing README python {label}")
+        try:
+            exec(compile(code, f"README.md:{label}", "exec"), namespace)
+        except Exception as error:
+            raise SystemExit(
+                f"README quickstart block {label!r} failed: {error!r}"
+            ) from error
+
+
+def run_example() -> None:
+    """Import the example (the shared code path) and run its main()."""
+    sys.path.insert(0, str(REPO_ROOT / "examples"))
+    try:
+        import quickstart
+    finally:
+        sys.path.pop(0)
+    print("-- executing examples/quickstart.py main()")
+    quickstart.main()
+
+
+def main() -> int:
+    blocks = extract_readme_blocks(README.read_text())
+    if not blocks:
+        print("FAIL: README.md has no fenced python blocks",
+              file=sys.stderr)
+        return 1
+    sections = extract_example_sections(QUICKSTART.read_text())
+    if not sections:
+        print("FAIL: examples/quickstart.py has no [readme:*] sections",
+              file=sys.stderr)
+        return 1
+    errors = check_sync(blocks, sections)
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    run_blocks(blocks)
+    run_example()
+    print(f"OK: {len(blocks)} README blocks executed, "
+          f"{len(sections)} in sync with examples/quickstart.py")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
