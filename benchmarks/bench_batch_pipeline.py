@@ -100,11 +100,10 @@ def main(argv: "list[str] | None" = None) -> int:
                                                         args.threshold)
 
     def sharded_run():
-        pipeline = ShardedReadMappingPipeline(
-            dataset.segments, dataset.model, n_shards=args.shards,
-            noisy=True, seed=args.seed,
-        )
-        return pipeline.run(reads, args.threshold)
+        with ShardedReadMappingPipeline(
+                dataset.segments, dataset.model, n_shards=args.shards,
+                noisy=True, seed=args.seed) as pipeline:
+            return pipeline.run(reads, args.threshold)
 
     rows = [
         timed("scalar", scalar_run, args.repeats),

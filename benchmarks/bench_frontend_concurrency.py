@@ -1,0 +1,242 @@
+"""Multi-session frontend bench: N concurrent sessions, one reference.
+
+Serves the same read workload to ``--sessions`` concurrent clients two
+ways and compares them:
+
+* **frontend** — one :class:`repro.service.MappingFrontend` holding the
+  reference encoded/stored **once**, with N :class:`MappingSession`\\ s
+  fed from N threads through the persistent autotuned worker pool;
+* **standalone** — N independent
+  :class:`repro.service.StreamingMappingService` instances (the PR 4
+  one-client design), each re-encoding and re-storing the reference,
+  fed from N threads.
+
+It demonstrates and **asserts** the PR's two claims:
+
+* **encode once** — the frontend performs exactly ``n_shards`` one-hot
+  encodes and records exactly ``n_shards``
+  :class:`~repro.cost.events.ReferenceLoad` events *total*, while the
+  standalone arm pays ``N x n_shards`` of each;
+* **session isolation** — every frontend session's aggregate report is
+  bit-identical to its standalone twin (same seed, same reads), so the
+  multiplexing is free of cross-session interference.
+
+It also reports aggregate throughput (reads/s over all sessions) and
+the setup cost (time until a service can accept its first read) for
+both arms.  Throughput on a shared CI runner is informational only —
+no timing gate.
+
+Usage::
+
+    python benchmarks/bench_frontend_concurrency.py            # full soak
+    python benchmarks/bench_frontend_concurrency.py --smoke    # tiny CI run
+    python benchmarks/bench_frontend_concurrency.py --engine sharded
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.cost.events import ReferenceLoad
+from repro.genome.datasets import build_dataset
+from repro.service import MappingFrontend, StreamingMappingService
+
+
+def build_workload(args):
+    dataset = build_dataset(args.condition, n_reads=args.reads,
+                            read_length=args.read_length,
+                            n_segments=args.segments, seed=args.seed)
+    reads = np.stack([record.read.codes for record in dataset.reads])
+    return dataset, reads
+
+
+def _feed_threads(targets) -> None:
+    """Run one feeder per (callable) target and join them all."""
+    errors: "list[BaseException]" = []
+
+    def guarded(fn):
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=guarded, args=(fn,))
+               for fn in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def _ledger_reference_loads(ledger) -> int:
+    """ReferenceLoad events in a ledger, folded checkpoint included."""
+    n = len(ledger.of_type(ReferenceLoad))
+    if ledger.checkpoint is not None:
+        n += ledger.checkpoint.n_reference_loads
+    return n
+
+
+def run_frontend(dataset, reads, args):
+    """The concurrent arm: N sessions over one shared frontend."""
+    setup_start = time.perf_counter()
+    frontend = MappingFrontend(
+        dataset.segments, dataset.model, engine=args.engine,
+        n_shards=(args.shards if args.engine == "sharded" else None),
+    )
+    setup_s = time.perf_counter() - setup_start
+    sessions = [
+        frontend.session(threshold=args.threshold, seed=args.seed + s,
+                         micro_batch=args.micro_batch)
+        for s in range(args.sessions)
+    ]
+    start = time.perf_counter()
+    _feed_threads([
+        (lambda session=session: session.submit_many(reads))
+        for session in sessions
+    ])
+    reports = [session.close() for session in sessions]
+    elapsed = time.perf_counter() - start
+    frontend.close()
+    encodes = frontend.encode_count()
+    loads = _ledger_reference_loads(frontend.ledger)
+    for session in sessions:
+        for ledger in session.ledgers():
+            loads += _ledger_reference_loads(ledger)
+    return reports, elapsed, setup_s, encodes, loads
+
+
+def _service_encodes(service) -> int:
+    if service.engine == "batched":
+        return service.pipeline.matcher.array.stored.n_encodes
+    return sum(m.array.stored.n_encodes
+               for m in service.pipeline.matchers)
+
+
+def run_standalone(dataset, reads, args):
+    """The baseline arm: N independent single-client services."""
+    setup_start = time.perf_counter()
+    services = [
+        StreamingMappingService(
+            dataset.segments, dataset.model, threshold=args.threshold,
+            engine=args.engine, micro_batch=args.micro_batch,
+            seed=args.seed + s,
+            n_shards=(args.shards if args.engine == "sharded" else None),
+        )
+        for s in range(args.sessions)
+    ]
+    setup_s = time.perf_counter() - setup_start
+    start = time.perf_counter()
+    _feed_threads([
+        (lambda service=service: service.submit_many(reads))
+        for service in services
+    ])
+    reports = [service.close() for service in services]
+    elapsed = time.perf_counter() - start
+    encodes = sum(_service_encodes(service) for service in services)
+    loads = sum(_ledger_reference_loads(ledger)
+                for service in services
+                for ledger in service.ledgers())
+    return reports, elapsed, setup_s, encodes, loads
+
+
+def assert_bit_identical(ours, theirs) -> None:
+    assert ours.n_reads == theirs.n_reads
+    assert ours.n_mapped == theirs.n_mapped
+    assert ours.n_searches == theirs.n_searches
+    assert ours.total_energy_joules == theirs.total_energy_joules
+    assert ours.total_latency_ns == theirs.total_latency_ns
+    for a, b in zip(ours.mappings, theirs.mappings):
+        assert a.read_index == b.read_index
+        assert a.matched_rows == b.matched_rows
+        assert a.outcome.energy_joules == b.outcome.energy_joules
+        assert a.outcome.latency_ns == b.outcome.latency_ns
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=8)
+    parser.add_argument("--reads", type=int, default=12_500,
+                        help="reads per session")
+    parser.add_argument("--read-length", type=int, default=96)
+    parser.add_argument("--segments", type=int, default=64)
+    parser.add_argument("--threshold", type=int, default=6)
+    parser.add_argument("--condition", default="B", choices=("A", "B"))
+    parser.add_argument("--engine", default="batched",
+                        choices=("batched", "sharded"))
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--micro-batch", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI hot-path checks")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.sessions, args.reads = 4, 600
+        args.read_length, args.segments = 64, 24
+        args.micro_batch = 64
+
+    dataset, reads = build_workload(args)
+    n_total = args.sessions * args.reads
+
+    fe_reports, fe_s, fe_setup, fe_encodes, fe_loads = \
+        run_frontend(dataset, reads, args)
+    sa_reports, sa_s, sa_setup, sa_encodes, sa_loads = \
+        run_standalone(dataset, reads, args)
+
+    n_shards = args.shards if args.engine == "sharded" else 1
+    print(f"\nbench_frontend_concurrency: {args.sessions} sessions x "
+          f"{args.reads} reads ({n_total} total), {args.segments} "
+          f"segments x {args.read_length} bases, T={args.threshold}, "
+          f"condition {args.condition}, engine {args.engine}, "
+          f"micro-batch {args.micro_batch}")
+
+    print(f"\n{'arm':<26} {'setup':>9}  {'stream':>9}  "
+          f"{'agg reads/s':>12}  {'encodes':>8}  {'ref loads':>9}")
+    for label, setup, seconds, encodes, loads in (
+            ("frontend (shared ref)", fe_setup, fe_s, fe_encodes,
+             fe_loads),
+            (f"{args.sessions} standalone services", sa_setup, sa_s,
+             sa_encodes, sa_loads)):
+        print(f"{label:<26} {setup * 1e3:>7.1f}ms  {seconds:>8.2f}s  "
+              f"{n_total / seconds:>12.0f}  {encodes:>8}  {loads:>9}")
+
+    failed = False
+
+    # -- encode-once evidence -------------------------------------------
+    if fe_encodes != n_shards or fe_loads != n_shards:
+        print(f"FAIL: frontend should encode/store the reference "
+              f"exactly once per shard ({n_shards}), saw "
+              f"{fe_encodes} encodes / {fe_loads} loads",
+              file=sys.stderr)
+        failed = True
+    expected_standalone = args.sessions * n_shards
+    if sa_encodes != expected_standalone or sa_loads != expected_standalone:
+        print(f"FAIL: expected the standalone arm to pay "
+              f"{expected_standalone} encodes/loads, saw "
+              f"{sa_encodes} encodes / {sa_loads} loads",
+              file=sys.stderr)
+        failed = True
+    print(f"\nencode-once: frontend {fe_encodes} vs standalone "
+          f"{sa_encodes} one-hot encodes "
+          f"({sa_encodes - fe_encodes} avoided); reference loads "
+          f"{fe_loads} vs {sa_loads}")
+
+    # -- session isolation: frontend session == standalone twin ---------
+    for index, (ours, theirs) in enumerate(zip(fe_reports, sa_reports)):
+        assert_bit_identical(ours, theirs)
+    print(f"OK: all {args.sessions} concurrent sessions bit-identical "
+          f"to their standalone services")
+    if not failed:
+        print("OK: shared reference encoded exactly once")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

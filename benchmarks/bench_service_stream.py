@@ -100,11 +100,10 @@ def one_shot(dataset, reads, args):
         )
         report = pipeline.run_batched(reads, args.threshold)
     else:
-        pipeline = ShardedReadMappingPipeline(
-            dataset.segments, dataset.model, n_shards=args.shards,
-            noisy=True, seed=args.seed,
-        )
-        report = pipeline.run(reads, args.threshold)
+        with ShardedReadMappingPipeline(
+                dataset.segments, dataset.model, n_shards=args.shards,
+                noisy=True, seed=args.seed) as pipeline:
+            report = pipeline.run(reads, args.threshold)
     return report, time.perf_counter() - start
 
 

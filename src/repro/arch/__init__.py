@@ -13,7 +13,14 @@ from repro.arch.accelerator import (
     ReadCostEstimate,
     SystemMatch,
 )
-from repro.arch.autotune import ShardPlan, plan_shards, sweep_worker_count
+from repro.arch.autotune import (
+    ServicePoolPlan,
+    ShardPlan,
+    plan_microbatch,
+    plan_service_pool,
+    plan_shards,
+    sweep_worker_count,
+)
 from repro.arch.buffer import Controller, GlobalBuffer
 from repro.arch.config import ArchConfig
 from repro.arch.htree import HTreeModel
@@ -39,6 +46,7 @@ __all__ = [
     "HTreeModel",
     "PowerBreakdown",
     "ReadCostEstimate",
+    "ServicePoolPlan",
     "ShardPlan",
     "SystemMatch",
     "TimingModel",
@@ -47,6 +55,8 @@ __all__ = [
     "cell_area_fraction",
     "cell_area_um2",
     "component_energies_per_search",
+    "plan_microbatch",
+    "plan_service_pool",
     "plan_shards",
     "steady_state_search_period_ns",
     "sweep_worker_count",

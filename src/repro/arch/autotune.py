@@ -29,6 +29,15 @@ is cores vs runs), and the streaming service sizes its micro-batches
 through :func:`plan_microbatch` (the same working-set bound, applied
 to the coalescing buffer a long-running feed accumulates between
 dispatches).
+
+The multi-session frontend (:mod:`repro.service.frontend`) sizes its
+persistent dispatch pool through :func:`plan_service_pool`: session
+dispatches are independent of each other, but a *sharded* session's
+dispatch itself fans out across shard workers, so the session-level
+worker count divides the core budget by the per-dispatch fan-out
+width (stacking both levels at full width would only oversubscribe
+the cores), and the backlog bound scales with the worker count so
+backpressure engages before the queue outruns the pool.
 """
 
 from __future__ import annotations
@@ -156,6 +165,59 @@ def plan_microbatch(n_rows: int, cols: int,
         raise ValueError(f"n_shards must be positive, got {n_shards}")
     rows_per_shard = -(-n_rows // n_shards)  # ceil
     return _chunk_reads(rows_per_shard, cols)
+
+
+@dataclass(frozen=True)
+class ServicePoolPlan:
+    """Autotuned sizing for a multi-session service frontend.
+
+    Attributes
+    ----------
+    n_workers:
+        Persistent dispatch-worker threads (concurrent micro-batch
+        dispatches across sessions).
+    shard_workers:
+        Threads of the *shared* shard fan-out executor (sharded
+        engine only; 0 when the engine has a single array).
+    max_backlog:
+        Queued micro-batches (across all sessions) before submits
+        block or fail — the frontend's backpressure bound.
+    """
+
+    n_workers: int
+    shard_workers: int
+    max_backlog: int
+
+
+#: Minimum frontend backlog: even a one-core host should absorb a
+#: small burst before backpressure engages.
+MIN_SERVICE_BACKLOG = 8
+
+
+def plan_service_pool(n_shards: int = 1,
+                      cpu_count: "int | None" = None) -> ServicePoolPlan:
+    """Size the frontend's dispatch pool for this machine.
+
+    Parameters
+    ----------
+    n_shards:
+        Shard fan-out width of one session dispatch (1 = the batched
+        engine's single array).
+    cpu_count:
+        Core budget; defaults to ``os.cpu_count()``.  Explicit values
+        make plans reproducible across machines (tests pin this).
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    cpus = available_cpus(cpu_count)
+    fanout = min(int(n_shards), cpus)
+    n_workers = max(1, cpus // fanout)
+    shard_workers = 0 if n_shards == 1 else min(cpus, fanout * n_workers)
+    return ServicePoolPlan(
+        n_workers=n_workers,
+        shard_workers=shard_workers,
+        max_backlog=max(MIN_SERVICE_BACKLOG, 2 * n_workers),
+    )
 
 
 def sweep_worker_count(n_runs: int,

@@ -15,6 +15,7 @@ from repro.cam.array import (
     CamArray,
     SearchResult,
     SearchStats,
+    StoredReference,
     SweepSearchResult,
 )
 from repro.cam.cell import NO_NEIGHBOR, AsmCapCell, MatchMode, PartialMatch
@@ -47,6 +48,7 @@ __all__ = [
     "PartialMatch",
     "SearchResult",
     "SearchStats",
+    "StoredReference",
     "SweepSearchResult",
     "SenseAmplifier",
     "ShiftRegisterBank",

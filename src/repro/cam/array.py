@@ -19,6 +19,18 @@ The same class models both ASMCap (``domain="charge"``) and EDAM
 parameters.  A *search* compares one read against every stored row in
 parallel and returns a :class:`SearchResult`.
 
+**Shared stored references.**  The expensive part of bringing an array
+up is writing the reference into the SRAM plane and encoding it for
+the batched GEMM search path; everything else an array owns (noise
+streams, the sequential RNG, the cost ledger) is cheap per-session
+state.  :class:`StoredReference` splits the two: it holds the stored
+segments plus the cached one-hot encoding as an immutable, thread-safe
+value that **many arrays can share** — ``CamArray(stored=ref)`` borrows
+the reference without re-encoding or re-storing it, while keeping its
+own seed, noise prefix and ledger.  This is what lets a multi-session
+service front end (:mod:`repro.service.frontend`) encode the reference
+exactly once and serve N concurrent sessions over it.
+
 **Batched searches.**  :meth:`CamArray.search_batch` evaluates a
 ``(B, N)`` block of reads against all stored rows in one set of 3-D
 numpy broadcasts — the software analogue of Fig. 4(a)'s global buffer
@@ -76,6 +88,22 @@ _NOISE_STREAM_TAG = 0x5EED
 #: Target element count per chunk of the 3-D comparison broadcast; caps
 #: peak memory of very large batches at ~8 MB of boolean planes.
 _BATCH_CHUNK_ELEMS = 1 << 23
+
+
+def as_segments_matrix(segments: np.ndarray) -> np.ndarray:
+    """Validate and coerce a reference-segment matrix.
+
+    The one definition of "a storable reference" shared by every layer
+    that accepts raw segments (arrays, pipelines, services, the
+    frontend): a non-empty 2-D uint8 ``(rows, N)`` matrix.
+    """
+    segments = np.asarray(segments, dtype=np.uint8)
+    if segments.ndim != 2 or segments.shape[0] == 0:
+        raise CamConfigError(
+            f"segments must be a non-empty (rows, N) matrix, got "
+            f"shape {segments.shape}"
+        )
+    return segments
 
 
 @dataclass(frozen=True)
@@ -207,78 +235,61 @@ class SweepSearchResult:
         return int(self.mismatch_counts.shape[0])
 
 
+class StoredReference:
+    """The stored, encoded reference content of one CAM array.
 
+    The digital half of an array: an :class:`~repro.cam.sram.SramPlane`
+    holding the reference segments plus the cached one-hot encoding the
+    batched GEMM search path multiplies against.  Everything here is a
+    pure function of the stored segments — no noise, no RNG, no ledger
+    — so once *sealed* a ``StoredReference`` is an immutable,
+    thread-safe value that any number of :class:`CamArray` instances
+    can share (``CamArray(stored=ref)``): per-session arrays keep their
+    own seeds, noise prefixes and cost ledgers while the expensive
+    encode/store work happens exactly once.
 
-class CamArray:
-    """One ML-CAM array in either the charge or the current domain.
+    Two lifecycles:
 
-    Parameters
-    ----------
-    rows, cols:
-        Geometry (M segments of N bases); the paper uses 256 x 256.
-    domain:
-        ``"charge"`` (ASMCap) or ``"current"`` (EDAM).
-    sigma_rel:
-        Relative device variation; defaults to the paper's value for
-        the chosen domain (1.4 % capacitor / 2.5 % current).
-    noisy:
-        Master switch for variation noise (False = ideal array).
-    seed:
-        Seed for the noise generator.
-    strict_paper_vref:
-        Use the literal ``V_ref = T/N*VDD`` rule (see
-        :mod:`repro.cam.sense_amp`).
-    ledger_compaction:
-        ``None`` (default) keeps the append-only ledger every one-shot
-        experiment expects; an integer bound opts the array's ledger
-        into bounded-memory compaction (see
-        :class:`repro.cost.ledger.CostLedger`) — what a long-running
-        streaming service passes.
+    * **owned (mutable)** — every ``CamArray()`` constructed without
+      ``stored=`` creates its own private, unsealed reference;
+      :meth:`CamArray.store` rewrites it (invalidating the encoding
+      cache), preserving the pre-existing single-array semantics.
+    * **shared (sealed)** — :meth:`StoredReference.encode` stores and
+      eagerly encodes a segment matrix, then seals it: later
+      :meth:`store` calls raise and every cache is precomputed, so
+      concurrent readers never race on lazy initialisation.
+
+    :attr:`n_encodes` counts one-hot encoding passes — the evidence
+    ``benchmarks/bench_frontend_concurrency.py`` uses to show a shared
+    reference is encoded once, not once per session.
     """
 
-    def __init__(self, rows: int = constants.ARRAY_ROWS,
-                 cols: int = constants.ARRAY_COLS,
-                 domain: str = "charge",
-                 sigma_rel: "float | None" = None,
-                 noisy: bool = True,
-                 seed: int = 0,
-                 strict_paper_vref: bool = False,
-                 vdd: float = constants.VDD_VOLTS,
-                 ledger_compaction: "int | None" = None):
-        if domain not in _DOMAINS:
-            raise CamConfigError(
-                f"domain must be one of {_DOMAINS}, got {domain!r}"
-            )
-        self._domain = domain
+    def __init__(self, rows: int, cols: int):
         self._plane = SramPlane(rows, cols)
-        self._registers = ShiftRegisterBank(cols)
-        self._registers.enable()
-        self._noisy = noisy
-        self._seed = int(seed) & 0xFFFFFFFFFFFFFFFF
-        self._noise_prefix = fold_key((self._seed, _NOISE_STREAM_TAG))
-        self._rng = np.random.default_rng(seed)
-        self._vdd = vdd
-        self._onehot_cache: "np.ndarray | None" = None
-        if domain == "charge":
-            sigma = (constants.ASMCAP_CAPACITOR_SIGMA
-                     if sigma_rel is None else sigma_rel)
-            self._variation = ChargeDomainVariation(sigma_rel=sigma, vdd=vdd)
-            self._matchline = ChargeDomainMatchline(vdd=vdd)
-            self._sense_amp = SenseAmplifier(
-                vdd=vdd, rising=True, strict_paper_rule=strict_paper_vref
-            )
-            self._search_time_ns = constants.ASMCAP_SEARCH_TIME_NS
-        else:
-            sigma = (constants.EDAM_CURRENT_SIGMA
-                     if sigma_rel is None else sigma_rel)
-            self._variation = CurrentDomainVariation(sigma_rel=sigma, vdd=vdd)
-            self._matchline = CurrentDomainMatchline(vdd=vdd)
-            self._sense_amp = SenseAmplifier(
-                vdd=vdd, rising=False, strict_paper_rule=strict_paper_vref
-            )
-            self._search_time_ns = constants.EDAM_SEARCH_TIME_NS
-        #: The array's cost ledger: one typed event per physical pass.
-        self.ledger = CostLedger(compaction=ledger_compaction)
+        self._onehot: "np.ndarray | None" = None
+        self._segments: "np.ndarray | None" = None
+        self._sealed = False
+        self._n_encodes = 0
+
+    @classmethod
+    def encode(cls, segments: np.ndarray,
+               rows: "int | None" = None) -> "StoredReference":
+        """Store *segments*, encode them once, and seal the result.
+
+        Parameters
+        ----------
+        segments:
+            ``(n_rows, N)`` uint8 matrix of reference segments.
+        rows:
+            Plane row count (default: exactly ``n_rows``) — a larger
+            plane models a partially-filled bank.
+        """
+        segments = as_segments_matrix(segments)
+        reference = cls(rows if rows is not None else segments.shape[0],
+                        segments.shape[1])
+        reference.store(segments)
+        reference.seal()
+        return reference
 
     # -- configuration ----------------------------------------------------
 
@@ -291,65 +302,81 @@ class CamArray:
         return self._plane.cols
 
     @property
-    def domain(self) -> str:
-        return self._domain
-
-    @property
-    def noisy(self) -> bool:
-        return self._noisy
-
-    @property
-    def search_time_ns(self) -> float:
-        return self._search_time_ns
-
-    @property
     def plane(self) -> SramPlane:
         return self._plane
 
     @property
-    def registers(self) -> ShiftRegisterBank:
-        return self._registers
+    def sealed(self) -> bool:
+        """Whether this reference is immutable (safe to share)."""
+        return self._sealed
 
     @property
-    def sense_amp(self) -> SenseAmplifier:
-        return self._sense_amp
+    def n_segments(self) -> int:
+        """Stored (written) reference rows."""
+        return self._plane.n_written
 
     @property
-    def variation(self):
-        return self._variation
+    def n_encodes(self) -> int:
+        """One-hot encoding passes performed over this reference."""
+        return self._n_encodes
 
-    @property
-    def stats(self) -> SearchStats:
-        """Cumulative counters, derived on demand from the ledger.
-
-        A sweep pass counts its ``B`` physical searches (not
-        ``T * B``): the analog levels are computed once per query and
-        reused for every threshold, mirroring what the engine computed.
-        """
-        return search_stats(self.ledger)
-
-    # -- data path --------------------------------------------------------
+    # -- lifecycle --------------------------------------------------------
 
     def store(self, segments: np.ndarray) -> None:
-        """Write reference segments into the rows (row 0 upward)."""
+        """Write reference segments into the plane (row 0 upward).
+
+        Raises :class:`~repro.errors.CamConfigError` once sealed —
+        shared references are immutable by contract.
+        """
+        if self._sealed:
+            raise CamConfigError(
+                "this StoredReference is sealed (shared, immutable); "
+                "encode a new reference instead of mutating it"
+            )
         segments = np.asarray(segments, dtype=np.uint8)
         self._plane.write_all(segments)
-        self._onehot_cache = None
-        self.ledger.record(ReferenceLoad(
-            n_segments=int(segments.shape[0]), n_cells=self.cols,
-        ))
+        self._onehot = None
+        self._segments = None
 
-    def stored_segments(self) -> np.ndarray:
-        """The valid stored rows as an ``(n_written, N)`` matrix."""
-        mask = self._plane.written_mask
-        return self._plane.data[mask]
+    def seal(self) -> "StoredReference":
+        """Freeze the reference and precompute every search cache.
 
-    def mismatch_counts(self, read: np.ndarray, mode: MatchMode) -> np.ndarray:
-        """Digital per-row mismatch counts for *read* (no analog path)."""
-        read = self._check_read(read)
-        segments = self.stored_segments()
+        Eager precomputation is what makes a sealed reference
+        thread-safe: concurrent searches only ever *read* the caches.
+        """
+        if self._plane.n_written == 0:
+            raise CamConfigError("cannot seal an empty StoredReference")
+        if not self._sealed:
+            segments = self._plane.data[self._plane.written_mask]
+            segments.setflags(write=False)
+            self._segments = segments
+            self._sealed = True
+            self.stored_onehot()
+        return self
+
+    @property
+    def segments(self) -> np.ndarray:
+        """The valid stored rows as an ``(n_written, N)`` matrix.
+
+        Sealed references return one cached read-only matrix; mutable
+        ones re-read the plane on every call (so direct plane
+        mutations, e.g. fault injection, stay visible).
+        """
+        if self._segments is not None:
+            return self._segments
+        return self._plane.data[self._plane.written_mask]
+
+    def _segments_for_search(self) -> np.ndarray:
+        segments = self.segments
         if segments.shape[0] == 0:
             raise CamConfigError("search issued against an empty array")
+        return segments
+
+    # -- digital count computation ---------------------------------------
+
+    def counts(self, read: np.ndarray, mode: MatchMode) -> np.ndarray:
+        """Digital per-row mismatch counts for one read."""
+        segments = self._segments_for_search()
         o_l, o_c, o_r = match_planes(segments, read)
         if mode is MatchMode.ED_STAR:
             matched = o_l | o_c | o_r
@@ -357,18 +384,17 @@ class CamArray:
             matched = o_c
         return np.count_nonzero(~matched, axis=1)
 
-    def mismatch_counts_batch(self, queries: np.ndarray,
-                              mode: MatchMode) -> np.ndarray:
+    def counts_batch(self, queries: np.ndarray,
+                     mode: MatchMode) -> np.ndarray:
         """Digital ``(B, M)`` mismatch counts for a block of queries.
 
-        Bit-exact with :meth:`mismatch_counts` applied per query.  The
-        hot path expresses the count as a one-hot inner product (see
-        :meth:`_stored_onehot`) so the whole block reduces to one BLAS
-        matmul; codes outside the DNA alphabet fall back to the
-        boolean comparison sweep.
+        Bit-exact with :meth:`counts` applied per query.  The hot path
+        expresses the count as a one-hot inner product (see
+        :meth:`stored_onehot`) so the whole block reduces to one BLAS
+        matmul; codes outside the DNA alphabet fall back to the boolean
+        comparison sweep.
         """
-        queries = self._check_queries(queries)
-        segments = self._stored_for_search()
+        segments = self._segments_for_search()
         if not self._gemm_eligible(queries):
             return self._counts_compare(segments, queries, mode)
         counts = np.empty((queries.shape[0], segments.shape[0]),
@@ -380,7 +406,7 @@ class CamArray:
             counts[start:stop] = self._counts_from_onehot(acceptable)
         return counts
 
-    def mismatch_counts_batch_dual(
+    def counts_batch_dual(
             self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(ED*, HD)`` count blocks sharing one encoding sweep.
 
@@ -388,11 +414,10 @@ class CamArray:
         one of ED*'s three planes, so computing the two modes together
         reuses the query encoding — the controller's trick of issuing
         the ED* and HD searches back-to-back while the searchlines
-        still hold the read.  Bit-exact with two
-        :meth:`mismatch_counts_batch` calls.
+        still hold the read.  Bit-exact with two :meth:`counts_batch`
+        calls.
         """
-        queries = self._check_queries(queries)
-        segments = self._stored_for_search()
+        segments = self._segments_for_search()
         if not self._gemm_eligible(queries):
             ed = self._counts_compare(segments, queries, MatchMode.ED_STAR)
             hd = self._counts_compare(segments, queries, MatchMode.HAMMING)
@@ -414,12 +439,6 @@ class CamArray:
         return [(start, min(start + chunk, n_queries))
                 for start in range(0, n_queries, chunk)]
 
-    def _stored_for_search(self) -> np.ndarray:
-        segments = self.stored_segments()
-        if segments.shape[0] == 0:
-            raise CamConfigError("search issued against an empty array")
-        return segments
-
     def _gemm_eligible(self, queries: np.ndarray) -> bool:
         """Whether the one-hot matmul path can encode this search.
 
@@ -431,22 +450,25 @@ class CamArray:
             return False
         return int(queries.max()) < alphabet.ALPHABET_SIZE
 
-    def _stored_onehot(self) -> np.ndarray:
+    def stored_onehot(self) -> np.ndarray:
         """``(M, N * 4)`` float32 one-hot of the stored rows (cached).
 
         float32 is exact here: every partial inner-product is an
-        integer below 2**24.
+        integer below 2**24.  Sealed references compute this once, in
+        :meth:`seal`, before any sharing begins.
         """
-        if self._onehot_cache is None:
-            segments = self.stored_segments()
+        if self._onehot is None:
+            segments = self.segments
             n_rows, n_cells = segments.shape
             onehot = np.zeros((n_rows * n_cells, alphabet.ALPHABET_SIZE),
                               dtype=np.float32)
             onehot[np.arange(n_rows * n_cells), segments.ravel()] = 1.0
-            self._onehot_cache = onehot.reshape(
-                n_rows, n_cells * alphabet.ALPHABET_SIZE
-            )
-        return self._onehot_cache
+            onehot = onehot.reshape(n_rows,
+                                    n_cells * alphabet.ALPHABET_SIZE)
+            onehot.setflags(write=False)
+            self._onehot = onehot
+            self._n_encodes += 1
+        return self._onehot
 
     def _acceptable_onehot(self, queries: np.ndarray,
                            ed_star: bool) -> np.ndarray:
@@ -488,7 +510,7 @@ class CamArray:
 
     def _counts_from_onehot(self, acceptable: np.ndarray) -> np.ndarray:
         """Mismatch counts via one matmul against the stored one-hot."""
-        stored = self._stored_onehot()
+        stored = self.stored_onehot()
         n_queries, n_cells = acceptable.shape[:2]
         matched = acceptable.reshape(n_queries, -1) @ stored.T
         return (n_cells - matched).astype(np.intp)
@@ -508,6 +530,208 @@ class CamArray:
                 segments[None, :, :] != block[:, None, :], axis=2
             )
         return counts
+
+
+class CamArray:
+    """One ML-CAM array in either the charge or the current domain.
+
+    Parameters
+    ----------
+    rows, cols:
+        Geometry (M segments of N bases); the paper uses 256 x 256.
+    domain:
+        ``"charge"`` (ASMCap) or ``"current"`` (EDAM).
+    sigma_rel:
+        Relative device variation; defaults to the paper's value for
+        the chosen domain (1.4 % capacitor / 2.5 % current).
+    noisy:
+        Master switch for variation noise (False = ideal array).
+    seed:
+        Seed for the noise generator.
+    strict_paper_vref:
+        Use the literal ``V_ref = T/N*VDD`` rule (see
+        :mod:`repro.cam.sense_amp`).
+    ledger_compaction:
+        ``None`` (default) keeps the append-only ledger every one-shot
+        experiment expects; an integer bound opts the array's ledger
+        into bounded-memory compaction (see
+        :class:`repro.cost.ledger.CostLedger`) — what a long-running
+        streaming service passes.
+    stored:
+        A **sealed** :class:`StoredReference` to borrow instead of
+        owning a private storage plane.  The array's geometry comes
+        from the reference (``rows``/``cols`` are ignored), the
+        expensive store/encode work is *not* repeated, and
+        :meth:`store` is disabled — the reference is shared and
+        immutable.  All per-array state (seed, noise streams, RNG,
+        ledger) stays private, so N arrays over one reference draw
+        independent keyed noise exactly as N privately-stored arrays
+        with the same seeds would.
+    """
+
+    def __init__(self, rows: int = constants.ARRAY_ROWS,
+                 cols: int = constants.ARRAY_COLS,
+                 domain: str = "charge",
+                 sigma_rel: "float | None" = None,
+                 noisy: bool = True,
+                 seed: int = 0,
+                 strict_paper_vref: bool = False,
+                 vdd: float = constants.VDD_VOLTS,
+                 ledger_compaction: "int | None" = None,
+                 stored: "StoredReference | None" = None):
+        if domain not in _DOMAINS:
+            raise CamConfigError(
+                f"domain must be one of {_DOMAINS}, got {domain!r}"
+            )
+        self._domain = domain
+        if stored is not None:
+            if not stored.sealed:
+                raise CamConfigError(
+                    "a shared StoredReference must be sealed before "
+                    "arrays can borrow it (StoredReference.encode does "
+                    "both)"
+                )
+            self._stored = stored
+            self._shares_stored = True
+            cols = stored.cols
+        else:
+            self._stored = StoredReference(rows, cols)
+            self._shares_stored = False
+        self._registers = ShiftRegisterBank(cols)
+        self._registers.enable()
+        self._noisy = noisy
+        self._seed = int(seed) & 0xFFFFFFFFFFFFFFFF
+        self._noise_prefix = fold_key((self._seed, _NOISE_STREAM_TAG))
+        self._rng = np.random.default_rng(seed)
+        self._vdd = vdd
+        if domain == "charge":
+            sigma = (constants.ASMCAP_CAPACITOR_SIGMA
+                     if sigma_rel is None else sigma_rel)
+            self._variation = ChargeDomainVariation(sigma_rel=sigma, vdd=vdd)
+            self._matchline = ChargeDomainMatchline(vdd=vdd)
+            self._sense_amp = SenseAmplifier(
+                vdd=vdd, rising=True, strict_paper_rule=strict_paper_vref
+            )
+            self._search_time_ns = constants.ASMCAP_SEARCH_TIME_NS
+        else:
+            sigma = (constants.EDAM_CURRENT_SIGMA
+                     if sigma_rel is None else sigma_rel)
+            self._variation = CurrentDomainVariation(sigma_rel=sigma, vdd=vdd)
+            self._matchline = CurrentDomainMatchline(vdd=vdd)
+            self._sense_amp = SenseAmplifier(
+                vdd=vdd, rising=False, strict_paper_rule=strict_paper_vref
+            )
+            self._search_time_ns = constants.EDAM_SEARCH_TIME_NS
+        #: The array's cost ledger: one typed event per physical pass.
+        self.ledger = CostLedger(compaction=ledger_compaction)
+
+    # -- configuration ----------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self._stored.rows
+
+    @property
+    def cols(self) -> int:
+        return self._stored.cols
+
+    @property
+    def domain(self) -> str:
+        return self._domain
+
+    @property
+    def stored(self) -> StoredReference:
+        """The stored-reference state (owned, or shared when sealed)."""
+        return self._stored
+
+    @property
+    def shares_stored_reference(self) -> bool:
+        """True when this array borrows a shared, sealed reference."""
+        return self._shares_stored
+
+    @property
+    def noisy(self) -> bool:
+        return self._noisy
+
+    @property
+    def search_time_ns(self) -> float:
+        return self._search_time_ns
+
+    @property
+    def plane(self) -> SramPlane:
+        return self._stored.plane
+
+    @property
+    def registers(self) -> ShiftRegisterBank:
+        return self._registers
+
+    @property
+    def sense_amp(self) -> SenseAmplifier:
+        return self._sense_amp
+
+    @property
+    def variation(self):
+        return self._variation
+
+    @property
+    def stats(self) -> SearchStats:
+        """Cumulative counters, derived on demand from the ledger.
+
+        A sweep pass counts its ``B`` physical searches (not
+        ``T * B``): the analog levels are computed once per query and
+        reused for every threshold, mirroring what the engine computed.
+        """
+        return search_stats(self.ledger)
+
+    # -- data path --------------------------------------------------------
+
+    def store(self, segments: np.ndarray) -> None:
+        """Write reference segments into the rows (row 0 upward).
+
+        Disabled on arrays that borrow a shared
+        :class:`StoredReference` — the reference is sealed by contract;
+        build a new one with :meth:`StoredReference.encode` instead.
+        """
+        if self._shares_stored:
+            raise CamConfigError(
+                "this array borrows a shared, sealed StoredReference; "
+                "store() would mutate every session sharing it"
+            )
+        segments = np.asarray(segments, dtype=np.uint8)
+        self._stored.store(segments)
+        self.ledger.record(ReferenceLoad(
+            n_segments=int(segments.shape[0]), n_cells=self.cols,
+        ))
+
+    def stored_segments(self) -> np.ndarray:
+        """The valid stored rows as an ``(n_written, N)`` matrix."""
+        return self._stored.segments
+
+    def mismatch_counts(self, read: np.ndarray, mode: MatchMode) -> np.ndarray:
+        """Digital per-row mismatch counts for *read* (no analog path)."""
+        read = self._check_read(read)
+        return self._stored.counts(read, mode)
+
+    def mismatch_counts_batch(self, queries: np.ndarray,
+                              mode: MatchMode) -> np.ndarray:
+        """Digital ``(B, M)`` mismatch counts for a block of queries.
+
+        Bit-exact with :meth:`mismatch_counts` applied per query; the
+        computation (one-hot GEMM hot path with a boolean-sweep
+        fallback) lives on :class:`StoredReference`.
+        """
+        queries = self._check_queries(queries)
+        return self._stored.counts_batch(queries, mode)
+
+    def mismatch_counts_batch_dual(
+            self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(ED*, HD)`` count blocks sharing one encoding sweep.
+
+        Bit-exact with two :meth:`mismatch_counts_batch` calls; see
+        :meth:`StoredReference.counts_batch_dual`.
+        """
+        queries = self._check_queries(queries)
+        return self._stored.counts_batch_dual(queries)
 
     def _emit_pass(self, counts: np.ndarray, thresholds: np.ndarray,
                    mode: MatchMode, sweep: bool,

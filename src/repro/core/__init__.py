@@ -21,6 +21,8 @@ from repro.core.pipeline import (
     ReadMapping,
     ReadMappingPipeline,
     ShardedReadMappingPipeline,
+    encode_shard_references,
+    resolve_shard_plan,
 )
 from repro.core.policy import (
     hdac_enabled,
@@ -46,10 +48,12 @@ __all__ = [
     "ReadMappingPipeline",
     "ShardedReadMappingPipeline",
     "TasrOutcome",
+    "encode_shard_references",
     "hdac_correct",
     "hdac_enabled",
     "hdac_probability",
     "hdac_probability_for_model",
+    "resolve_shard_plan",
     "rotation_offsets",
     "tasr_correct",
     "tasr_enabled",

@@ -33,7 +33,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import constants
-from repro.cam.array import CamArray
+from repro.cam.array import CamArray, StoredReference
 from repro.cam.cell import MatchMode
 from repro.cam.keyed_noise import fold_key, fold_key_block, fold_key_from
 from repro.core import policy
@@ -259,6 +259,33 @@ class AsmCapMatcher:
             raise CamConfigError(
                 f"invalid tasr_direction {self._config.tasr_direction!r}"
             )
+
+    @classmethod
+    def over_stored(cls, stored: StoredReference, error_model: ErrorModel,
+                    config: "MatcherConfig | None" = None,
+                    *,
+                    domain: str = "charge",
+                    noisy: bool = True,
+                    seed: int = 0,
+                    ledger_compaction: "int | None" = None
+                    ) -> "AsmCapMatcher":
+        """A matcher whose array *borrows* a shared stored reference.
+
+        The session-construction seam of the multi-session front end
+        (:mod:`repro.service.frontend`): the expensive encode/store
+        work happened once, in :meth:`StoredReference.encode`, and each
+        call here builds only the cheap per-session state — a
+        :class:`~repro.cam.array.CamArray` with its own *seed* (keyed
+        noise prefix, sequential RNG, cost ledger) plus the matcher's
+        own HDAC stream.  A matcher built this way is bit-identical to
+        one over a privately-stored array with the same segments and
+        seeds — that equivalence is what makes a frontend session
+        reproduce a standalone service exactly.
+        """
+        array = CamArray(domain=domain, noisy=noisy, seed=seed,
+                         ledger_compaction=ledger_compaction,
+                         stored=stored)
+        return cls(array, error_model, config, seed=seed)
 
     @property
     def array(self) -> CamArray:

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -53,7 +54,7 @@ import numpy as np
 
 from repro.arch.autotune import plan_shards
 from repro.arch.scheduler import bank_row_ranges
-from repro.cam.array import CamArray
+from repro.cam.array import CamArray, StoredReference, as_segments_matrix
 from repro.cost.events import BufferBroadcast
 from repro.cost.ledger import CostLedger
 from repro.cost.views import SearchStats, merge_search_stats, search_stats
@@ -141,6 +142,35 @@ class MappingReport:
         self.n_searches += mapping.outcome.n_searches
         self.total_energy_joules += mapping.outcome.energy_joules
         self.total_latency_ns += mapping.outcome.latency_ns
+
+    def snapshot(self) -> "MappingReport":
+        """A defensive copy: same aggregates, a fresh mappings list.
+
+        What a long-lived service hands out to callers — mutating the
+        snapshot (e.g. ``report.mappings.clear()``) cannot corrupt the
+        live aggregates it was taken from.  The per-read
+        :class:`ReadMapping` entries are frozen, so sharing them is
+        safe.
+        """
+        return MappingReport(
+            n_reads=self.n_reads, n_mapped=self.n_mapped,
+            n_unique=self.n_unique, n_searches=self.n_searches,
+            total_energy_joules=self.total_energy_joules,
+            total_latency_ns=self.total_latency_ns,
+            mappings=list(self.mappings),
+        )
+
+
+def _is_stored_shards(segments) -> bool:
+    """Whether *segments* is a sequence of pre-encoded shard references."""
+    if isinstance(segments, StoredReference):
+        raise CamConfigError(
+            "pass shard references as a sequence (one StoredReference "
+            "per shard), not a bare StoredReference"
+        )
+    return (isinstance(segments, (list, tuple))
+            and len(segments) > 0
+            and all(isinstance(item, StoredReference) for item in segments))
 
 
 def _read_codes(read: "np.ndarray | ReadRecord") -> np.ndarray:
@@ -270,6 +300,58 @@ def _build_report(decisions: np.ndarray, thresholds: np.ndarray,
     return report
 
 
+def resolve_shard_plan(n_rows: int, cols: int,
+                       n_shards: "int | None",
+                       chunk_size: "int | None"
+                       ) -> tuple[int, int]:
+    """Resolve the ``(n_shards, chunk_size)`` knobs exactly once.
+
+    The single definition of how ``None`` knobs autotune
+    (:func:`repro.arch.autotune.plan_shards`) — shared by
+    :class:`ShardedReadMappingPipeline` and the multi-session frontend
+    (:mod:`repro.service.frontend`), so a frontend session and a
+    standalone pipeline built from the same knobs can never resolve
+    differently (the bit-identity contract depends on it).
+    """
+    if n_shards is None or chunk_size is None:
+        plan = plan_shards(n_rows, max(1, cols))
+        if n_shards is None:
+            n_shards = plan.n_shards
+        if chunk_size is None:
+            chunk_size = plan.chunk_size
+    if chunk_size <= 0:
+        raise CamConfigError(
+            f"chunk_size must be positive, got {chunk_size}"
+        )
+    return int(n_shards), int(chunk_size)
+
+
+def encode_shard_references(segments: np.ndarray,
+                            n_shards: "int | None" = None,
+                            chunk_size: "int | None" = None,
+                            ) -> tuple[tuple[StoredReference, ...], int]:
+    """Partition *segments* into sealed per-shard stored references.
+
+    Applies the accelerator's contiguous bank assignment
+    (:func:`repro.arch.scheduler.bank_row_ranges`) with the knobs
+    resolved by :func:`resolve_shard_plan`, and encodes each shard's
+    rows exactly once (:meth:`StoredReference.encode`).  Returns
+    ``(shards, chunk_size)``; feeding the shards back into
+    ``ShardedReadMappingPipeline(shards, ...)`` builds a pipeline
+    bit-identical to one constructed from the raw segment matrix with
+    the same knobs and seeds — without re-encoding per pipeline.
+    """
+    segments = as_segments_matrix(segments)
+    n_shards, chunk_size = resolve_shard_plan(
+        segments.shape[0], segments.shape[1], n_shards, chunk_size
+    )
+    shards = tuple(
+        StoredReference.encode(segments[start:stop])
+        for start, stop in bank_row_ranges(segments.shape[0], n_shards)
+    )
+    return shards, chunk_size
+
+
 class ShardedReadMappingPipeline:
     """Read mapping over a reference partitioned across array shards.
 
@@ -285,17 +367,36 @@ class ShardedReadMappingPipeline:
     spends its search energy) while per-read latency takes the *max*
     (banks search in parallel behind the H-tree).
 
+    The shard fan-out runs on one **persistent** worker pool, created
+    lazily on the first :meth:`run` and reused across calls — a
+    streaming service dispatches thousands of micro-batches, and the
+    old build-and-tear-down-per-call executor dominated small-batch
+    latency.  :meth:`close` (or the context-manager protocol) releases
+    the pool; a later :meth:`run` simply re-creates it.  Call sites
+    that construct many pipelines and keep them referenced should
+    close each one; a pipeline that is simply dropped releases its
+    pool when garbage-collected (the executor's workers hold only a
+    weak reference to it).
+
     Parameters
     ----------
     segments:
-        ``(n_rows, N)`` uint8 matrix of reference segments.
+        ``(n_rows, N)`` uint8 matrix of reference segments — **or** a
+        sequence of sealed, shard-ordered
+        :class:`~repro.cam.array.StoredReference` objects (e.g. from
+        :func:`encode_shard_references`), in which case the expensive
+        per-shard store/encode work is *shared*, not repeated: each
+        shard matcher borrows its reference and owns only per-pipeline
+        seed/noise/ledger state.
     error_model:
         Workload error rates driving the HDAC/TASR policies.
     n_shards:
         Number of array shards to partition the rows across; shards
         that would receive no rows are dropped.  ``None`` autotunes
         the shard count from the reference size and the machine's CPU
-        count (:func:`repro.arch.autotune.plan_shards`).
+        count (:func:`repro.arch.autotune.plan_shards`).  With
+        pre-encoded shard references the count is fixed by the
+        sequence; pass ``None`` (or the matching count).
     config:
         Strategy configuration shared by every shard's matcher.
     domain / noisy / seed:
@@ -306,6 +407,9 @@ class ShardedReadMappingPipeline:
         Worker threads for the shard fan-out (default: the autotuned
         plan's worker count — one per shard, capped at the machine's
         CPU count; extra threads on a small host only add contention).
+        Explicit values must be positive —
+        :class:`~repro.errors.CamConfigError` otherwise (``0`` is a
+        configuration mistake, not a request for autotuning).
     chunk_size:
         Reads per worker task; bounds peak memory of the vectorised
         comparison blocks.  ``None`` autotunes it from the per-shard
@@ -317,9 +421,16 @@ class ShardedReadMappingPipeline:
         (:class:`repro.cost.ledger.CostLedger`).  With compaction on,
         read whole-system statistics through :meth:`merged_stats` —
         :meth:`merged_ledger` needs the full event streams.
+    executor:
+        An externally-owned executor to run the shard fan-out on
+        instead of a private pool — the multi-session frontend shares
+        one across every session's pipeline.  :meth:`close` leaves an
+        injected executor running (its owner closes it).
     """
 
-    def __init__(self, segments: np.ndarray, error_model: ErrorModel,
+    def __init__(self,
+                 segments: "np.ndarray | Sequence[StoredReference]",
+                 error_model: ErrorModel,
                  n_shards: "int | None" = 4,
                  config: "MatcherConfig | None" = None,
                  domain: str = "charge",
@@ -327,39 +438,68 @@ class ShardedReadMappingPipeline:
                  seed: int = 0,
                  max_workers: "int | None" = None,
                  chunk_size: "int | None" = DEFAULT_READ_CHUNK,
-                 ledger_compaction: "int | None" = None):
-        segments = np.asarray(segments, dtype=np.uint8)
-        if segments.ndim != 2 or segments.shape[0] == 0:
-            raise CamConfigError(
-                f"segments must be a non-empty (rows, N) matrix, got "
-                f"shape {segments.shape}"
-            )
-        if n_shards is None or chunk_size is None:
-            plan = plan_shards(segments.shape[0],
-                               max(1, segments.shape[1]))
-            if n_shards is None:
-                n_shards = plan.n_shards
-            if chunk_size is None:
-                chunk_size = plan.chunk_size
-        if chunk_size <= 0:
-            raise CamConfigError(
-                f"chunk_size must be positive, got {chunk_size}"
-            )
-        self._ranges = bank_row_ranges(segments.shape[0], n_shards)
-        self._cols = int(segments.shape[1])
-        self._chunk_size = int(chunk_size)
+                 ledger_compaction: "int | None" = None,
+                 executor: "ThreadPoolExecutor | None" = None):
         self._matchers: list[AsmCapMatcher] = []
-        for shard, (start, stop) in enumerate(self._ranges):
-            array = CamArray(rows=stop - start, cols=self._cols,
-                             domain=domain, noisy=noisy, seed=seed + shard,
-                             ledger_compaction=ledger_compaction)
-            array.store(segments[start:stop])
-            self._matchers.append(
-                AsmCapMatcher(array, error_model, config, seed=seed + shard)
+        if _is_stored_shards(segments):
+            shards = tuple(segments)
+            if n_shards is not None and n_shards != len(shards):
+                raise CamConfigError(
+                    f"n_shards={n_shards} conflicts with the "
+                    f"{len(shards)} pre-encoded shard references"
+                )
+            widths = {shard.cols for shard in shards}
+            if len(widths) != 1:
+                raise CamConfigError(
+                    f"shard references must share one width, got "
+                    f"{sorted(widths)}"
+                )
+            self._cols = shards[0].cols
+            n_rows = sum(shard.n_segments for shard in shards)
+            _, chunk_size = resolve_shard_plan(
+                n_rows, self._cols, len(shards), chunk_size
             )
-        self._max_workers = max_workers or max(
-            1, min(len(self._matchers), os.cpu_count() or 1)
-        )
+            ranges, start = [], 0
+            for shard_index, shard in enumerate(shards):
+                ranges.append((start, start + shard.n_segments))
+                start += shard.n_segments
+                self._matchers.append(AsmCapMatcher.over_stored(
+                    shard, error_model, config, domain=domain,
+                    noisy=noisy, seed=seed + shard_index,
+                    ledger_compaction=ledger_compaction,
+                ))
+            self._ranges = tuple(ranges)
+        else:
+            segments = as_segments_matrix(segments)
+            n_shards, chunk_size = resolve_shard_plan(
+                segments.shape[0], segments.shape[1], n_shards, chunk_size
+            )
+            self._ranges = bank_row_ranges(segments.shape[0], n_shards)
+            self._cols = int(segments.shape[1])
+            for shard, (start, stop) in enumerate(self._ranges):
+                array = CamArray(rows=stop - start, cols=self._cols,
+                                 domain=domain, noisy=noisy,
+                                 seed=seed + shard,
+                                 ledger_compaction=ledger_compaction)
+                array.store(segments[start:stop])
+                self._matchers.append(
+                    AsmCapMatcher(array, error_model, config,
+                                  seed=seed + shard)
+                )
+        self._chunk_size = int(chunk_size)
+        if max_workers is None:
+            self._max_workers = max(
+                1, min(len(self._matchers), os.cpu_count() or 1)
+            )
+        elif int(max_workers) < 1:
+            raise CamConfigError(
+                f"max_workers must be a positive worker count, got "
+                f"{max_workers}"
+            )
+        else:
+            self._max_workers = int(max_workers)
+        self._external_executor = executor
+        self._pool: "ThreadPoolExecutor | None" = None
         #: System-level traffic events (global-buffer broadcasts); the
         #: per-shard search passes live in each shard array's ledger.
         self._ledger = CostLedger(compaction=ledger_compaction)
@@ -369,9 +509,55 @@ class ShardedReadMappingPipeline:
         return len(self._matchers)
 
     @property
+    def max_workers(self) -> int:
+        """Worker-thread budget of the shard fan-out."""
+        return self._max_workers
+
+    @property
     def ledger(self) -> CostLedger:
         """This pipeline's system-level traffic events."""
         return self._ledger
+
+    # -- executor lifecycle -------------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """The persistent fan-out pool (injected, or lazily created).
+
+        One pool serves every :meth:`run` call — a streaming service
+        dispatches thousands of micro-batches, and per-call executor
+        construction (the pre-fix behaviour) pays thread start-up and
+        tear-down on each one.
+        """
+        if self._external_executor is not None:
+            return self._external_executor
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="asmcap-shard",
+            )
+        return self._pool
+
+    @property
+    def owns_executor(self) -> bool:
+        """True when the fan-out pool is pipeline-private (not injected)."""
+        return self._external_executor is None
+
+    def close(self) -> None:
+        """Release the private fan-out pool (idempotent).
+
+        An injected ``executor`` is left untouched — its owner closes
+        it.  The pipeline stays usable: a later :meth:`run` re-creates
+        the private pool.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedReadMappingPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def merged_ledger(self) -> CostLedger:
         """One deterministic ledger over the whole sharded system.
@@ -464,13 +650,24 @@ class ShardedReadMappingPipeline:
             self._ledger.record(BufferBroadcast(
                 n_reads=stop - start, read_bits=read_bits,
             ))
-        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            futures = [
-                pool.submit(self._match_shard, matcher, codes, threshold,
-                            keys)
-                for matcher in self._matchers
-            ]
+        pool = self._executor()
+        futures = [
+            pool.submit(self._match_shard, matcher, codes, threshold,
+                        keys)
+            for matcher in self._matchers
+        ]
+        try:
             shard_outcomes = [future.result() for future in futures]
+        except BaseException:
+            # The per-call executor used to guarantee every shard task
+            # had finished before an error propagated; the persistent
+            # pool must give the same guarantee, or sibling tasks keep
+            # writing into our matchers' ledgers while the caller
+            # handles (or retries after) the failure.
+            for future in futures:
+                future.cancel()
+            futures_wait(futures)
+            raise
         return self._merge(shard_outcomes, keys)
 
     def _match_shard(self, matcher: AsmCapMatcher, codes: np.ndarray,

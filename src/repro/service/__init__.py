@@ -9,6 +9,13 @@ incrementally, with flat memory:
   dispatches through the batched or sharded engine, and keeps every
   cost ledger bounded via compaction
   (:class:`repro.cost.ledger.CostLedger`);
+* :class:`MappingFrontend` / :class:`MappingSession` — the
+  multi-session front end: the reference is encoded and stored
+  **once** (a shared :class:`repro.cam.array.StoredReference`) and
+  many independent sessions multiplex over it through one persistent
+  autotuned worker pool with fair round-robin scheduling and a
+  bounded backlog; each session is bit-identical to a standalone
+  :class:`StreamingMappingService` with the same seed and reads;
 * :class:`ServiceStats` — the observability snapshot (throughput,
   backlog, per-strategy pass counts, energy/latency from the
   compacted ledger views);
@@ -17,19 +24,25 @@ incrementally, with flat memory:
 The streamed session is bit-identical to the equivalent one-shot
 ``run_batched`` / sharded ``run`` call for any micro-batch boundaries;
 see the :mod:`repro.service.stream` module docstring for the
-determinism contract.
+determinism contract and :mod:`repro.service.frontend` for the
+session-isolation contract.
 """
 
+from repro.service.frontend import MappingFrontend, MappingSession
 from repro.service.stream import (
     DEFAULT_SERVICE_COMPACTION,
     ServiceStats,
     StreamingMappingService,
     stream_mapped,
+    validate_service_knobs,
 )
 
 __all__ = [
     "DEFAULT_SERVICE_COMPACTION",
+    "MappingFrontend",
+    "MappingSession",
     "ServiceStats",
     "StreamingMappingService",
     "stream_mapped",
+    "validate_service_knobs",
 ]

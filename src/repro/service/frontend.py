@@ -1,0 +1,785 @@
+"""Multi-session concurrent mapping front end over one shared reference.
+
+The accelerator's whole economic argument is amortisation: one
+expensive resource — the reference, encoded and stored in the CAM
+arrays — serves an entire read workload.  PR 4's
+:class:`~repro.service.stream.StreamingMappingService` modelled the
+*time* axis of that amortisation (a single long-running feed) but not
+the *client* axis: every service instance re-encoded and re-stored the
+reference and served exactly one synchronous caller.
+
+:class:`MappingFrontend` adds the client axis:
+
+* **encode once** — the reference is stored and one-hot-encoded
+  exactly once, as a sealed, immutable
+  :class:`~repro.cam.array.StoredReference` (per shard for the sharded
+  engine), shared by every session;
+* **many sessions** — :meth:`MappingFrontend.session` opens an
+  independent :class:`MappingSession`: its own seed (keyed noise
+  prefix, HDAC stream), threshold, micro-batch size, compacting cost
+  ledgers and aggregate report, all borrowing the shared reference;
+* **one worker pool** — a persistent, autotuned
+  (:func:`repro.arch.autotune.plan_service_pool`) pool of dispatch
+  workers executes queued micro-batches **fairly**: the scheduler
+  round-robins across sessions with pending work, so one heavy feed
+  cannot starve the others; a session's own batches run serially, in
+  submission order (one worker at a time), which is what keeps its
+  report folding deterministic;
+* **bounded backlog** — at most ``max_backlog`` queued micro-batches
+  frontend-wide; a full backlog either blocks the submitting thread
+  (``backpressure="block"``, the default) or raises
+  :class:`~repro.errors.ServiceError` (``backpressure="error"``);
+* for the sharded engine, every session's pipeline shares the
+  frontend's one persistent shard fan-out executor instead of owning
+  a pool each.
+
+**Session-isolation / determinism contract.**  A session configured
+with ``(seed, threshold, micro_batch, compaction)`` and fed a read
+sequence is **bit-identical** — per-read decisions, per-read costs,
+and the aggregate report — to a standalone
+:class:`~repro.service.stream.StreamingMappingService` built with the
+same configuration over the same reads, no matter how many other
+sessions run concurrently, how their feeds interleave, how many pool
+workers exist, or where micro-batch boundaries fall.  This holds
+because every random draw is keyed by ``(seed, read index, pass)``
+(never by wall-clock, thread or batch shape), the shared reference is
+immutable, and per-session state (ledgers, RNG, report) is never
+shared.  ``tests/service/test_frontend.py`` asserts it under
+concurrent randomized feeds; DESIGN.md states the binding rules.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
+
+import numpy as np
+
+from repro.arch.autotune import (
+    MIN_SERVICE_BACKLOG,
+    plan_microbatch,
+    plan_service_pool,
+)
+from repro.cam.array import StoredReference, as_segments_matrix
+from repro.core.matcher import AsmCapMatcher, MatcherConfig
+from repro.core.pipeline import (
+    MappingReport,
+    ReadMapping,
+    ReadMappingPipeline,
+    ShardedReadMappingPipeline,
+    encode_shard_references,
+)
+from repro.cost.events import ReferenceLoad
+from repro.cost.ledger import CostLedger
+from repro.cost.views import SearchStats
+from repro.errors import CamConfigError, ServiceError
+from repro.genome.edits import ErrorModel
+from repro.genome.reads import ReadRecord
+from repro.service.stream import (
+    DEFAULT_SERVICE_COMPACTION,
+    ServiceStats,
+    engine_ledgers,
+    engine_merged_stats,
+    fold_ledger_observability,
+    validate_service_knobs,
+)
+
+_ENGINES = ("batched", "sharded")
+_BACKPRESSURE = ("block", "error")
+
+
+class _QueuedBatch:
+    """One session micro-batch awaiting a dispatch worker.
+
+    Carries its determinism anchor explicitly: ``first_read_index`` is
+    assigned at *enqueue* time (submission order), so no scheduling
+    reordering can ever perturb the keyed noise streams.
+    """
+
+    __slots__ = ("first_read_index", "codes")
+
+    def __init__(self, first_read_index: int, codes: "list[np.ndarray]"):
+        self.first_read_index = first_read_index
+        self.codes = codes
+
+
+class MappingSession:
+    """One independent client stream over a frontend's shared reference.
+
+    Mirrors the :class:`~repro.service.stream.StreamingMappingService`
+    surface (``submit`` / ``submit_many`` / ``flush`` / ``drain`` /
+    ``close`` / ``stats`` / ``report``) with asynchronous execution:
+    full micro-batches are queued to the frontend's worker pool, and
+    :meth:`drain` / :meth:`close` wait for this session's queue to
+    empty.  A session is intended to be fed by one client thread
+    (results and lifecycle are still safe to *read* from others).
+
+    Created by :meth:`MappingFrontend.session` — not directly.
+    """
+
+    def __init__(self, frontend: "MappingFrontend", index: int,
+                 pipeline, threshold: int, micro_batch: int,
+                 retain_mappings: bool):
+        self._frontend = frontend
+        self._index = index
+        self._pipeline = pipeline
+        self._threshold = int(threshold)
+        self._micro_batch = int(micro_batch)
+        self._retain_mappings = bool(retain_mappings)
+        self._cols = frontend.cols
+        #: Serialises engine dispatches against ledger-reading
+        #: observability calls; always acquired BEFORE the frontend
+        #: lock (the one global lock-ordering rule).
+        self._dispatch_mutex = threading.Lock()
+        # Everything below is guarded by the frontend's lock.
+        self._buffer: "list[np.ndarray]" = []
+        self._pending: "deque[_QueuedBatch]" = deque()
+        self._executing = False
+        self._report = MappingReport()
+        self._last_batch: "tuple[ReadMapping, ...]" = ()
+        self._n_submitted = 0
+        self._n_enqueued = 0
+        self._n_dispatched = 0
+        self._n_batches = 0
+        self._closed = False
+        self._closing = False
+        self._failure: "BaseException | None" = None
+        self._started_at: "float | None" = None
+        self._idle = threading.Condition(frontend._lock)
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def index(self) -> int:
+        """Stable session number within the frontend (open order)."""
+        return self._index
+
+    @property
+    def engine(self) -> str:
+        return self._frontend.engine
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    @property
+    def micro_batch(self) -> int:
+        """Reads coalesced per queued dispatch."""
+        return self._micro_batch
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pipeline(self):
+        """This session's private engine (its arrays borrow the
+        frontend's shared stored reference)."""
+        return self._pipeline
+
+    @property
+    def report(self) -> MappingReport:
+        """Aggregate over every *completed* dispatch — a defensive
+        snapshot, safe to mutate (same contract as the standalone
+        service after the aliasing fix)."""
+        with self._frontend._lock:
+            return self._report.snapshot()
+
+    @property
+    def batches_dispatched(self) -> int:
+        """Micro-batches completed so far."""
+        with self._frontend._lock:
+            return self._n_batches
+
+    @property
+    def last_batch_mappings(self) -> "tuple[ReadMapping, ...]":
+        """The most recently completed micro-batch's per-read results
+        (replaced wholesale per dispatch; bounded on endless feeds)."""
+        with self._frontend._lock:
+            return self._last_batch
+
+    # -- feed ---------------------------------------------------------------
+
+    def submit(self, read: "np.ndarray | ReadRecord") -> None:
+        """Accept one read; queue a micro-batch whenever one fills.
+
+        Raises :class:`~repro.errors.ServiceError` once the session or
+        frontend is closed, or (``backpressure="error"``) when the
+        frontend backlog is full; with ``backpressure="block"`` a full
+        backlog blocks here until a worker frees a slot.  A rejected
+        submit is **all-or-nothing**: the read was *not* accepted, so
+        the caller retries the same read after backing off (no risk of
+        duplicating it).
+        """
+        codes = np.asarray(
+            read.read.codes if isinstance(read, ReadRecord) else read,
+            dtype=np.uint8,
+        )
+        if codes.shape != (self._cols,):
+            raise CamConfigError(
+                f"read shape {codes.shape} does not fit reference width "
+                f"{self._cols}"
+            )
+        with self._frontend._lock:
+            self._check_open_locked()
+            if self._started_at is None:
+                self._started_at = time.perf_counter()
+            self._buffer.append(codes)
+            self._n_submitted += 1
+            if len(self._buffer) >= self._micro_batch:
+                try:
+                    self._enqueue_locked()
+                except ServiceError:
+                    # Backlog full under the error policy: hand the
+                    # read back so a retry cannot duplicate it.
+                    self._buffer.pop()
+                    self._n_submitted -= 1
+                    raise
+
+    def submit_many(
+            self,
+            reads: "Iterable[np.ndarray] | Iterable[ReadRecord]") -> int:
+        """Consume any read iterable, queueing batches as they fill.
+
+        Lazy — an endless generator works; at most one micro-batch is
+        ever coalesced here (queued batches are bounded by the
+        frontend backlog).  Returns how many reads were accepted.
+        """
+        n = 0
+        for read in reads:
+            self.submit(read)
+            n += 1
+        return n
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> int:
+        """Queue the buffered reads now, full micro-batch or not.
+
+        Returns how many reads were queued (0 when the buffer was
+        empty — flushing twice is a no-op, not an error).  Unlike the
+        synchronous service this does *not* wait for execution;
+        :meth:`drain` does.
+        """
+        with self._frontend._lock:
+            self._check_open_locked()
+            return self._enqueue_locked()
+
+    def drain(self) -> MappingReport:
+        """Flush, wait until this session's queue is fully executed,
+        and return the aggregate report (a defensive snapshot).
+
+        The session stays open — a long-running caller drains at
+        checkpoint boundaries and keeps feeding.
+        """
+        with self._frontend._lock:
+            self._check_open_locked()
+            self._enqueue_locked(wait=True)
+            self._wait_idle_locked()
+            return self._report.snapshot()
+
+    def close(self) -> MappingReport:
+        """Drain, end the session, and return the final report.
+
+        Idempotent; later :meth:`submit` / :meth:`flush` /
+        :meth:`drain` calls raise
+        :class:`~repro.errors.ServiceError`.  Each call returns a
+        fresh defensive snapshot.
+        """
+        with self._frontend._lock:
+            if not self._closed:
+                self._check_failure_locked()
+                # Refuse new feeds from here on: a concurrent submitter
+                # refilling the queue must not keep the drain below
+                # from ever terminating.
+                self._closing = True
+                if self._frontend._running:
+                    self._enqueue_locked(wait=True)
+                    self._wait_idle_locked()
+                elif self._buffer or self._pending or self._executing:
+                    # The frontend stopped (no workers left) while this
+                    # session still had accepted-but-unexecuted reads:
+                    # surface the loss instead of waiting forever.
+                    raise ServiceError(
+                        f"the mapping frontend was closed while session "
+                        f"{self._index} still had reads in flight"
+                    )
+                self._closed = True
+            return self._report.snapshot()
+
+    def __enter__(self) -> "MappingSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- observability ------------------------------------------------------
+
+    def ledgers(self) -> "tuple[CostLedger, ...]":
+        """This session's cost ledgers (engine order)."""
+        return engine_ledgers(self._frontend.engine, self._pipeline)
+
+    def merged_stats(self) -> SearchStats:
+        """Whole-session search counters (exact under compaction)."""
+        with self._dispatch_mutex:
+            return engine_merged_stats(self._frontend.engine,
+                                       self._pipeline)
+
+    def stats(self) -> ServiceStats:
+        """Snapshot this session's observable state
+        (:class:`~repro.service.stream.ServiceStats`)."""
+        # Lock order: dispatch mutex first (freezes the ledgers), then
+        # the frontend lock (freezes the counters) — the same order the
+        # dispatch workers use.
+        with self._dispatch_mutex:
+            stats = engine_merged_stats(self._frontend.engine,
+                                        self._pipeline)
+            (pass_counts, events_live, events_folded, population,
+             compactions) = fold_ledger_observability(self.ledgers())
+            with self._frontend._lock:
+                wall = (0.0 if self._started_at is None
+                        else time.perf_counter() - self._started_at)
+                return ServiceStats(
+                    reads_submitted=self._n_submitted,
+                    reads_dispatched=self._n_dispatched,
+                    reads_in_flight=self._n_submitted - self._n_dispatched,
+                    reads_mapped=self._report.n_mapped,
+                    batches_dispatched=self._n_batches,
+                    micro_batch=self._micro_batch,
+                    n_searches=stats.n_searches,
+                    pass_counts=pass_counts,
+                    total_energy_joules=stats.total_energy_joules,
+                    total_latency_ns=stats.total_latency_ns,
+                    wall_seconds=wall,
+                    reads_per_second=(self._n_dispatched / wall
+                                      if wall > 0.0 else 0.0),
+                    ledger_events_live=events_live,
+                    ledger_events_folded=events_folded,
+                    ledger_population_elements=population,
+                    compactions=compactions,
+                )
+
+    # -- internals (frontend lock held) -------------------------------------
+
+    def _check_failure_locked(self) -> None:
+        if self._failure is not None:
+            raise ServiceError(
+                f"session {self._index} dispatch failed: "
+                f"{self._failure!r}"
+            ) from self._failure
+
+    def _check_open_locked(self) -> None:
+        self._check_failure_locked()
+        if self._closed or self._closing:
+            raise ServiceError(f"session {self._index} has been closed")
+        if not self._frontend._running:
+            raise ServiceError("the mapping frontend has been closed")
+
+    def _enqueue_locked(self, wait: bool = False) -> int:
+        """Move the coalescing buffer onto the frontend's work queue.
+
+        Applies the backlog bound: blocks (releasing the lock) or
+        raises per the frontend's backpressure policy.  On the error
+        path the reads stay buffered, so a later flush can retry.
+        ``wait=True`` forces blocking regardless of the policy —
+        :meth:`drain` / :meth:`close` are synchronisation points that
+        *relieve* pressure, so erroring there would be perverse.
+        """
+        if not self._buffer:
+            return 0
+        frontend = self._frontend
+        while frontend._backlog_count >= frontend._max_backlog:
+            if frontend._backpressure == "error" and not wait:
+                raise ServiceError(
+                    f"frontend backlog full "
+                    f"({frontend._max_backlog} queued micro-batches); "
+                    f"drain sessions or slow the feed"
+                )
+            frontend._backlog_free.wait()
+            # Not _check_open_locked: close() itself enqueues through
+            # here after setting _closing — only a dispatch failure or
+            # a stopped frontend should abort the wait.
+            self._check_failure_locked()
+            if not frontend._running:
+                raise ServiceError(
+                    "the mapping frontend has been closed"
+                )
+        batch = _QueuedBatch(self._n_enqueued, self._buffer)
+        self._buffer = []
+        self._n_enqueued += len(batch.codes)
+        self._pending.append(batch)
+        frontend._backlog_count += 1
+        frontend._work.notify()
+        return len(batch.codes)
+
+    def _wait_idle_locked(self) -> None:
+        """Wait until every queued batch of this session completed."""
+        while self._pending or self._executing:
+            if not self._frontend._running:
+                raise ServiceError(
+                    f"the mapping frontend was closed while session "
+                    f"{self._index} still had reads in flight"
+                )
+            self._idle.wait()
+            self._check_failure_locked()
+        self._check_failure_locked()
+
+
+class MappingFrontend:
+    """Serve N concurrent mapping sessions over one encoded reference.
+
+    Parameters
+    ----------
+    segments:
+        ``(n_rows, N)`` uint8 matrix of reference segments — encoded
+        and stored **once**, at construction, for every session.
+    error_model:
+        Workload error rates driving the HDAC/TASR policies (shared:
+        the policies are a property of the stored workload).
+    config:
+        Default strategy configuration for sessions (each session may
+        override).
+    engine:
+        ``"batched"`` (one shared array image) or ``"sharded"`` (the
+        reference partitioned across autotuned shards; sessions share
+        the per-shard references *and* one shard fan-out executor).
+    domain / noisy:
+        Array configuration shared by every session's arrays.
+    n_shards / chunk_size:
+        Sharded-engine knobs, resolved exactly as
+        :class:`~repro.core.pipeline.ShardedReadMappingPipeline`
+        resolves them (``None`` autotunes) — a frontend session is
+        therefore bit-identical to a standalone sharded service built
+        with the same knobs.
+    pool_workers:
+        Dispatch workers in the persistent pool; ``None`` autotunes
+        via :func:`repro.arch.autotune.plan_service_pool`.
+    max_backlog:
+        Queued micro-batches (frontend-wide) before backpressure
+        engages; ``None`` autotunes.
+    backpressure:
+        ``"block"`` (default): a submit that fills the backlog waits
+        for a worker; ``"error"``: it raises
+        :class:`~repro.errors.ServiceError` and leaves the reads
+        buffered for a later retry.
+    """
+
+    def __init__(self, segments: np.ndarray, error_model: ErrorModel,
+                 config: "MatcherConfig | None" = None,
+                 engine: str = "batched",
+                 domain: str = "charge",
+                 noisy: bool = True,
+                 n_shards: "int | None" = None,
+                 chunk_size: "int | None" = None,
+                 pool_workers: "int | None" = None,
+                 max_backlog: "int | None" = None,
+                 backpressure: str = "block"):
+        if engine not in _ENGINES:
+            raise ServiceError(
+                f"engine must be one of {_ENGINES}, got {engine!r}"
+            )
+        if backpressure not in _BACKPRESSURE:
+            raise ServiceError(
+                f"backpressure must be one of {_BACKPRESSURE}, got "
+                f"{backpressure!r}"
+            )
+        segments = as_segments_matrix(segments)
+        self._engine_kind = engine
+        self._model = error_model
+        self._config = config
+        self._domain = domain
+        self._noisy = bool(noisy)
+        self._n_rows = int(segments.shape[0])
+        self._cols = int(segments.shape[1])
+        self._backpressure = backpressure
+
+        # --- encode and store the reference EXACTLY ONCE ---------------
+        self._chunk_size: "int | None" = None
+        if engine == "batched":
+            self._stored_refs: "tuple[StoredReference, ...]" = (
+                StoredReference.encode(segments),
+            )
+        else:
+            self._stored_refs, self._chunk_size = encode_shard_references(
+                segments, n_shards=n_shards, chunk_size=chunk_size
+            )
+        #: Frontend-level traffic ledger; holds the single
+        #: ReferenceLoad per shard (the encode-once evidence) — session
+        #: ledgers only ever see search passes.
+        self._ledger = CostLedger()
+        for ref in self._stored_refs:
+            self._ledger.record(ReferenceLoad(
+                n_segments=ref.n_segments, n_cells=ref.cols,
+            ))
+
+        # --- persistent dispatch pool ----------------------------------
+        plan = plan_service_pool(n_shards=self.n_shards)
+        if pool_workers is None:
+            pool_workers = plan.n_workers
+        if int(pool_workers) < 1:
+            raise ServiceError(
+                f"pool_workers must be positive, got {pool_workers}"
+            )
+        if max_backlog is None:
+            # Scale with the *resolved* worker count (an explicit
+            # pool_workers override included), not the plan's.
+            max_backlog = max(MIN_SERVICE_BACKLOG, 2 * int(pool_workers))
+        if int(max_backlog) < 1:
+            raise ServiceError(
+                f"max_backlog must be positive, got {max_backlog}"
+            )
+        self._pool_workers = int(pool_workers)
+        self._max_backlog = int(max_backlog)
+        self._shard_executor: "ThreadPoolExecutor | None" = None
+        if engine == "sharded":
+            self._shard_executor = ThreadPoolExecutor(
+                max_workers=max(1, plan.shard_workers),
+                thread_name_prefix="asmcap-frontend-shard",
+            )
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._backlog_free = threading.Condition(self._lock)
+        self._backlog_count = 0
+        self._sessions: "list[MappingSession]" = []
+        self._rr_next = 0
+        self._running = True
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"asmcap-frontend-worker-{i}",
+                             daemon=True)
+            for i in range(self._pool_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def engine(self) -> str:
+        """``"batched"`` or ``"sharded"``."""
+        return self._engine_kind
+
+    @property
+    def cols(self) -> int:
+        """Reference segment width (every read must match it)."""
+        return self._cols
+
+    @property
+    def n_shards(self) -> int:
+        """Shards the reference is partitioned across (1 = batched)."""
+        return len(self._stored_refs)
+
+    @property
+    def pool_workers(self) -> int:
+        """Persistent dispatch-worker threads."""
+        return self._pool_workers
+
+    @property
+    def max_backlog(self) -> int:
+        """Queued micro-batches before backpressure engages."""
+        return self._max_backlog
+
+    @property
+    def backpressure(self) -> str:
+        """``"block"`` or ``"error"``."""
+        return self._backpressure
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def ledger(self) -> CostLedger:
+        """Frontend-level traffic ledger (the per-shard
+        :class:`~repro.cost.events.ReferenceLoad` events live here —
+        recorded once, at construction, not per session)."""
+        return self._ledger
+
+    @property
+    def stored_references(self) -> "tuple[StoredReference, ...]":
+        """The shared, sealed reference (one entry per shard)."""
+        return self._stored_refs
+
+    def encode_count(self) -> int:
+        """Total one-hot encode passes across the shared reference —
+        stays equal to :attr:`n_shards` no matter how many sessions
+        open (the benchmark's encode-once evidence)."""
+        return sum(ref.n_encodes for ref in self._stored_refs)
+
+    @property
+    def sessions(self) -> "tuple[MappingSession, ...]":
+        """Every session ever opened (open order)."""
+        with self._lock:
+            return tuple(self._sessions)
+
+    # -- session factory ----------------------------------------------------
+
+    def session(self, threshold: int,
+                seed: int = 0,
+                micro_batch: "int | None" = None,
+                compaction: "int | None" = DEFAULT_SERVICE_COMPACTION,
+                retain_mappings: bool = True,
+                config: "MatcherConfig | None" = None) -> MappingSession:
+        """Open an independent mapping session over the shared
+        reference.
+
+        Parameters mirror :class:`~repro.service.stream.
+        StreamingMappingService`: per-session ``seed`` (determinism
+        key base), ``threshold``, ``micro_batch`` (``None`` autotunes
+        — same plan as the standalone service), ledger ``compaction``
+        and ``retain_mappings``.  The expensive reference state is
+        *not* rebuilt: only per-session arrays/matchers/ledgers are.
+        """
+        validate_service_knobs(micro_batch, compaction)
+        if micro_batch is None:
+            micro_batch = plan_microbatch(self._n_rows, self._cols,
+                                          n_shards=self.n_shards)
+        if self._engine_kind == "batched":
+            matcher = AsmCapMatcher.over_stored(
+                self._stored_refs[0], self._model,
+                config or self._config,
+                domain=self._domain, noisy=self._noisy, seed=seed,
+                ledger_compaction=compaction,
+            )
+            pipeline = ReadMappingPipeline(matcher)
+        else:
+            pipeline = ShardedReadMappingPipeline(
+                self._stored_refs, self._model, n_shards=None,
+                config=config or self._config,
+                domain=self._domain, noisy=self._noisy, seed=seed,
+                chunk_size=self._chunk_size,
+                ledger_compaction=compaction,
+                executor=self._shard_executor,
+            )
+        with self._lock:
+            if not self._running:
+                raise ServiceError("the mapping frontend has been closed")
+            session = MappingSession(
+                self, index=len(self._sessions), pipeline=pipeline,
+                threshold=threshold, micro_batch=int(micro_batch),
+                retain_mappings=retain_mappings,
+            )
+            self._sessions.append(session)
+            return session
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain every open session, stop the workers, release pools.
+
+        Idempotent.  Sessions that already failed are skipped (their
+        owners saw — or will see — the ``ServiceError``); everything
+        else is drained through the still-running workers first, so no
+        accepted read is silently dropped.
+        """
+        if self._closed:
+            return
+        for session in self.sessions:
+            if not session.closed:
+                try:
+                    session.close()
+                except ServiceError:
+                    pass  # failed session: its owner handles the error
+        with self._lock:
+            self._running = False
+            self._work.notify_all()
+            self._backlog_free.notify_all()
+            # Wake any drainer of a session that raced past the drain
+            # sweep above (opened concurrently with this close) so it
+            # raises instead of waiting on workers that are gone.
+            for session in self._sessions:
+                session._idle.notify_all()
+        for thread in self._threads:
+            thread.join()
+        if self._shard_executor is not None:
+            self._shard_executor.shutdown(wait=True)
+        self._closed = True
+
+    def __enter__(self) -> "MappingFrontend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- scheduling internals -----------------------------------------------
+
+    def _next_task_locked(
+            self) -> "tuple[MappingSession, _QueuedBatch] | None":
+        """Pick the next (session, batch) fairly — round-robin over
+        sessions with pending work whose serial slot is free."""
+        n = len(self._sessions)
+        for offset in range(n):
+            position = (self._rr_next + offset) % n
+            session = self._sessions[position]
+            if session._pending and not session._executing:
+                self._rr_next = (position + 1) % n
+                return session, session._pending.popleft()
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                task = self._next_task_locked()
+                while task is None:
+                    if not self._running:
+                        return
+                    self._work.wait()
+                    task = self._next_task_locked()
+                session, batch = task
+                session._executing = True
+                self._backlog_count -= 1
+                self._backlog_free.notify_all()
+            self._execute(session, batch)
+
+    def _execute(self, session: MappingSession,
+                 batch: _QueuedBatch) -> None:
+        """Run one micro-batch on a worker thread and fold the result.
+
+        The engine dispatch runs outside the frontend lock (that is
+        the parallelism) but inside the session's dispatch mutex (that
+        is the per-session serialisation observability relies on);
+        folding happens under the frontend lock with the same add()
+        sequence a one-shot run performs, so per-session aggregates
+        stay bit-identical to the standalone service.
+        """
+        with session._dispatch_mutex:
+            failure: "BaseException | None" = None
+            report = None
+            try:
+                if self._engine_kind == "batched":
+                    report = session._pipeline.run_batched(
+                        batch.codes, session._threshold,
+                        first_read_index=batch.first_read_index)
+                else:
+                    report = session._pipeline.run(
+                        batch.codes, session._threshold,
+                        first_read_index=batch.first_read_index)
+            except BaseException as exc:  # noqa: BLE001 — kept for the feeder
+                failure = exc
+            with self._lock:
+                if failure is None:
+                    for mapping in report.mappings:
+                        session._report.add(mapping)
+                    if not session._retain_mappings:
+                        session._report.mappings.clear()
+                    session._last_batch = tuple(report.mappings)
+                    session._n_dispatched += len(batch.codes)
+                    session._n_batches += 1
+                else:
+                    session._failure = failure
+                    # Drop the failed session's queue so blocked
+                    # feeders and drainers wake instead of hanging.
+                    dropped = len(session._pending)
+                    session._pending.clear()
+                    self._backlog_count -= dropped
+                    if dropped:
+                        self._backlog_free.notify_all()
+                session._executing = False
+                if session._pending:
+                    self._work.notify()
+                session._idle.notify_all()

@@ -45,7 +45,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.arch.autotune import plan_microbatch
-from repro.cam.array import CamArray
+from repro.cam.array import CamArray, as_segments_matrix
 from repro.core.matcher import AsmCapMatcher, MatcherConfig
 from repro.core.pipeline import (
     MappingReport,
@@ -65,6 +65,73 @@ _ENGINES = ("batched", "sharded")
 #: enough that a whole micro-batch's passes (2 + 2*NR events) stay
 #: inspectable between folds, shallow enough that memory is flat.
 DEFAULT_SERVICE_COMPACTION = 64
+
+
+def validate_service_knobs(micro_batch: "int | None",
+                           compaction: "int | None") -> None:
+    """Reject falsy/negative service knobs at the service boundary.
+
+    ``micro_batch=0`` and ``compaction=0`` are configuration mistakes,
+    not requests for autotuning (that is ``None``) — raise
+    :class:`~repro.errors.ServiceError` instead of silently coercing
+    or letting a lower layer fail with an unrelated error.  Shared by
+    :class:`StreamingMappingService` and the multi-session frontend's
+    sessions (:mod:`repro.service.frontend`).
+    """
+    if micro_batch is not None and int(micro_batch) < 1:
+        raise ServiceError(
+            f"micro_batch must be positive, got {micro_batch}"
+        )
+    if compaction is not None and int(compaction) < 1:
+        raise ServiceError(
+            f"compaction must be a positive live-event bound (or None "
+            f"to disable), got {compaction}"
+        )
+
+
+def engine_ledgers(engine: str, pipeline) -> "tuple[CostLedger, ...]":
+    """Every cost ledger an engine owns, in deterministic order
+    (system traffic first for the sharded engine, then arrays)."""
+    if engine == "batched":
+        return (pipeline.ledger,)
+    return (pipeline.ledger,
+            *(m.array.ledger for m in pipeline.matchers))
+
+
+def fold_ledger_observability(
+        ledgers: "tuple[CostLedger, ...]",
+        ) -> "tuple[dict[str, int], int, int, int, int]":
+    """Fold the bounded-memory evidence over a set of ledgers.
+
+    Returns ``(pass_counts, events_live, events_folded,
+    population_elements, compactions)`` — the ledger-derived fields of
+    :class:`ServiceStats`, defined once for the single-client service
+    and the frontend's sessions alike.
+    """
+    pass_counts: "dict[str, int]" = {}
+    events_live = 0
+    events_folded = 0
+    population = 0
+    compactions = 0
+    for ledger in ledgers:
+        for name, count in ledger.pass_counts().items():
+            pass_counts[name] = pass_counts.get(name, 0) + count
+        events_live += len(ledger)
+        events_folded += ledger.n_folded
+        population += ledger.live_population_elements()
+        compactions += ledger.n_compactions
+    return pass_counts, events_live, events_folded, population, compactions
+
+
+def engine_merged_stats(engine: str, pipeline) -> SearchStats:
+    """Whole-engine search counters (exact under compaction).
+
+    Delegates to the engine's own fold so there is exactly one
+    definition of the whole-system aggregation per engine.
+    """
+    if engine == "sharded":
+        return pipeline.merged_stats()
+    return search_stats(pipeline.ledger)
 
 
 @dataclass(frozen=True)
@@ -181,12 +248,8 @@ class StreamingMappingService:
             raise ServiceError(
                 f"engine must be one of {_ENGINES}, got {engine!r}"
             )
-        segments = np.asarray(segments, dtype=np.uint8)
-        if segments.ndim != 2 or segments.shape[0] == 0:
-            raise CamConfigError(
-                f"segments must be a non-empty (rows, N) matrix, got "
-                f"shape {segments.shape}"
-            )
+        validate_service_knobs(micro_batch, compaction)
+        segments = as_segments_matrix(segments)
         self._threshold = int(threshold)
         self._engine_kind = engine
         self._cols = int(segments.shape[1])
@@ -259,8 +322,14 @@ class StreamingMappingService:
 
         Buffered (in-flight) reads are not in it yet; :meth:`drain`
         for a complete view.
+
+        A defensive :meth:`~repro.core.pipeline.MappingReport.snapshot`
+        — callers may mutate it (``report.mappings.clear()``, …)
+        without corrupting the service's live aggregates or breaking
+        the streamed/one-shot bit-identity contract.  :meth:`drain`
+        and :meth:`close` return the same kind of snapshot.
         """
-        return self._report
+        return self._report.snapshot()
 
     @property
     def batches_dispatched(self) -> int:
@@ -335,22 +404,28 @@ class StreamingMappingService:
         """Flush everything in flight and return the aggregate report.
 
         The service stays open — a long-running caller drains at
-        checkpoint boundaries and keeps feeding.
+        checkpoint boundaries and keeps feeding.  The returned report
+        is a defensive snapshot (see :attr:`report`).
         """
         self._check_open()
         self._dispatch()
-        return self._report
+        return self._report.snapshot()
 
     def close(self) -> MappingReport:
         """Drain, end the lifecycle, and return the final report.
 
         Idempotent; every later :meth:`submit` / :meth:`flush` raises
-        :class:`~repro.errors.ServiceError`.
+        :class:`~repro.errors.ServiceError`.  The returned report is a
+        defensive snapshot (see :attr:`report`); each call returns a
+        fresh one.
         """
         if not self._closed:
             self._dispatch()
+            if self._engine_kind == "sharded":
+                # Release the sharded engine's persistent fan-out pool.
+                self._pipeline.close()
             self._closed = True
-        return self._report
+        return self._report.snapshot()
 
     def __enter__(self) -> "StreamingMappingService":
         return self
@@ -363,10 +438,7 @@ class StreamingMappingService:
     def ledgers(self) -> tuple[CostLedger, ...]:
         """Every cost ledger the service owns (deterministic order:
         system traffic first for the sharded engine, then arrays)."""
-        if self._engine_kind == "batched":
-            return (self._pipeline.ledger,)
-        return (self._pipeline.ledger,
-                *(m.array.ledger for m in self._pipeline.matchers))
+        return engine_ledgers(self._engine_kind, self._pipeline)
 
     def merged_stats(self) -> SearchStats:
         """Whole-service search counters (exact under compaction).
@@ -374,26 +446,14 @@ class StreamingMappingService:
         Delegates to the engine's own fold so there is exactly one
         definition of the whole-system aggregation per engine.
         """
-        if self._engine_kind == "sharded":
-            return self._pipeline.merged_stats()
-        return search_stats(self._pipeline.ledger)
+        return engine_merged_stats(self._engine_kind, self._pipeline)
 
     def stats(self) -> ServiceStats:
         """Snapshot the service's observable state (see
         :class:`ServiceStats`)."""
         stats = self.merged_stats()
-        pass_counts: dict[str, int] = {}
-        events_live = 0
-        events_folded = 0
-        population = 0
-        compactions = 0
-        for ledger in self.ledgers():
-            for name, count in ledger.pass_counts().items():
-                pass_counts[name] = pass_counts.get(name, 0) + count
-            events_live += len(ledger)
-            events_folded += ledger.n_folded
-            population += ledger.live_population_elements()
-            compactions += ledger.n_compactions
+        (pass_counts, events_live, events_folded, population,
+         compactions) = fold_ledger_observability(self.ledgers())
         wall = (0.0 if self._started_at is None
                 else time.perf_counter() - self._started_at)
         return ServiceStats(

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cam.array import CamArray
+from repro.cam.array import CamArray, StoredReference
 from repro.cam.cell import MatchMode
 from repro.distance.ed_star import ed_star_batch
 from repro.distance.hamming import hamming_distance_batch
@@ -302,3 +302,85 @@ class TestRotatedSearch:
         charge_array.search_rotated(read, 4, rotation=2)
         charge_array.search_rotated(read, 4, rotation=-3)
         assert charge_array.stats.n_rotation_cycles == 5
+
+
+class TestStoredReference:
+    """The shareable stored-segment/encoding split behind CamArray."""
+
+    def test_encode_seals_and_precomputes(self, stored_segments):
+        ref = StoredReference.encode(stored_segments)
+        assert ref.sealed
+        assert ref.rows == 16 and ref.cols == 32
+        assert ref.n_segments == 16
+        # Encoded exactly once, eagerly, at seal time.
+        assert ref.n_encodes == 1
+        assert np.array_equal(ref.segments, stored_segments)
+        with pytest.raises(CamConfigError):
+            ref.store(stored_segments)
+        # The shared caches are read-only.
+        with pytest.raises(ValueError):
+            ref.segments[0, 0] = 1
+        with pytest.raises(ValueError):
+            ref.stored_onehot()[0, 0] = 0.5
+
+    def test_encode_rejects_bad_segments(self):
+        with pytest.raises(CamConfigError):
+            StoredReference.encode(np.zeros((0, 8), dtype=np.uint8))
+        with pytest.raises(CamConfigError):
+            StoredReference(4, 8).seal()  # empty plane
+
+    def test_borrowing_arrays_share_without_reencoding(
+            self, stored_segments, rng):
+        ref = StoredReference.encode(stored_segments)
+        arrays = [CamArray(domain="charge", noisy=True, seed=s, stored=ref)
+                  for s in range(4)]
+        reads = rng.integers(0, 4, (6, 32)).astype(np.uint8)
+        for array in arrays:
+            assert array.shares_stored_reference
+            assert array.stored is ref
+            assert array.rows == 16 and array.cols == 32
+            array.search_batch(reads, 4,
+                               noise_keys=[(q, 0) for q in range(6)])
+        # Four arrays searched; the reference was encoded once, ever.
+        assert ref.n_encodes == 1
+        # store() on a borrowing array must not mutate the shared state.
+        with pytest.raises(CamConfigError):
+            arrays[0].store(stored_segments)
+
+    def test_unsealed_reference_cannot_be_borrowed(self):
+        with pytest.raises(CamConfigError):
+            CamArray(stored=StoredReference(4, 8))
+
+    def test_shared_array_bit_identical_to_private(
+            self, stored_segments, rng):
+        """An array borrowing a sealed reference makes the same keyed
+        decisions as one that privately stored the same segments with
+        the same seed (the session bit-identity anchor)."""
+        private = CamArray(rows=16, cols=32, domain="charge", noisy=True,
+                           seed=9)
+        private.store(stored_segments)
+        shared = CamArray(domain="charge", noisy=True, seed=9,
+                          stored=StoredReference.encode(stored_segments))
+        reads = rng.integers(0, 4, (8, 32)).astype(np.uint8)
+        keys = [(q, 1) for q in range(8)]
+        ours = shared.search_batch(reads, 5, noise_keys=keys)
+        theirs = private.search_batch(reads, 5, noise_keys=keys)
+        assert np.array_equal(ours.matches, theirs.matches)
+        assert np.array_equal(ours.v_ml, theirs.v_ml)
+        assert np.array_equal(ours.mismatch_counts,
+                              theirs.mismatch_counts)
+        assert ours.energy_joules == theirs.energy_joules
+
+    def test_sessions_keep_private_ledgers_and_noise(
+            self, stored_segments, rng):
+        ref = StoredReference.encode(stored_segments)
+        a = CamArray(domain="charge", noisy=True, seed=1, stored=ref)
+        b = CamArray(domain="charge", noisy=True, seed=2, stored=ref)
+        read = rng.integers(0, 4, (1, 32)).astype(np.uint8)
+        ra = a.search_batch(read, 4, noise_keys=[(0, 0)])
+        assert len(a.ledger) == 1
+        assert len(b.ledger) == 0  # ledgers are per-array, not shared
+        rb = b.search_batch(read, 4, noise_keys=[(0, 0)])
+        # Different seeds -> different keyed noise over the same counts.
+        assert np.array_equal(ra.mismatch_counts, rb.mismatch_counts)
+        assert not np.array_equal(ra.v_ml, rb.v_ml)

@@ -231,6 +231,114 @@ class TestShardedPipeline:
                 noisy_dataset.segments, noisy_dataset.model, chunk_size=0
             )
 
+    def test_max_workers_zero_rejected(self, noisy_dataset):
+        """Regression: max_workers=0 used to be swallowed into the
+        autotune fallback by a falsy `or`; it must raise like
+        chunk_size<=0 does (0 is a mistake, None requests autotune)."""
+        for bad in (0, -2):
+            with pytest.raises(CamConfigError):
+                ShardedReadMappingPipeline(
+                    noisy_dataset.segments, noisy_dataset.model,
+                    n_shards=2, max_workers=bad,
+                )
+        autotuned = ShardedReadMappingPipeline(
+            noisy_dataset.segments, noisy_dataset.model, n_shards=2,
+            max_workers=None, noisy=False,
+        )
+        assert autotuned.max_workers >= 1
+
+    def test_executor_persists_across_runs(self, noisy_dataset):
+        """Regression: run() used to build and tear down a
+        ThreadPoolExecutor per call; the pipeline must reuse one
+        persistent pool across runs and release it on close()."""
+        pipeline = ShardedReadMappingPipeline(
+            noisy_dataset.segments, noisy_dataset.model, n_shards=2,
+            noisy=False, seed=3,
+        )
+        assert pipeline.owns_executor
+        assert pipeline._pool is None  # lazy until the first run
+        pipeline.run(noisy_dataset.reads[:3], threshold=8)
+        pool = pipeline._pool
+        assert pool is not None
+        pipeline.run(noisy_dataset.reads[3:6], threshold=8)
+        assert pipeline._pool is pool
+        pipeline.close()
+        assert pipeline._pool is None
+        pipeline.close()  # idempotent
+        # The pipeline stays usable: a later run re-creates the pool.
+        report = pipeline.run(noisy_dataset.reads[:2], threshold=8)
+        assert report.n_reads == 2
+        assert pipeline._pool is not None and pipeline._pool is not pool
+        pipeline.close()
+
+    def test_context_manager_closes_executor(self, noisy_dataset):
+        with ShardedReadMappingPipeline(
+                noisy_dataset.segments, noisy_dataset.model, n_shards=2,
+                noisy=False) as pipeline:
+            pipeline.run(noisy_dataset.reads[:2], threshold=8)
+            assert pipeline._pool is not None
+        assert pipeline._pool is None
+
+    def test_injected_executor_is_shared_not_owned(self, noisy_dataset):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=2) as executor:
+            pipeline = ShardedReadMappingPipeline(
+                noisy_dataset.segments, noisy_dataset.model, n_shards=2,
+                noisy=False, executor=executor,
+            )
+            assert not pipeline.owns_executor
+            report = pipeline.run(noisy_dataset.reads[:3], threshold=8)
+            assert report.n_reads == 3
+            pipeline.close()  # must NOT shut the injected executor down
+            assert executor.submit(lambda: 42).result() == 42
+
+
+class TestStoredShardConstruction:
+    def test_stored_shards_bit_identical_to_segments(self, noisy_dataset):
+        """A pipeline over pre-encoded shard references reproduces the
+        segment-matrix construction exactly (same seeds, same ranges,
+        same decisions and costs) — encode once, build many."""
+        from repro.core.pipeline import encode_shard_references
+
+        reference = ShardedReadMappingPipeline(
+            noisy_dataset.segments, noisy_dataset.model, n_shards=3,
+            noisy=True, seed=5, chunk_size=7,
+        )
+        shards, chunk = encode_shard_references(
+            noisy_dataset.segments, n_shards=3, chunk_size=7
+        )
+        shared = ShardedReadMappingPipeline(
+            shards, noisy_dataset.model, n_shards=None, noisy=True,
+            seed=5, chunk_size=chunk,
+        )
+        assert shared.n_shards == reference.n_shards
+        assert shared.shard_ranges == reference.shard_ranges
+        ours = shared.run(noisy_dataset.reads, threshold=8)
+        theirs = reference.run(noisy_dataset.reads, threshold=8)
+        assert ours.total_energy_joules == theirs.total_energy_joules
+        for a, b in zip(ours.mappings, theirs.mappings):
+            assert a.matched_rows == b.matched_rows
+            assert a.outcome.energy_joules == b.outcome.energy_joules
+            assert a.outcome.latency_ns == b.outcome.latency_ns
+        # Every pipeline built from the same shards shares the encode.
+        assert sum(s.n_encodes for s in shards) == len(shards)
+        another = ShardedReadMappingPipeline(
+            shards, noisy_dataset.model, n_shards=None, seed=5,
+            chunk_size=chunk,
+        )
+        another.run(noisy_dataset.reads[:2], threshold=8)
+        assert sum(s.n_encodes for s in shards) == len(shards)
+
+    def test_stored_shard_count_conflict_rejected(self, noisy_dataset):
+        from repro.core.pipeline import encode_shard_references
+
+        shards, _ = encode_shard_references(noisy_dataset.segments,
+                                            n_shards=3)
+        with pytest.raises(CamConfigError):
+            ShardedReadMappingPipeline(shards, noisy_dataset.model,
+                                       n_shards=2)
+
     @pytest.mark.slow
     def test_sharded_stress_10k_reads(self):
         """Nightly lane: a 10k-read workload across 4 shards."""

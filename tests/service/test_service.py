@@ -182,7 +182,10 @@ class TestLifecycle:
         service.submit_many(reads[:5])
         first = service.close()
         assert service.closed
-        assert service.close() is first
+        # Repeated closes dispatch nothing further and agree exactly
+        # (each call returns a fresh defensive snapshot, so identity
+        # is deliberately NOT guaranteed).
+        _assert_reports_identical(service.close(), first)
         with pytest.raises(ServiceError):
             service.submit(reads[0])
         with pytest.raises(ServiceError):
@@ -205,6 +208,41 @@ class TestLifecycle:
             self._service(small_dataset_a, engine="warp")
         with pytest.raises(ServiceError):
             self._service(small_dataset_a, micro_batch=0)
+
+    def test_returned_reports_are_safe_to_mutate(self, small_dataset_a):
+        """Regression: drain()/close()/report used to return the live
+        internal MappingReport, so a caller clearing its mappings list
+        corrupted the service aggregates and broke the streamed ==
+        one-shot bit-identity contract."""
+        reads = _reads(small_dataset_a)
+        reference = _one_shot_batched(small_dataset_a, reads)
+        service = StreamingMappingService(
+            small_dataset_a.segments, small_dataset_a.model,
+            threshold=THRESHOLD, micro_batch=4, seed=0,
+        )
+        service.submit_many(reads[:8])
+        drained = service.drain()
+        # A hostile/naive caller post-processes the result in place.
+        drained.mappings.clear()
+        drained.n_reads = -1
+        mid = service.report
+        assert mid.n_reads == 8
+        assert len(mid.mappings) == 8
+        mid.mappings.clear()
+        service.submit_many(reads[8:])
+        final = service.close()
+        _assert_reports_identical(final, reference)
+        # And mutating the final snapshot does not perturb later reads.
+        final.mappings.clear()
+        _assert_reports_identical(service.close(), reference)
+
+    def test_rejects_falsy_knobs(self, small_dataset_a):
+        """Regression: compaction=0 must fail at the service boundary
+        (ServiceError), not deep inside the ledger layer."""
+        with pytest.raises(ServiceError):
+            self._service(small_dataset_a, compaction=0)
+        with pytest.raises(ServiceError):
+            self._service(small_dataset_a, micro_batch=-3)
 
     def test_retain_mappings_false_bounds_results(self, small_dataset_a):
         reads = _reads(small_dataset_a)
