@@ -1,11 +1,28 @@
-"""Microbenchmarks of the distance kernels.
+"""Microbenchmarks of the distance kernels and their backends.
 
 Not a paper artifact, but the foundation of every experiment's runtime:
 ED* (vectorised vs per-row), the batched banded DP, Myers, and the full
-DP, all on paper-sized 256-base data.
+DP, all on paper-sized 256-base data — plus the registered
+:mod:`repro.kernels` backends (float GEMM vs 2-bit-packed popcount)
+head-to-head on the same encoded reference.
+
+The pytest-benchmark functions measure locally under
+``pytest benchmarks/bench_kernels.py -o python_files='bench_*.py'
+-o python_functions='bench_*'``; the module also runs standalone::
+
+    python benchmarks/bench_kernels.py           # paper-sized backend race
+    python benchmarks/bench_kernels.py --smoke   # tiny CI correctness run
+
+Standalone mode asserts cross-backend bit-identity before timing, so a
+backend that drifts fails fast even when timings are ignored (no timing
+gate — shared runners are too noisy for one).
 """
 
 from __future__ import annotations
+
+import argparse
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -18,6 +35,7 @@ from repro.distance.edit_distance import (
 from repro.distance.hamming import hamming_distance_batch
 from repro.distance.myers import myers_edit_distance
 from repro.genome.sequence import DnaSequence
+from repro.kernels import available_backends, encode_reference, get_backend
 
 
 @pytest.fixture(scope="module")
@@ -66,3 +84,112 @@ def bench_full_dp_single_pair(benchmark, bench_rng):
     b = DnaSequence(bench_rng.integers(0, 4, 256).astype(np.uint8))
     distance = benchmark(edit_distance, a, b)
     assert distance > 0
+
+
+# -- kernel backends head-to-head (same encoded reference) ------------
+
+
+@pytest.fixture(scope="module")
+def encoded_workload(workload):
+    segments, reads = workload
+    return encode_reference(segments), reads
+
+
+def bench_backend_gemm_dual(benchmark, encoded_workload):
+    encoded, reads = encoded_workload
+    ed, hd = benchmark(get_backend("numpy-gemm").counts_batch_dual,
+                       encoded, reads)
+    assert ed.shape == hd.shape == (16, 256)
+
+
+def bench_backend_bitpacked_dual(benchmark, encoded_workload):
+    encoded, reads = encoded_workload
+    ed, hd = benchmark(get_backend("bitpacked").counts_batch_dual,
+                       encoded, reads)
+    assert ed.shape == hd.shape == (16, 256)
+
+
+def bench_backend_gemm_ed_star(benchmark, encoded_workload):
+    encoded, reads = encoded_workload
+    counts = benchmark(get_backend("numpy-gemm").counts_batch,
+                       encoded, reads, ed_star=True)
+    assert counts.shape == (16, 256)
+
+
+def bench_backend_bitpacked_ed_star(benchmark, encoded_workload):
+    encoded, reads = encoded_workload
+    counts = benchmark(get_backend("bitpacked").counts_batch,
+                       encoded, reads, ed_star=True)
+    assert counts.shape == (16, 256)
+
+
+# -- standalone backend race (CI smoke + documented local numbers) ----
+
+
+def timed(label: str, fn, repeats: int):
+    """Best-of-``repeats`` wall time (robust against machine noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return label, best, result
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=16,
+                        help="batch size B")
+    parser.add_argument("--rows", type=int, default=256,
+                        help="stored reference rows M")
+    parser.add_argument("--cols", type=int, default=256,
+                        help="row width N in bases")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions per backend (best taken)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI hot-path checks")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.queries, args.rows, args.cols = 8, 64, 64
+
+    rng = np.random.default_rng(args.seed)
+    segments = rng.integers(0, 4, (args.rows, args.cols)).astype(np.uint8)
+    queries = rng.integers(0, 4,
+                           (args.queries, args.cols)).astype(np.uint8)
+    encoded = encode_reference(segments)
+    backends = [get_backend(name) for name in available_backends()]
+
+    # Bit-identity first: every backend must return exactly the counts
+    # of the boolean-sweep reference semantics before any timing.
+    expected_ed = mismatch_counts_all_reads(segments, queries)
+    expected_hd = np.count_nonzero(
+        segments[None, :, :] != queries[:, None, :], axis=2
+    ).astype(np.intp)
+    for backend in backends:
+        ed, hd = backend.counts_batch_dual(encoded, queries)
+        assert np.array_equal(ed, expected_ed), backend.name
+        assert np.array_equal(hd, expected_hd), backend.name
+
+    rows = [
+        timed(backend.name,
+              lambda b=backend: b.counts_batch_dual(encoded, queries),
+              args.repeats)
+        for backend in backends
+    ]
+    base = next(elapsed for label, elapsed, _ in rows
+                if label == "numpy-gemm")
+
+    print(f"\nbench_kernels: dual ED*/HD counts, B={args.queries} "
+          f"queries x M={args.rows} rows x N={args.cols} bases "
+          f"(bit-identity checked)")
+    print(f"{'backend':<14} {'seconds':>10} {'vs numpy-gemm':>14}")
+    for label, elapsed, _ in rows:
+        print(f"{label:<14} {elapsed:>10.6f} {base / elapsed:>13.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.arch import ArchConfig, AsmCapAccelerator
 from repro.core import MatcherConfig
+from repro.experiments.fig8 import analytic_strategy_profile
 from repro.genome import ErrorModel, ReadSampler, generate_reference
 
 READ_LENGTH = 256
@@ -97,8 +98,11 @@ def main() -> None:
     print(f"  sensitivity : {sensitivity * 100:.1f} %")
     print(f"  specificity : {specificity * 100:.1f} %")
 
-    # Full-system per-read cost (analytic path, 512 arrays).
-    estimate = accelerator.estimate_read_cost(searches_per_read=2.0)
+    # Full-system per-read cost (analytic path, 512 arrays) with the
+    # condition-A strategy statistics.
+    estimate = accelerator.estimate_read_cost(
+        analytic_strategy_profile("A")
+    )
     reads_per_second = estimate.reads_per_second
     print(f"full-system model: {reads_per_second / 1e6:.0f} M reads/s, "
           f"{estimate.energy_joules * 1e9:.1f} nJ/read")

@@ -85,6 +85,10 @@ class AsmCapAccelerator:
     n_functional_arrays:
         How many arrays to actually instantiate for the functional
         path; defaults to ``config.n_arrays`` (cap it for speed).
+    backend:
+        Kernel backend for every functional array's mismatch-count
+        primitives (``None`` = the standard selection order; see
+        :mod:`repro.kernels`).
     """
 
     def __init__(self, config: "ArchConfig | None" = None,
@@ -92,7 +96,8 @@ class AsmCapAccelerator:
                  matcher_config: "MatcherConfig | None" = None,
                  n_functional_arrays: "int | None" = None,
                  seed: int = 0,
-                 noisy: bool = True):
+                 noisy: bool = True,
+                 backend: "str | None" = None):
         self._config = config or ArchConfig.paper_system()
         self._model = error_model or ErrorModel.condition_a()
         self._matcher_config = matcher_config or MatcherConfig()
@@ -107,7 +112,8 @@ class AsmCapAccelerator:
             CamArray(rows=self._config.array_rows,
                      cols=self._config.array_cols,
                      domain=self._config.domain,
-                     noisy=noisy, seed=seed + i)
+                     noisy=noisy, seed=seed + i,
+                     backend=backend)
             for i in range(n_func)
         ]
         self._matchers = [
@@ -250,16 +256,10 @@ class AsmCapAccelerator:
 
         Determinism is anchored on per-read ``query_keys`` (default:
         the read's position in the block), so chunked calls that pass
-        global positions compose bit-identically.
-
-        .. deprecated:: PR 2
-           The previous implementation silently degraded to a scalar
-           ``match_read`` loop drawing from each array's *sequential*
-           noise stream.  The batched pass draws keyed noise instead,
-           so noisy-array decisions differ from the old loop (both are
-           valid Monte-Carlo draws); ideal arrays (``noisy=False``)
-           match bit-for-bit.  Call :meth:`match_read` per read if the
-           legacy sequential stream is required.
+        global positions compose bit-identically — matches, energy and
+        latency alike (the regression tests pin this composition).
+        Reads that need the legacy *sequential* noise stream go
+        through :meth:`match_read` one at a time.
         """
         if self._loaded_segments == 0:
             raise ArchConfigError("no reference loaded")
@@ -316,11 +316,10 @@ class AsmCapAccelerator:
 
     # -- analytic path ------------------------------------------------------
 
-    def estimate_read_cost(self, searches_per_read: "float | None" = None,
-                           rotation_cycles_per_read: "float | None" = None,
+    def estimate_read_cost(self, profile: "StrategyProfile | None" = None,
+                           *,
                            mismatch_fraction: float =
-                           constants.TYPICAL_ED_STAR_MISMATCH_FRACTION,
-                           profile: "StrategyProfile | None" = None
+                           constants.TYPICAL_ED_STAR_MISMATCH_FRACTION
                            ) -> ReadCostEstimate:
         """Closed-form per-read cost at full configured scale.
 
@@ -328,28 +327,26 @@ class AsmCapAccelerator:
         ----------
         profile:
             The workload's :class:`~repro.cost.profile.StrategyProfile`
-            — preferred source of the strategy statistics; measure it
-            with :func:`repro.cost.profile.measure_strategy_profile`
-            (one ``match_sweep`` pass per condition).
-        searches_per_read:
-            Average searches issued per read (1 for plain ED*; higher
-            with HDAC/TASR).
-
-            .. deprecated:: PR 3
-               Pass a measured ``profile`` instead of hand-carried
-               scalars; the scalar arguments remain as a compatibility
-               shim (mirroring the PR 2 ``match_batch`` deprecation)
-               and may not be combined with ``profile``.
-        rotation_cycles_per_read:
-            Average shift-register cycles per read (deprecated with
-            ``searches_per_read``).
+            — the strategy statistics (searches and rotation cycles per
+            read); measure it with
+            :func:`repro.cost.profile.measure_strategy_profile` (one
+            ``match_sweep`` pass per condition) or build one
+            analytically.  ``None`` means the strategy-free baseline,
+            :meth:`~repro.cost.profile.StrategyProfile.plain` (one ED*
+            search, no rotations).
         mismatch_fraction:
             Typical per-row ED* mismatch fraction for the energy model.
         """
-        searches_per_read, rotation_cycles_per_read = StrategyProfile.resolve(
-            searches_per_read, rotation_cycles_per_read, profile,
-            error_cls=ArchConfigError,
-        )
+        if profile is None:
+            profile = StrategyProfile.plain()
+        elif not isinstance(profile, StrategyProfile):
+            raise ArchConfigError(
+                f"estimate_read_cost takes a StrategyProfile, got "
+                f"{type(profile).__name__} (build one with "
+                f"measure_strategy_profile or StrategyProfile.plain())"
+            )
+        searches_per_read = profile.searches_per_read
+        rotation_cycles_per_read = profile.rotation_cycles_per_read
         if searches_per_read <= 0.0:
             raise ArchConfigError("searches_per_read must be positive")
         cols = self._config.array_cols

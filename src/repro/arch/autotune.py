@@ -38,11 +38,18 @@ worker count divides the core budget by the per-dispatch fan-out
 width (stacking both levels at full width would only oversubscribe
 the cores), and the backlog bound scales with the worker count so
 backpressure engages before the queue outruns the pool.
+
+The kernel-backend registry (:mod:`repro.kernels`) resolves its
+autotune tail here too: :func:`plan_backend` micro-calibrates every
+registered backend once per process and caches the winner — the last
+step of the selection order (explicit ``backend=`` knob >
+``REPRO_KERNEL_BACKEND`` env var > calibration).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
 #: A shard below this many rows spends more time in per-pass Python
@@ -50,8 +57,8 @@ from dataclasses import dataclass
 MIN_ROWS_PER_SHARD = 32
 
 #: Target element count of one worker chunk's comparison working set
-#: (matches the array's internal ``_BATCH_CHUNK_ELEMS`` bound: ~8 MB
-#: of boolean planes).
+#: (matches the kernel backends' ``repro.kernels.base.CHUNK_ELEMS``
+#: bound: ~8 MB of boolean planes).
 TARGET_CHUNK_ELEMS = 1 << 23
 
 #: Lower bound on reads per chunk — below this the chunk bookkeeping
@@ -231,3 +238,68 @@ def sweep_worker_count(n_runs: int,
     if n_runs < 1:
         raise ValueError(f"n_runs must be positive, got {n_runs}")
     return max(1, min(int(n_runs), available_cpus(cpu_count)))
+
+
+# -- kernel-backend calibration ---------------------------------------------
+
+#: Calibration workload: small enough that the one-time measurement is
+#: a few milliseconds, large enough that the backends' per-call fixed
+#: costs do not dominate the comparison.
+_CALIBRATION_ROWS = 64
+_CALIBRATION_COLS = 128
+_CALIBRATION_QUERIES = 16
+_CALIBRATION_REPEATS = 3
+
+#: Cached :func:`plan_backend` result (one calibration per process).
+_PLANNED_BACKEND: "str | None" = None
+
+
+def calibrate_kernel_backends(
+        rows: int = _CALIBRATION_ROWS,
+        cols: int = _CALIBRATION_COLS,
+        n_queries: int = _CALIBRATION_QUERIES,
+        repeats: int = _CALIBRATION_REPEATS) -> "dict[str, float]":
+    """Best-of-*repeats* seconds per registered kernel backend.
+
+    Times one dual (ED* + HD) counts pass plus one ED* pass on a
+    deterministic synthetic workload — the mix every execution path
+    actually issues.  Timings decide only *which* backend runs; the
+    counts themselves are bit-identical across backends, so this
+    nondeterminism never reaches a decision, ledger or report.
+    """
+    import numpy as np
+
+    from repro import kernels
+
+    rng = np.random.default_rng(0xA5)
+    segments = rng.integers(0, 4, (rows, cols)).astype(np.uint8)
+    queries = rng.integers(0, 4, (n_queries, cols)).astype(np.uint8)
+    encoded = kernels.encode_reference(segments)
+    timings: "dict[str, float]" = {}
+    for name in kernels.available_backends():
+        backend = kernels.get_backend(name)
+        backend.counts_batch_dual(encoded, queries)  # warm-up / JIT
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            backend.counts_batch_dual(encoded, queries)
+            backend.counts_batch(encoded, queries, ed_star=True)
+            best = min(best, time.perf_counter() - start)
+        timings[name] = best
+    return timings
+
+
+def plan_backend() -> str:
+    """The fastest kernel backend on this machine (cached).
+
+    The autotune tail of the selection order (explicit ``backend=``
+    knob > ``REPRO_KERNEL_BACKEND`` env var > this): a one-time
+    micro-calibration over every registered backend, cached for the
+    process lifetime.  Ties and timer noise are harmless — any
+    registered backend produces bit-identical results.
+    """
+    global _PLANNED_BACKEND
+    if _PLANNED_BACKEND is None:
+        timings = calibrate_kernel_backends()
+        _PLANNED_BACKEND = min(timings, key=timings.get)
+    return _PLANNED_BACKEND

@@ -21,10 +21,11 @@ parallel and returns a :class:`SearchResult`.
 
 **Shared stored references.**  The expensive part of bringing an array
 up is writing the reference into the SRAM plane and encoding it for
-the batched GEMM search path; everything else an array owns (noise
-streams, the sequential RNG, the cost ledger) is cheap per-session
-state.  :class:`StoredReference` splits the two: it holds the stored
-segments plus the cached one-hot encoding as an immutable, thread-safe
+the batched kernel backends (:mod:`repro.kernels`); everything else an
+array owns (noise streams, the sequential RNG, the cost ledger) is
+cheap per-session state.  :class:`StoredReference` splits the two: it
+holds the stored segments plus the cached encoding (one pass builds
+every backend's cache) as an immutable, thread-safe
 value that **many arrays can share** — ``CamArray(stored=ref)`` borrows
 the reference without re-encoding or re-storing it, while keeping its
 own seed, noise prefix and ledger.  This is what lets a multi-session
@@ -75,19 +76,21 @@ from repro.cost.events import (
 )
 from repro.cost.ledger import CostLedger
 from repro.cost.views import SearchStats, search_stats
-from repro.distance.ed_star import match_planes, mismatch_counts_all_reads
 from repro.errors import CamConfigError, ThresholdError
-from repro.genome import alphabet
+from repro.kernels import (
+    EncodedReference,
+    KernelBackend,
+    as_backend,
+    encode_reference,
+    resolve_backend,
+)
+from repro.knobs import validate_service_knobs
 
 _DOMAINS = ("charge", "current")
 
 #: Domain-separation tag for keyed noise streams (arbitrary constant;
 #: keeps keyed draws disjoint from any other derived stream).
 _NOISE_STREAM_TAG = 0x5EED
-
-#: Target element count per chunk of the 3-D comparison broadcast; caps
-#: peak memory of very large batches at ~8 MB of boolean planes.
-_BATCH_CHUNK_ELEMS = 1 << 23
 
 
 def as_segments_matrix(segments: np.ndarray) -> np.ndarray:
@@ -239,9 +242,11 @@ class StoredReference:
     """The stored, encoded reference content of one CAM array.
 
     The digital half of an array: an :class:`~repro.cam.sram.SramPlane`
-    holding the reference segments plus the cached one-hot encoding the
-    batched GEMM search path multiplies against.  Everything here is a
-    pure function of the stored segments — no noise, no RNG, no ledger
+    holding the reference segments plus the cached
+    :class:`~repro.kernels.EncodedReference` (float one-hot *and*
+    2-bit-packed bitplanes, built in one pass) every kernel backend
+    searches against.  Everything here is a pure function of the
+    stored segments — no noise, no RNG, no ledger
     — so once *sealed* a ``StoredReference`` is an immutable,
     thread-safe value that any number of :class:`CamArray` instances
     can share (``CamArray(stored=ref)``): per-session arrays keep their
@@ -259,14 +264,14 @@ class StoredReference:
       :meth:`store` calls raise and every cache is precomputed, so
       concurrent readers never race on lazy initialisation.
 
-    :attr:`n_encodes` counts one-hot encoding passes — the evidence
+    :attr:`n_encodes` counts encoding passes — the evidence
     ``benchmarks/bench_frontend_concurrency.py`` uses to show a shared
     reference is encoded once, not once per session.
     """
 
     def __init__(self, rows: int, cols: int):
         self._plane = SramPlane(rows, cols)
-        self._onehot: "np.ndarray | None" = None
+        self._encoded: "EncodedReference | None" = None
         self._segments: "np.ndarray | None" = None
         self._sealed = False
         self._n_encodes = 0
@@ -317,7 +322,13 @@ class StoredReference:
 
     @property
     def n_encodes(self) -> int:
-        """One-hot encoding passes performed over this reference."""
+        """Encoding passes performed over this reference.
+
+        One pass builds *every* backend's search cache (see
+        :func:`repro.kernels.encode_reference`), so a sealed shared
+        reference reports exactly 1 no matter how many sessions or
+        backends search it.
+        """
         return self._n_encodes
 
     # -- lifecycle --------------------------------------------------------
@@ -335,7 +346,7 @@ class StoredReference:
             )
         segments = np.asarray(segments, dtype=np.uint8)
         self._plane.write_all(segments)
-        self._onehot = None
+        self._encoded = None
         self._segments = None
 
     def seal(self) -> "StoredReference":
@@ -351,7 +362,7 @@ class StoredReference:
             segments.setflags(write=False)
             self._segments = segments
             self._sealed = True
-            self.stored_onehot()
+            self.encoded()
         return self
 
     @property
@@ -374,40 +385,54 @@ class StoredReference:
 
     # -- digital count computation ---------------------------------------
 
-    def counts(self, read: np.ndarray, mode: MatchMode) -> np.ndarray:
-        """Digital per-row mismatch counts for one read."""
-        segments = self._segments_for_search()
-        o_l, o_c, o_r = match_planes(segments, read)
-        if mode is MatchMode.ED_STAR:
-            matched = o_l | o_c | o_r
-        else:
-            matched = o_c
-        return np.count_nonzero(~matched, axis=1)
+    def encoded(self) -> EncodedReference:
+        """Every backend's search cache, built in one encoding pass.
 
-    def counts_batch(self, queries: np.ndarray,
-                     mode: MatchMode) -> np.ndarray:
+        Sealed references build this once, in :meth:`seal`, before any
+        sharing begins (concurrent searches then only ever *read* it);
+        mutable references rebuild lazily after each :meth:`store`.
+        """
+        if self._encoded is None:
+            self._encoded = encode_reference(self._segments_for_search())
+            self._n_encodes += 1
+        return self._encoded
+
+    def stored_onehot(self) -> np.ndarray:
+        """``(M, N * 4)`` float32 one-hot of the stored rows (cached).
+
+        The GEMM lane's slice of :meth:`encoded`, kept as a named
+        accessor; float32 is exact here — every partial inner product
+        is an integer below 2**24.
+        """
+        return self.encoded().onehot
+
+    def counts(self, read: np.ndarray, mode: MatchMode,
+               backend: "str | KernelBackend | None" = None) -> np.ndarray:
+        """Digital per-row mismatch counts for one read."""
+        read = np.asarray(read, dtype=np.uint8)
+        return self.counts_batch(read[None, :], mode, backend=backend)[0]
+
+    def counts_batch(self, queries: np.ndarray, mode: MatchMode,
+                     backend: "str | KernelBackend | None" = None,
+                     ) -> np.ndarray:
         """Digital ``(B, M)`` mismatch counts for a block of queries.
 
-        Bit-exact with :meth:`counts` applied per query.  The hot path
-        expresses the count as a one-hot inner product (see
-        :meth:`stored_onehot`) so the whole block reduces to one BLAS
-        matmul; codes outside the DNA alphabet fall back to the boolean
-        comparison sweep.
+        Bit-exact with :meth:`counts` applied per query — and
+        bit-exact across *backends*: the computation dispatches to a
+        :mod:`repro.kernels` backend (default ``numpy-gemm``; arrays
+        pass their resolved ``backend=`` knob), every one of which
+        returns exactly equal integer counts.  Codes outside the DNA
+        alphabet fall back to the shared boolean comparison sweep.
         """
-        segments = self._segments_for_search()
-        if not self._gemm_eligible(queries):
-            return self._counts_compare(segments, queries, mode)
-        counts = np.empty((queries.shape[0], segments.shape[0]),
-                          dtype=np.intp)
-        for start, stop in self._gemm_chunks(queries.shape[0]):
-            acceptable = self._acceptable_onehot(
-                queries[start:stop], ed_star=mode is MatchMode.ED_STAR
-            )
-            counts[start:stop] = self._counts_from_onehot(acceptable)
-        return counts
+        self._segments_for_search()
+        is_ed_star = mode is MatchMode.ED_STAR
+        return as_backend(backend).counts_batch(self.encoded(), queries,
+                                                ed_star=is_ed_star)
 
     def counts_batch_dual(
-            self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            self, queries: np.ndarray,
+            backend: "str | KernelBackend | None" = None,
+            ) -> tuple[np.ndarray, np.ndarray]:
         """``(ED*, HD)`` count blocks sharing one encoding sweep.
 
         The co-located comparison determines the HD counts and is also
@@ -415,121 +440,11 @@ class StoredReference:
         reuses the query encoding — the controller's trick of issuing
         the ED* and HD searches back-to-back while the searchlines
         still hold the read.  Bit-exact with two :meth:`counts_batch`
-        calls.
+        calls, on any backend.
         """
-        segments = self._segments_for_search()
-        if not self._gemm_eligible(queries):
-            ed = self._counts_compare(segments, queries, MatchMode.ED_STAR)
-            hd = self._counts_compare(segments, queries, MatchMode.HAMMING)
-            return ed, hd
-        ed = np.empty((queries.shape[0], segments.shape[0]), dtype=np.intp)
-        hd = np.empty_like(ed)
-        for start, stop in self._gemm_chunks(queries.shape[0]):
-            block = queries[start:stop]
-            acceptable = self._acceptable_onehot(block, ed_star=False)
-            hd[start:stop] = self._counts_from_onehot(acceptable)
-            self._widen_to_ed_star(acceptable, block)
-            ed[start:stop] = self._counts_from_onehot(acceptable)
-        return ed, hd
-
-    def _gemm_chunks(self, n_queries: int) -> "list[tuple[int, int]]":
-        """Query-block chunks bounding the one-hot encoding's memory."""
-        per_query = max(1, self.cols * alphabet.ALPHABET_SIZE)
-        chunk = max(1, _BATCH_CHUNK_ELEMS // per_query)
-        return [(start, min(start + chunk, n_queries))
-                for start in range(0, n_queries, chunk)]
-
-    def _gemm_eligible(self, queries: np.ndarray) -> bool:
-        """Whether the one-hot matmul path can encode this search.
-
-        Stored codes are alphabet-checked at write time; only query
-        codes outside ACGT (which a one-hot lookup cannot index) force
-        the boolean comparison fallback.
-        """
-        if queries.shape[0] == 0:
-            return False
-        return int(queries.max()) < alphabet.ALPHABET_SIZE
-
-    def stored_onehot(self) -> np.ndarray:
-        """``(M, N * 4)`` float32 one-hot of the stored rows (cached).
-
-        float32 is exact here: every partial inner-product is an
-        integer below 2**24.  Sealed references compute this once, in
-        :meth:`seal`, before any sharing begins.
-        """
-        if self._onehot is None:
-            segments = self.segments
-            n_rows, n_cells = segments.shape
-            onehot = np.zeros((n_rows * n_cells, alphabet.ALPHABET_SIZE),
-                              dtype=np.float32)
-            onehot[np.arange(n_rows * n_cells), segments.ravel()] = 1.0
-            onehot = onehot.reshape(n_rows,
-                                    n_cells * alphabet.ALPHABET_SIZE)
-            onehot.setflags(write=False)
-            self._onehot = onehot
-            self._n_encodes += 1
-        return self._onehot
-
-    def _acceptable_onehot(self, queries: np.ndarray,
-                           ed_star: bool) -> np.ndarray:
-        """``(B, N, 4)`` mask of stored bases each cell would match.
-
-        Cell ``j`` of query ``q`` accepts the co-located read base and,
-        in ED* mode, its immediate neighbours — exactly the searchline
-        fan-out of Fig. 4(c) expressed as a one-hot lookup.
-        """
-        n_queries, n_cells = queries.shape
-        acceptable = np.zeros(
-            (n_queries * n_cells, alphabet.ALPHABET_SIZE),
-            dtype=np.float32,
-        )
-        flat_index = np.arange(n_queries * n_cells)
-        acceptable[flat_index, queries.ravel()] = 1.0
-        acceptable = acceptable.reshape(
-            n_queries, n_cells, alphabet.ALPHABET_SIZE
-        )
-        if ed_star:
-            self._widen_to_ed_star(acceptable, queries)
-        return acceptable
-
-    @staticmethod
-    def _widen_to_ed_star(acceptable: np.ndarray,
-                          queries: np.ndarray) -> None:
-        """Add the neighbour comparisons to a centre-only mask."""
-        n_queries, n_cells = queries.shape
-        if n_cells <= 1:
-            return
-        flat = acceptable.reshape(-1, acceptable.shape[2])
-        index_grid = np.arange(n_queries * n_cells).reshape(
-            n_queries, n_cells
-        )
-        # O_L: stored base j vs read base j-1 (no left neighbour at 0).
-        flat[index_grid[:, 1:].ravel(), queries[:, :-1].ravel()] = 1.0
-        # O_R: stored base j vs read base j+1 (none at the right edge).
-        flat[index_grid[:, :-1].ravel(), queries[:, 1:].ravel()] = 1.0
-
-    def _counts_from_onehot(self, acceptable: np.ndarray) -> np.ndarray:
-        """Mismatch counts via one matmul against the stored one-hot."""
-        stored = self.stored_onehot()
-        n_queries, n_cells = acceptable.shape[:2]
-        matched = acceptable.reshape(n_queries, -1) @ stored.T
-        return (n_cells - matched).astype(np.intp)
-
-    def _counts_compare(self, segments: np.ndarray, queries: np.ndarray,
-                        mode: MatchMode) -> np.ndarray:
-        """Boolean-sweep fallback (non-ACGT queries), memory-bounded."""
-        if mode is MatchMode.ED_STAR:
-            return mismatch_counts_all_reads(segments, queries)
-        n_queries = queries.shape[0]
-        counts = np.empty((n_queries, segments.shape[0]), dtype=np.intp)
-        plane_elems = max(1, segments.shape[0] * self.cols)
-        chunk = max(1, _BATCH_CHUNK_ELEMS // plane_elems)
-        for start in range(0, n_queries, chunk):
-            block = queries[start:start + chunk]
-            counts[start:start + chunk] = np.count_nonzero(
-                segments[None, :, :] != block[:, None, :], axis=2
-            )
-        return counts
+        self._segments_for_search()
+        return as_backend(backend).counts_batch_dual(self.encoded(),
+                                                     queries)
 
 
 class CamArray:
@@ -557,6 +472,15 @@ class CamArray:
         into bounded-memory compaction (see
         :class:`repro.cost.ledger.CostLedger`) — what a long-running
         streaming service passes.
+    backend:
+        Kernel backend for the digital mismatch-count primitives: a
+        registered name (``"numpy-gemm"``, ``"bitpacked"``, …), a
+        :class:`~repro.kernels.KernelBackend` instance, or ``None``
+        (default) to resolve through the standard selection order —
+        the ``REPRO_KERNEL_BACKEND`` env var, then
+        :func:`repro.arch.autotune.plan_backend` micro-calibration.
+        Every backend returns bit-identical counts, so the knob is
+        purely a performance choice.
     stored:
         A **sealed** :class:`StoredReference` to borrow instead of
         owning a private storage plane.  The array's geometry comes
@@ -578,11 +502,14 @@ class CamArray:
                  strict_paper_vref: bool = False,
                  vdd: float = constants.VDD_VOLTS,
                  ledger_compaction: "int | None" = None,
+                 backend: "str | KernelBackend | None" = None,
                  stored: "StoredReference | None" = None):
         if domain not in _DOMAINS:
             raise CamConfigError(
                 f"domain must be one of {_DOMAINS}, got {domain!r}"
             )
+        validate_service_knobs(compaction=ledger_compaction, backend=backend)
+        self._backend = resolve_backend(backend)
         self._domain = domain
         if stored is not None:
             if not stored.sealed:
@@ -650,6 +577,11 @@ class CamArray:
         return self._shares_stored
 
     @property
+    def backend(self) -> str:
+        """Name of the resolved kernel backend this array searches with."""
+        return self._backend.name
+
+    @property
     def noisy(self) -> bool:
         return self._noisy
 
@@ -710,18 +642,20 @@ class CamArray:
     def mismatch_counts(self, read: np.ndarray, mode: MatchMode) -> np.ndarray:
         """Digital per-row mismatch counts for *read* (no analog path)."""
         read = self._check_read(read)
-        return self._stored.counts(read, mode)
+        return self._stored.counts(read, mode, backend=self._backend)
 
     def mismatch_counts_batch(self, queries: np.ndarray,
                               mode: MatchMode) -> np.ndarray:
         """Digital ``(B, M)`` mismatch counts for a block of queries.
 
         Bit-exact with :meth:`mismatch_counts` applied per query; the
-        computation (one-hot GEMM hot path with a boolean-sweep
-        fallback) lives on :class:`StoredReference`.
+        computation dispatches to the array's resolved kernel backend
+        on :class:`StoredReference` (bit-identical whichever backend
+        runs).
         """
         queries = self._check_queries(queries)
-        return self._stored.counts_batch(queries, mode)
+        return self._stored.counts_batch(queries, mode,
+                                         backend=self._backend)
 
     def mismatch_counts_batch_dual(
             self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -731,7 +665,8 @@ class CamArray:
         :meth:`StoredReference.counts_batch_dual`.
         """
         queries = self._check_queries(queries)
-        return self._stored.counts_batch_dual(queries)
+        return self._stored.counts_batch_dual(queries,
+                                              backend=self._backend)
 
     def _emit_pass(self, counts: np.ndarray, thresholds: np.ndarray,
                    mode: MatchMode, sweep: bool,

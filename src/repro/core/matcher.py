@@ -267,7 +267,8 @@ class AsmCapMatcher:
                     domain: str = "charge",
                     noisy: bool = True,
                     seed: int = 0,
-                    ledger_compaction: "int | None" = None
+                    ledger_compaction: "int | None" = None,
+                    backend: "str | None" = None
                     ) -> "AsmCapMatcher":
         """A matcher whose array *borrows* a shared stored reference.
 
@@ -284,7 +285,7 @@ class AsmCapMatcher:
         """
         array = CamArray(domain=domain, noisy=noisy, seed=seed,
                          ledger_compaction=ledger_compaction,
-                         stored=stored)
+                         backend=backend, stored=stored)
         return cls(array, error_model, config, seed=seed)
 
     @property

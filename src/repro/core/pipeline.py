@@ -68,6 +68,7 @@ from repro.errors import CamConfigError
 from repro.genome import alphabet
 from repro.genome.edits import ErrorModel
 from repro.genome.reads import ReadRecord
+from repro.knobs import validate_service_knobs
 
 #: Reads handed to one worker task at a time; bounds the per-pass
 #: blocks a shard materialises while streaming a workload.
@@ -200,6 +201,11 @@ class ReadMappingPipeline:
     @property
     def matcher(self) -> AsmCapMatcher:
         return self._matcher
+
+    @property
+    def backend(self) -> str:
+        """Kernel backend name of the underlying array."""
+        return self._matcher.array.backend
 
     @property
     def ledger(self) -> CostLedger:
@@ -421,6 +427,11 @@ class ShardedReadMappingPipeline:
         (:class:`repro.cost.ledger.CostLedger`).  With compaction on,
         read whole-system statistics through :meth:`merged_stats` —
         :meth:`merged_ledger` needs the full event streams.
+    backend:
+        Kernel backend for every shard array's mismatch-count
+        primitives (``None`` = the standard selection order; see
+        :mod:`repro.kernels`).  Bit-identical across backends, so the
+        knob only changes speed, never decisions or reports.
     executor:
         An externally-owned executor to run the shard fan-out on
         instead of a private pool — the multi-session frontend shares
@@ -439,7 +450,10 @@ class ShardedReadMappingPipeline:
                  max_workers: "int | None" = None,
                  chunk_size: "int | None" = DEFAULT_READ_CHUNK,
                  ledger_compaction: "int | None" = None,
+                 backend: "str | None" = None,
                  executor: "ThreadPoolExecutor | None" = None):
+        validate_service_knobs(compaction=ledger_compaction,
+                               max_workers=max_workers, backend=backend)
         self._matchers: list[AsmCapMatcher] = []
         if _is_stored_shards(segments):
             shards = tuple(segments)
@@ -467,6 +481,7 @@ class ShardedReadMappingPipeline:
                     shard, error_model, config, domain=domain,
                     noisy=noisy, seed=seed + shard_index,
                     ledger_compaction=ledger_compaction,
+                    backend=backend,
                 ))
             self._ranges = tuple(ranges)
         else:
@@ -480,7 +495,8 @@ class ShardedReadMappingPipeline:
                 array = CamArray(rows=stop - start, cols=self._cols,
                                  domain=domain, noisy=noisy,
                                  seed=seed + shard,
-                                 ledger_compaction=ledger_compaction)
+                                 ledger_compaction=ledger_compaction,
+                                 backend=backend)
                 array.store(segments[start:stop])
                 self._matchers.append(
                     AsmCapMatcher(array, error_model, config,
@@ -490,11 +506,6 @@ class ShardedReadMappingPipeline:
         if max_workers is None:
             self._max_workers = max(
                 1, min(len(self._matchers), os.cpu_count() or 1)
-            )
-        elif int(max_workers) < 1:
-            raise CamConfigError(
-                f"max_workers must be a positive worker count, got "
-                f"{max_workers}"
             )
         else:
             self._max_workers = int(max_workers)
@@ -512,6 +523,11 @@ class ShardedReadMappingPipeline:
     def max_workers(self) -> int:
         """Worker-thread budget of the shard fan-out."""
         return self._max_workers
+
+    @property
+    def backend(self) -> str:
+        """Kernel backend name shared by every shard array."""
+        return self._matchers[0].array.backend
 
     @property
     def ledger(self) -> CostLedger:

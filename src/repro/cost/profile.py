@@ -66,31 +66,17 @@ class StrategyProfile:
     per_threshold_searches: tuple[float, ...] = ()
     per_threshold_rotation_cycles: tuple[float, ...] = ()
 
-    @staticmethod
-    def resolve(searches_per_read: "float | None",
-                rotation_cycles_per_read: "float | None",
-                profile: "StrategyProfile | None",
-                error_cls: type = ExperimentError) -> tuple[float, float]:
-        """Resolve the deprecated scalar statistics against a profile.
+    @classmethod
+    def plain(cls, condition: str = "plain") -> "StrategyProfile":
+        """The strategy-free baseline: one ED* search, no rotations.
 
-        The shared shim behind
-        :meth:`repro.arch.accelerator.AsmCapAccelerator.estimate_read_cost`
-        and :func:`repro.experiments.fig8.asmcap_read_cost`: a profile
-        and the scalar arguments are mutually exclusive, and omitting
-        both means a plain single-search read.
+        What the analytic cost paths
+        (:meth:`repro.arch.accelerator.AsmCapAccelerator.estimate_read_cost`,
+        :func:`repro.experiments.fig8.asmcap_read_cost`) assume when no
+        profile is passed — a plain single-search read.
         """
-        if profile is not None:
-            if (searches_per_read is not None
-                    or rotation_cycles_per_read is not None):
-                raise error_cls(
-                    "pass either a StrategyProfile or the deprecated "
-                    "scalar statistics, not both"
-                )
-            return (profile.searches_per_read,
-                    profile.rotation_cycles_per_read)
-        return (1.0 if searches_per_read is None else searches_per_read,
-                0.0 if rotation_cycles_per_read is None
-                else rotation_cycles_per_read)
+        return cls(condition=condition, searches_per_read=1.0,
+                   rotation_cycles_per_read=0.0, source="analytic")
 
     @staticmethod
     def average(profiles: "Iterable[StrategyProfile]") -> "StrategyProfile":

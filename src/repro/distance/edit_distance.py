@@ -54,22 +54,22 @@ def composition_lower_bound(segments: np.ndarray,
     L1 distance by at most 2 (a substitution moves one count down and
     another up; an insertion or deletion moves one count), so
     ``ED(a, b) >= ceil(L1(comp(a), comp(b)) / 2)`` for every pair.
-    The bound costs one ``(R, M, 4)`` broadcast — nothing next to the
+    The composition profiles come from the resolved
+    :mod:`repro.kernels` backend (the bitpacked lane counts them from
+    its bitplanes; every backend is bit-identical), and the bound
+    costs one ``(R, M, n_codes)`` broadcast — nothing next to the
     banded DP — and at Fig.-7 scales it proves >40-80 % of pairs
     "greater than band" before the DP runs.
     """
+    from repro.kernels import resolve_backend
+
     segments = np.asarray(segments, dtype=np.uint8)
     reads = np.asarray(reads, dtype=np.uint8)
     n_codes = int(max(segments.max(initial=0),
                       reads.max(initial=0))) + 1
-    seg_comp = np.stack(
-        [np.bincount(row, minlength=n_codes) for row in segments]
-    ).astype(np.int32) if segments.shape[0] else np.zeros(
-        (0, n_codes), dtype=np.int32)
-    read_comp = np.stack(
-        [np.bincount(row, minlength=n_codes) for row in reads]
-    ).astype(np.int32) if reads.shape[0] else np.zeros(
-        (0, n_codes), dtype=np.int32)
+    backend = resolve_backend(None)
+    seg_comp = backend.composition_profiles(segments, n_codes)
+    read_comp = backend.composition_profiles(reads, n_codes)
     l1 = np.abs(read_comp[:, None, :] - seg_comp[None, :, :]).sum(axis=2)
     return (l1 + 1) // 2
 

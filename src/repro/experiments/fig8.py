@@ -220,25 +220,27 @@ def analytic_strategy_profile(condition: str,
     )
 
 
-def asmcap_read_cost(searches_per_read: "float | None" = None,
-                     rotation_cycles_per_read: "float | None" = None,
-                     n_arrays: int = constants.ARRAY_COUNT,
-                     profile: "StrategyProfile | None" = None) -> SystemCost:
+def asmcap_read_cost(profile: "StrategyProfile | None" = None,
+                     *,
+                     n_arrays: int = constants.ARRAY_COUNT) -> SystemCost:
     """ASMCap per-read cost with the pipelined extra-search model.
 
     Pass a :class:`~repro.cost.profile.StrategyProfile` (measured or
-    analytic) as ``profile``.
-
-    .. deprecated:: PR 3
-       The scalar ``searches_per_read`` / ``rotation_cycles_per_read``
-       arguments remain as a compatibility shim (mirroring the PR 2
-       ``match_batch`` deprecation); they may not be combined with
-       ``profile``.
+    analytic); ``None`` means the strategy-free baseline,
+    :meth:`~repro.cost.profile.StrategyProfile.plain` (one ED* search,
+    no rotations).
     """
-    searches_per_read, rotation_cycles_per_read = StrategyProfile.resolve(
-        searches_per_read, rotation_cycles_per_read, profile,
-        error_cls=ExperimentError,
-    )
+    if profile is None:
+        profile = StrategyProfile.plain()
+    elif not isinstance(profile, StrategyProfile):
+        raise ExperimentError(
+            f"asmcap_read_cost takes a StrategyProfile, got "
+            f"{type(profile).__name__} (build one with "
+            f"analytic_strategy_profile, measure_strategy_profile or "
+            f"StrategyProfile.plain())"
+        )
+    searches_per_read = profile.searches_per_read
+    rotation_cycles_per_read = profile.rotation_cycles_per_read
     period = steady_state_search_period_ns()
     search_cycle = constants.ASMCAP_SEARCH_TIME_NS
     latency = (period + (searches_per_read - 1.0) * search_cycle
@@ -290,13 +292,10 @@ def compute_fig8(read_length: int = constants.READ_LENGTH,
         [profiles["A"], profiles["B"]]
     )
 
-    # "w/o H&T" is a one-search, zero-rotation read: the degenerate
-    # strategy profile, not the deprecated scalar-argument shim.
-    plain = asmcap_read_cost(profile=StrategyProfile(
-        condition="plain", searches_per_read=1.0,
-        rotation_cycles_per_read=0.0, source="analytic",
-    ))
-    full = asmcap_read_cost(profile=combined)
+    # "w/o H&T" is a one-search, zero-rotation read: the strategy-free
+    # baseline profile.
+    plain = asmcap_read_cost(StrategyProfile.plain())
+    full = asmcap_read_cost(combined)
     costs = {
         "CM-CPU": SystemCost("CM-CPU", cm.read_latency_ns(read_length),
                              cm.read_energy_joules(read_length)),

@@ -1,0 +1,53 @@
+"""repro.kernels — pluggable mismatch-count kernel backends.
+
+The registry behind every search path's ``backend=`` knob:
+
+* ``"numpy-gemm"`` — the float32 one-hot GEMM (the original hot path);
+* ``"bitpacked"`` — 2-bit-packed uint64 bitplanes, XOR + popcount;
+* ``"numba"`` — the packed kernel with a jitted popcount reduction,
+  registered only when numba is importable.
+
+Selection order everywhere: explicit ``backend=`` knob >
+``REPRO_KERNEL_BACKEND`` env var > ``repro.arch.autotune.plan_backend``
+(cached per-machine micro-calibration).  All backends return exactly
+equal integer counts — decisions, ledger events and reports are
+bit-identical by construction (see ``docs/api.md``, "Kernel
+backends").
+"""
+
+from repro.kernels.base import (
+    EncodedReference,
+    KernelBackend,
+    encode_reference,
+    pack_bitplanes,
+    valid_masks,
+)
+from repro.kernels.registry import (
+    DEFAULT_BACKEND,
+    KERNEL_BACKEND_ENV,
+    as_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.kernels.gemm import GemmBackend
+from repro.kernels.bitpacked import BitpackedBackend
+from repro.kernels import numba_lane as _numba_lane  # noqa: F401 (registers)
+
+__all__ = [
+    "BitpackedBackend",
+    "DEFAULT_BACKEND",
+    "EncodedReference",
+    "GemmBackend",
+    "KERNEL_BACKEND_ENV",
+    "KernelBackend",
+    "as_backend",
+    "available_backends",
+    "encode_reference",
+    "get_backend",
+    "pack_bitplanes",
+    "register_backend",
+    "resolve_backend",
+    "valid_masks",
+]

@@ -1,0 +1,252 @@
+"""Substrate shared by every kernel backend.
+
+The mismatch-count primitives behind ``CamArray.search`` /
+``search_batch`` / ``search_sweep`` (and the ground-truth banded DP's
+counting prefilter) are pluggable *kernel backends*.  Each backend
+computes the same three exact quantities:
+
+* ``counts_batch(encoded, queries, ed_star=...)`` — per-row digital
+  mismatch counts, HD or the neighbour-tolerant ED* of
+  :mod:`repro.distance.ed_star`;
+* ``counts_batch_dual(encoded, queries)`` — the ``(ED*, HD)`` pair from
+  one shared query pass (the controller's back-to-back search trick);
+* ``composition_profiles(rows, n_codes)`` — per-row base-composition
+  histograms, the 1-gram prefilter of the banded DP.
+
+**Exactness contract.**  Counts are small integers (bounded by the row
+length), and every backend computes them exactly — the float32 GEMM is
+exact below ``2**24``, the packed path is pure integer arithmetic — so
+*every* digital decision, ledger event and report downstream is
+bit-identical across backends.  The property tests in
+``tests/kernels/`` enforce ``==``, not ``approx``.
+
+This module owns the pieces every backend shares: the
+:class:`EncodedReference` value (all per-reference encodings, built in
+one pass over the segments), the 2-bit → uint64 bitplane packing, and
+the boolean-sweep fallback that handles query codes outside ACGT
+(ambiguity codes cannot be one-hot indexed or 2-bit packed, so both
+exact lanes route them to the same reference comparison).
+
+Layering: this package sits *below* ``repro.cam`` — it imports only
+numpy, ``repro.errors``, ``repro.genome.alphabet`` and the boolean
+reference kernels of ``repro.distance.ed_star``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance.ed_star import mismatch_counts_all_reads
+from repro.genome import alphabet
+
+#: Target element count per chunked encoding/comparison buffer — the
+#: same ~8 MB bound the pre-registry GEMM path used.
+CHUNK_ELEMS = 1 << 23
+
+#: Target uint64 words per packed ``(B, M, W)`` equality buffer (8 MB).
+PACKED_CHUNK_WORDS = 1 << 20
+
+_WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def pack_bitplanes(rows: np.ndarray) -> np.ndarray:
+    """``(R, N)`` uint8 DNA codes → ``(R, 2, W)`` uint64 bitplanes.
+
+    Plane 0 holds bit 0 of each 2-bit code, plane 1 bit 1, both packed
+    little-endian so code ``j`` of a row lives at bit ``j % 64`` of
+    word ``j // 64``.  Tail bits beyond ``N`` are zero (callers mask
+    them with :func:`valid_masks`).  Requires codes below 4.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.uint8)
+    n_rows, n_cells = rows.shape
+    n_words = max(1, (n_cells + _WORD_BITS - 1) // _WORD_BITS)
+    planes = np.empty((n_rows, 2, n_words), dtype=np.uint64)
+    for plane_index in (0, 1):
+        bits = (rows >> plane_index) & np.uint8(1)
+        packed = np.packbits(bits, axis=1, bitorder="little")
+        padded = np.zeros((n_rows, n_words * 8), dtype=np.uint8)
+        padded[:, :packed.shape[1]] = packed
+        # Little-endian byte → word view (every supported platform).
+        planes[:, plane_index, :] = padded.view("<u8")
+    return planes
+
+
+def valid_masks(n_cells: int,
+                n_words: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(valid, valid_no_first, valid_no_last)`` word masks.
+
+    ``valid`` keeps exactly the first *n_cells* bit positions;
+    ``valid_no_first`` additionally clears position 0 and
+    ``valid_no_last`` position ``n_cells - 1`` — the edge cells whose
+    missing neighbour comparison contributes no ED* match.
+    """
+    valid = np.zeros(n_words, dtype=np.uint64)
+    full_words, remainder = divmod(n_cells, _WORD_BITS)
+    valid[:full_words] = _ALL_ONES
+    if remainder:
+        valid[full_words] = np.uint64((1 << remainder) - 1)
+    no_first = valid.copy()
+    no_last = valid.copy()
+    if n_cells > 0:
+        no_first[0] &= ~np.uint64(1)
+        last_word, last_bit = divmod(n_cells - 1, _WORD_BITS)
+        no_last[last_word] &= ~np.uint64(1 << last_bit)
+    return valid, no_first, no_last
+
+
+@dataclass(frozen=True)
+class EncodedReference:
+    """Every per-reference search encoding, built in one pass.
+
+    An immutable value the backends compute *against*: the raw stored
+    segments (the boolean fallback's input), the float32 one-hot the
+    GEMM lane multiplies, and the 2-bit-packed uint64 bitplanes (plus
+    their validity masks) the popcount lanes XOR.  Building all of
+    them together is what lets a sealed :class:`repro.cam.array.
+    StoredReference` stay thread-safe and encoded exactly once while
+    any backend serves any session.
+    """
+
+    segments: np.ndarray        # (M, N) uint8, read-only
+    onehot: np.ndarray          # (M, N * 4) float32, read-only
+    planes: np.ndarray          # (M, 2, W) uint64, read-only
+    valid: np.ndarray           # (W,) uint64 in-range bit mask
+    valid_no_first: np.ndarray  # (W,) mask minus cell 0
+    valid_no_last: np.ndarray   # (W,) mask minus cell N-1
+
+    @property
+    def n_rows(self) -> int:
+        return self.segments.shape[0]
+
+    @property
+    def n_cells(self) -> int:
+        return self.segments.shape[1]
+
+    @property
+    def n_words(self) -> int:
+        return self.planes.shape[2]
+
+
+def encode_reference(segments: np.ndarray) -> EncodedReference:
+    """One encoding pass producing every backend's search cache.
+
+    float32 is exact for the GEMM lane: every partial inner product is
+    an integer below ``2**24``.  Stored codes are alphabet-checked at
+    write time, so the 2-bit packing is always faithful.
+    """
+    segments = np.ascontiguousarray(segments, dtype=np.uint8)
+    n_rows, n_cells = segments.shape
+    onehot = np.zeros((n_rows * n_cells, alphabet.ALPHABET_SIZE),
+                      dtype=np.float32)
+    if segments.size:
+        onehot[np.arange(n_rows * n_cells), segments.ravel()] = 1.0
+    onehot = onehot.reshape(n_rows, n_cells * alphabet.ALPHABET_SIZE)
+    planes = pack_bitplanes(segments)
+    valid, no_first, no_last = valid_masks(n_cells, planes.shape[2])
+    for array in (segments, onehot, planes, valid, no_first, no_last):
+        array.setflags(write=False)
+    return EncodedReference(segments=segments, onehot=onehot, planes=planes,
+                            valid=valid, valid_no_first=no_first,
+                            valid_no_last=no_last)
+
+
+class KernelBackend:
+    """Base class of the mismatch-count kernel backends.
+
+    Subclasses implement :meth:`_counts` (and optionally
+    :meth:`_counts_dual` and :meth:`composition_profiles`); the public
+    entry points here own what must never differ between backends —
+    the exact-lane eligibility gate and the shared boolean fallback
+    for queries carrying non-ACGT ambiguity codes.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    # -- public entry points ----------------------------------------------
+
+    def counts_batch(self, encoded: EncodedReference, queries: np.ndarray,
+                     *, ed_star: bool) -> np.ndarray:
+        """Exact ``(B, M)`` mismatch counts (ED* or Hamming)."""
+        if not self.exact_lane_eligible(queries):
+            return self._fallback_counts(encoded.segments, queries,
+                                         ed_star=ed_star)
+        return self._counts(encoded, queries, ed_star=ed_star)
+
+    def counts_batch_dual(
+            self, encoded: EncodedReference,
+            queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(ED*, HD)`` count blocks sharing one query pass."""
+        if not self.exact_lane_eligible(queries):
+            ed = self._fallback_counts(encoded.segments, queries,
+                                       ed_star=True)
+            hd = self._fallback_counts(encoded.segments, queries,
+                                       ed_star=False)
+            return ed, hd
+        return self._counts_dual(encoded, queries)
+
+    def composition_profiles(self, rows: np.ndarray,
+                             n_codes: int) -> np.ndarray:
+        """``(R, n_codes)`` int32 base-composition histograms.
+
+        The 1-gram prefilter input of
+        :func:`repro.distance.edit_distance.composition_lower_bound`.
+        Unlike the count kernels this accepts arbitrary code values
+        (the ground truth labels raw reads); packed overrides fall
+        back here when a code does not fit 2 bits.
+        """
+        rows = np.asarray(rows, dtype=np.uint8)
+        if rows.shape[0] == 0:
+            return np.zeros((0, n_codes), dtype=np.int32)
+        return np.stack(
+            [np.bincount(row, minlength=n_codes) for row in rows]
+        ).astype(np.int32)
+
+    # -- shared gates ------------------------------------------------------
+
+    @staticmethod
+    def exact_lane_eligible(queries: np.ndarray) -> bool:
+        """Whether the backend's exact lane can encode this search.
+
+        Stored codes are alphabet-checked at write time; only query
+        codes outside ACGT (which neither a one-hot lookup nor a 2-bit
+        packing can represent) force the boolean comparison fallback.
+        """
+        if queries.shape[0] == 0:
+            return False
+        return int(queries.max()) < alphabet.ALPHABET_SIZE
+
+    @staticmethod
+    def _fallback_counts(segments: np.ndarray, queries: np.ndarray,
+                         *, ed_star: bool) -> np.ndarray:
+        """Boolean-sweep reference (non-ACGT queries), memory-bounded."""
+        if ed_star:
+            return mismatch_counts_all_reads(segments, queries)
+        n_queries = queries.shape[0]
+        counts = np.empty((n_queries, segments.shape[0]), dtype=np.intp)
+        plane_elems = max(1, segments.shape[0] * segments.shape[1])
+        chunk = max(1, CHUNK_ELEMS // plane_elems)
+        for start in range(0, n_queries, chunk):
+            block = queries[start:start + chunk]
+            counts[start:start + chunk] = np.count_nonzero(
+                segments[None, :, :] != block[:, None, :], axis=2
+            )
+        return counts
+
+    # -- backend lanes -----------------------------------------------------
+
+    def _counts(self, encoded: EncodedReference, queries: np.ndarray,
+                *, ed_star: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def _counts_dual(self, encoded: EncodedReference,
+                     queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ed = self._counts(encoded, queries, ed_star=True)
+        hd = self._counts(encoded, queries, ed_star=False)
+        return ed, hd
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

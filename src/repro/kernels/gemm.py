@@ -1,0 +1,96 @@
+"""The float one-hot GEMM backend (``numpy-gemm``).
+
+The pre-registry hot path, moved verbatim out of ``StoredReference``:
+each query cell's *acceptable* stored bases (the co-located read base
+plus, in ED* mode, its immediate neighbours — the searchline fan-out of
+Fig. 4(c)) become a ``(B, N, 4)`` float32 one-hot mask, and one BLAS
+matmul against the stored one-hot counts the matches.  float32 is
+exact here: every partial inner product is an integer below ``2**24``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.genome import alphabet
+from repro.kernels.base import CHUNK_ELEMS, EncodedReference, KernelBackend
+from repro.kernels.registry import register_backend
+
+
+def _gemm_chunks(n_queries: int, n_cells: int) -> "list[tuple[int, int]]":
+    """Query-block chunks bounding the one-hot encoding's memory."""
+    per_query = max(1, n_cells * alphabet.ALPHABET_SIZE)
+    chunk = max(1, CHUNK_ELEMS // per_query)
+    return [(start, min(start + chunk, n_queries))
+            for start in range(0, n_queries, chunk)]
+
+
+def _acceptable_onehot(queries: np.ndarray, ed_star: bool) -> np.ndarray:
+    """``(B, N, 4)`` mask of stored bases each cell would match."""
+    n_queries, n_cells = queries.shape
+    acceptable = np.zeros(
+        (n_queries * n_cells, alphabet.ALPHABET_SIZE),
+        dtype=np.float32,
+    )
+    flat_index = np.arange(n_queries * n_cells)
+    acceptable[flat_index, queries.ravel()] = 1.0
+    acceptable = acceptable.reshape(
+        n_queries, n_cells, alphabet.ALPHABET_SIZE
+    )
+    if ed_star:
+        _widen_to_ed_star(acceptable, queries)
+    return acceptable
+
+
+def _widen_to_ed_star(acceptable: np.ndarray, queries: np.ndarray) -> None:
+    """Add the neighbour comparisons to a centre-only mask."""
+    n_queries, n_cells = queries.shape
+    if n_cells <= 1:
+        return
+    flat = acceptable.reshape(-1, acceptable.shape[2])
+    index_grid = np.arange(n_queries * n_cells).reshape(n_queries, n_cells)
+    # O_L: stored base j vs read base j-1 (no left neighbour at 0).
+    flat[index_grid[:, 1:].ravel(), queries[:, :-1].ravel()] = 1.0
+    # O_R: stored base j vs read base j+1 (none at the right edge).
+    flat[index_grid[:, :-1].ravel(), queries[:, 1:].ravel()] = 1.0
+
+
+def _counts_from_onehot(stored_onehot: np.ndarray,
+                        acceptable: np.ndarray) -> np.ndarray:
+    """Mismatch counts via one matmul against the stored one-hot."""
+    n_queries, n_cells = acceptable.shape[:2]
+    matched = acceptable.reshape(n_queries, -1) @ stored_onehot.T
+    return (n_cells - matched).astype(np.intp)
+
+
+class GemmBackend(KernelBackend):
+    """One-hot float32 GEMM mismatch counts."""
+
+    name = "numpy-gemm"
+
+    def _counts(self, encoded: EncodedReference, queries: np.ndarray,
+                *, ed_star: bool) -> np.ndarray:
+        counts = np.empty((queries.shape[0], encoded.n_rows), dtype=np.intp)
+        for start, stop in _gemm_chunks(queries.shape[0], encoded.n_cells):
+            acceptable = _acceptable_onehot(queries[start:stop],
+                                            ed_star=ed_star)
+            counts[start:stop] = _counts_from_onehot(encoded.onehot,
+                                                     acceptable)
+        return counts
+
+    def _counts_dual(self, encoded: EncodedReference,
+                     queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # The centre-only mask IS the HD encoding and one of ED*'s
+        # three planes: widen it in place after the HD matmul.
+        ed = np.empty((queries.shape[0], encoded.n_rows), dtype=np.intp)
+        hd = np.empty_like(ed)
+        for start, stop in _gemm_chunks(queries.shape[0], encoded.n_cells):
+            block = queries[start:stop]
+            acceptable = _acceptable_onehot(block, ed_star=False)
+            hd[start:stop] = _counts_from_onehot(encoded.onehot, acceptable)
+            _widen_to_ed_star(acceptable, block)
+            ed[start:stop] = _counts_from_onehot(encoded.onehot, acceptable)
+        return ed, hd
+
+
+register_backend(GemmBackend())

@@ -1,0 +1,65 @@
+"""Optional numba lane: the packed kernel with a jitted popcount.
+
+The container this library targets does not ship numba, and nothing
+here may ``pip install`` it — so the lane is auto-detected: when
+``numba`` is importable a third backend (``"numba"``) registers itself,
+identical to ``bitpacked`` except that the popcount reduction runs as
+a compiled loop (numpy's ufunc path materialises a per-word count
+array; the loop fuses count and sum).  When numba is absent this
+module is a no-op and the registry simply lists two backends.
+
+Correctness does not depend on this lane: it reuses the bitpacked
+equality/masking construction, and the cross-backend property tests
+run against whatever ``available_backends()`` reports.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from repro.kernels.bitpacked import BitpackedBackend
+from repro.kernels.registry import register_backend
+
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+if NUMBA_AVAILABLE:
+    import numba
+
+    _M1 = np.uint64(0x5555555555555555)
+    _M2 = np.uint64(0x3333333333333333)
+    _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    _H01 = np.uint64(0x0101010101010101)
+    _S1 = np.uint64(1)
+    _S2 = np.uint64(2)
+    _S4 = np.uint64(4)
+    _S56 = np.uint64(56)
+
+    @numba.njit(cache=True)
+    def _popcount_sum_rows(words):  # pragma: no cover - needs numba
+        """(P, W) uint64 -> (P,) int64 fused popcount+sum."""
+        out = np.empty(words.shape[0], dtype=np.int64)
+        for row in range(words.shape[0]):
+            total = np.uint64(0)
+            for col in range(words.shape[1]):
+                x = words[row, col]
+                x = x - ((x >> _S1) & _M1)
+                x = (x & _M2) + ((x >> _S2) & _M2)
+                x = (x + (x >> _S4)) & _M4
+                total += (x * _H01) >> _S56
+            out[row] = np.int64(total)
+        return out
+
+    class NumbaBackend(BitpackedBackend):
+        """Bitpacked counts with a numba-compiled popcount reduction."""
+
+        name = "numba"
+
+        @staticmethod
+        def _popcount_sum(words: np.ndarray) -> np.ndarray:
+            flat = np.ascontiguousarray(words).reshape(-1, words.shape[-1])
+            summed = _popcount_sum_rows(flat)
+            return summed.reshape(words.shape[:-1]).astype(np.intp)
+
+    register_backend(NumbaBackend())

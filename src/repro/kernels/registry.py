@@ -1,0 +1,93 @@
+"""The kernel-backend registry and the one backend-selection rule.
+
+Every search path resolves its backend through :func:`resolve_backend`
+with the same precedence:
+
+1. an **explicit** ``backend=`` knob (a registered name or a
+   :class:`~repro.kernels.base.KernelBackend` instance);
+2. the ``REPRO_KERNEL_BACKEND`` environment variable;
+3. :func:`repro.arch.autotune.plan_backend` — a cached per-machine
+   micro-calibration over the registered backends.
+
+Unknown names raise :class:`~repro.errors.CamConfigError` listing what
+is registered, so a typo fails at the constructor boundary rather than
+mid-stream.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import CamConfigError
+from repro.kernels.base import KernelBackend
+
+#: Environment variable overriding the autotuned backend choice.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: The backend used when no knob, env var or autotune result applies
+#: (also the pre-registry behaviour, so bare ``StoredReference`` use
+#: stays unchanged).
+DEFAULT_BACKEND = "numpy-gemm"
+
+_REGISTRY: "dict[str, KernelBackend]" = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Register *backend* under ``backend.name`` (idempotent)."""
+    if not backend.name or backend.name == "abstract":
+        raise CamConfigError(
+            f"kernel backend {backend!r} must define a concrete name"
+        )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> "tuple[str, ...]":
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look up a registered backend by name."""
+    try:
+        return _REGISTRY[name]
+    except (KeyError, TypeError):
+        raise CamConfigError(
+            f"unknown kernel backend {name!r}; registered backends: "
+            f"{', '.join(available_backends())}"
+        ) from None
+
+
+def as_backend(choice: "str | KernelBackend | None") -> KernelBackend:
+    """Coerce an explicit choice (``None`` → :data:`DEFAULT_BACKEND`).
+
+    Unlike :func:`resolve_backend` this never consults the environment
+    or the autotuner — it is the default for direct
+    ``StoredReference.counts*`` calls, which stay on the GEMM lane
+    unless a caller says otherwise.
+    """
+    if choice is None:
+        return get_backend(DEFAULT_BACKEND)
+    if isinstance(choice, KernelBackend):
+        return choice
+    return get_backend(choice)
+
+
+def resolve_backend(choice: "str | KernelBackend | None" = None
+                    ) -> KernelBackend:
+    """Resolve the effective backend: explicit > env var > autotune."""
+    if isinstance(choice, KernelBackend):
+        return choice
+    if choice is not None:
+        return get_backend(choice)
+    env_choice = os.environ.get(KERNEL_BACKEND_ENV)
+    if env_choice:
+        try:
+            return get_backend(env_choice)
+        except CamConfigError as error:
+            raise CamConfigError(
+                f"{KERNEL_BACKEND_ENV}={env_choice!r}: {error}"
+            ) from None
+    # Function-level import: arch.autotune imports this package.
+    from repro.arch.autotune import plan_backend
+    return get_backend(plan_backend())

@@ -465,6 +465,12 @@ class MappingFrontend:
         for a worker; ``"error"``: it raises
         :class:`~repro.errors.ServiceError` and leaves the reads
         buffered for a later retry.
+    backend:
+        Default kernel backend for every session's arrays (``None`` =
+        the standard selection order; see :mod:`repro.kernels`);
+        individual sessions may override it.  Bit-identical across
+        backends, so the frontend/standalone equivalence holds
+        whichever backend runs.
     """
 
     def __init__(self, segments: np.ndarray, error_model: ErrorModel,
@@ -476,7 +482,8 @@ class MappingFrontend:
                  chunk_size: "int | None" = None,
                  pool_workers: "int | None" = None,
                  max_backlog: "int | None" = None,
-                 backpressure: str = "block"):
+                 backpressure: str = "block",
+                 backend: "str | None" = None):
         if engine not in _ENGINES:
             raise ServiceError(
                 f"engine must be one of {_ENGINES}, got {engine!r}"
@@ -486,12 +493,14 @@ class MappingFrontend:
                 f"backpressure must be one of {_BACKPRESSURE}, got "
                 f"{backpressure!r}"
             )
+        validate_service_knobs(backend=backend)
         segments = as_segments_matrix(segments)
         self._engine_kind = engine
         self._model = error_model
         self._config = config
         self._domain = domain
         self._noisy = bool(noisy)
+        self._backend = backend
         self._n_rows = int(segments.shape[0])
         self._cols = int(segments.shape[1])
         self._backpressure = backpressure
@@ -624,18 +633,22 @@ class MappingFrontend:
                 micro_batch: "int | None" = None,
                 compaction: "int | None" = DEFAULT_SERVICE_COMPACTION,
                 retain_mappings: bool = True,
-                config: "MatcherConfig | None" = None) -> MappingSession:
+                config: "MatcherConfig | None" = None,
+                backend: "str | None" = None) -> MappingSession:
         """Open an independent mapping session over the shared
         reference.
 
         Parameters mirror :class:`~repro.service.stream.
         StreamingMappingService`: per-session ``seed`` (determinism
         key base), ``threshold``, ``micro_batch`` (``None`` autotunes
-        — same plan as the standalone service), ledger ``compaction``
-        and ``retain_mappings``.  The expensive reference state is
-        *not* rebuilt: only per-session arrays/matchers/ledgers are.
+        — same plan as the standalone service), ledger ``compaction``,
+        ``retain_mappings`` and kernel ``backend`` (``None`` = the
+        frontend's default).  The expensive reference state is *not*
+        rebuilt: only per-session arrays/matchers/ledgers are.
         """
-        validate_service_knobs(micro_batch, compaction)
+        validate_service_knobs(micro_batch, compaction, backend=backend)
+        if backend is None:
+            backend = self._backend
         if micro_batch is None:
             micro_batch = plan_microbatch(self._n_rows, self._cols,
                                           n_shards=self.n_shards)
@@ -644,7 +657,7 @@ class MappingFrontend:
                 self._stored_refs[0], self._model,
                 config or self._config,
                 domain=self._domain, noisy=self._noisy, seed=seed,
-                ledger_compaction=compaction,
+                ledger_compaction=compaction, backend=backend,
             )
             pipeline = ReadMappingPipeline(matcher)
         else:
@@ -653,7 +666,7 @@ class MappingFrontend:
                 config=config or self._config,
                 domain=self._domain, noisy=self._noisy, seed=seed,
                 chunk_size=self._chunk_size,
-                ledger_compaction=compaction,
+                ledger_compaction=compaction, backend=backend,
                 executor=self._shard_executor,
             )
         with self._lock:

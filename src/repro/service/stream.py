@@ -58,6 +58,16 @@ from repro.cost.views import SearchStats, search_stats
 from repro.errors import CamConfigError, ServiceError
 from repro.genome.edits import ErrorModel
 from repro.genome.reads import ReadRecord
+from repro.knobs import validate_service_knobs
+
+__all__ = [
+    "DEFAULT_SERVICE_COMPACTION",
+    "ServiceStats",
+    "StreamingMappingService",
+    "engine_ledgers",
+    "fold_ledger_observability",
+    "validate_service_knobs",
+]
 
 _ENGINES = ("batched", "sharded")
 
@@ -65,28 +75,6 @@ _ENGINES = ("batched", "sharded")
 #: enough that a whole micro-batch's passes (2 + 2*NR events) stay
 #: inspectable between folds, shallow enough that memory is flat.
 DEFAULT_SERVICE_COMPACTION = 64
-
-
-def validate_service_knobs(micro_batch: "int | None",
-                           compaction: "int | None") -> None:
-    """Reject falsy/negative service knobs at the service boundary.
-
-    ``micro_batch=0`` and ``compaction=0`` are configuration mistakes,
-    not requests for autotuning (that is ``None``) — raise
-    :class:`~repro.errors.ServiceError` instead of silently coercing
-    or letting a lower layer fail with an unrelated error.  Shared by
-    :class:`StreamingMappingService` and the multi-session frontend's
-    sessions (:mod:`repro.service.frontend`).
-    """
-    if micro_batch is not None and int(micro_batch) < 1:
-        raise ServiceError(
-            f"micro_batch must be positive, got {micro_batch}"
-        )
-    if compaction is not None and int(compaction) < 1:
-        raise ServiceError(
-            f"compaction must be a positive live-event bound (or None "
-            f"to disable), got {compaction}"
-        )
 
 
 def engine_ledgers(engine: str, pipeline) -> "tuple[CostLedger, ...]":
@@ -222,6 +210,12 @@ class StreamingMappingService:
     n_shards / chunk_size / max_workers:
         Sharded-engine knobs, forwarded to the sharded pipeline
         (``None`` autotunes).
+    backend:
+        Kernel backend for the engine's mismatch-count primitives
+        (``None`` = the standard selection order; see
+        :mod:`repro.kernels`).  Bit-identical across backends, so a
+        streamed session keeps its one-shot bit-identity contract
+        whichever backend runs.
     retain_mappings:
         Keep every per-read :class:`~repro.core.pipeline.ReadMapping`
         in the aggregate report (the one-shot behaviour, needed for
@@ -243,12 +237,14 @@ class StreamingMappingService:
                  n_shards: "int | None" = None,
                  chunk_size: "int | None" = None,
                  max_workers: "int | None" = None,
+                 backend: "str | None" = None,
                  retain_mappings: bool = True):
         if engine not in _ENGINES:
             raise ServiceError(
                 f"engine must be one of {_ENGINES}, got {engine!r}"
             )
-        validate_service_knobs(micro_batch, compaction)
+        validate_service_knobs(micro_batch, compaction,
+                               max_workers=max_workers, backend=backend)
         segments = as_segments_matrix(segments)
         self._threshold = int(threshold)
         self._engine_kind = engine
@@ -257,7 +253,8 @@ class StreamingMappingService:
         if engine == "batched":
             array = CamArray(rows=segments.shape[0], cols=self._cols,
                              domain=domain, noisy=noisy, seed=seed,
-                             ledger_compaction=compaction)
+                             ledger_compaction=compaction,
+                             backend=backend)
             array.store(segments)
             self._pipeline = ReadMappingPipeline(
                 AsmCapMatcher(array, error_model, config, seed=seed)
@@ -270,16 +267,13 @@ class StreamingMappingService:
                 segments, error_model, n_shards=n_shards, config=config,
                 domain=domain, noisy=noisy, seed=seed,
                 max_workers=max_workers, chunk_size=chunk_size,
-                ledger_compaction=compaction,
+                ledger_compaction=compaction, backend=backend,
             )
             n_shards_effective = self._pipeline.n_shards
         if micro_batch is None:
             micro_batch = plan_microbatch(segments.shape[0], self._cols,
                                           n_shards=n_shards_effective)
-        if micro_batch < 1:
-            raise ServiceError(
-                f"micro_batch must be positive, got {micro_batch}"
-            )
+            validate_service_knobs(micro_batch=micro_batch)
         self._micro_batch = int(micro_batch)
         self._buffer: list[np.ndarray] = []
         self._report = MappingReport()
@@ -301,6 +295,11 @@ class StreamingMappingService:
     def engine(self) -> str:
         """``"batched"`` or ``"sharded"``."""
         return self._engine_kind
+
+    @property
+    def backend(self) -> str:
+        """Kernel backend name the engine's arrays search with."""
+        return self._pipeline.backend
 
     @property
     def threshold(self) -> int:

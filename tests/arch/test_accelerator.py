@@ -8,8 +8,15 @@ import pytest
 from repro.arch.accelerator import AsmCapAccelerator
 from repro.arch.config import ArchConfig
 from repro.core.matcher import MatcherConfig
+from repro.cost.profile import StrategyProfile
 from repro.errors import ArchConfigError
 from repro.genome.datasets import build_dataset
+
+
+def _profile(searches: float, cycles: float = 0.0) -> StrategyProfile:
+    return StrategyProfile(condition="test", searches_per_read=searches,
+                           rotation_cycles_per_read=cycles,
+                           source="analytic")
 
 
 @pytest.fixture(scope="module")
@@ -121,7 +128,9 @@ class TestBatchedBroadcast:
         assert accelerator.match_batch(empty, threshold=8) == []
 
     def test_global_keys_compose_chunked(self, accelerator, dataset):
-        """Chunked calls with global query keys equal one whole batch."""
+        """Chunked calls with global query keys equal one whole batch —
+        decisions AND per-read cost accounting (the one-shot/streamed
+        composition contract)."""
         reads = np.stack([r.read.codes for r in dataset.reads])
         whole = accelerator.match_batch(reads, threshold=8)
         first = accelerator.match_batch(reads[:4], threshold=8,
@@ -132,6 +141,9 @@ class TestBatchedBroadcast:
         )
         for q, result in enumerate(first + rest):
             assert np.array_equal(result.matches, whole[q].matches)
+            assert result.n_searches == whole[q].n_searches
+            assert result.energy_joules == whole[q].energy_joules
+            assert result.latency_ns == whole[q].latency_ns
 
     def test_bad_shape_rejected(self, accelerator, dataset):
         with pytest.raises(ArchConfigError):
@@ -146,7 +158,7 @@ class TestBatchedBroadcast:
 
 class TestAnalyticPath:
     def test_estimate_fields(self, accelerator):
-        estimate = accelerator.estimate_read_cost(searches_per_read=2.0)
+        estimate = accelerator.estimate_read_cost(_profile(2.0))
         assert estimate.latency_ns > 0
         assert estimate.energy_joules > 0
         assert estimate.reads_per_second == pytest.approx(
@@ -157,8 +169,8 @@ class TestAnalyticPath:
         )
 
     def test_more_searches_cost_more(self, accelerator):
-        one = accelerator.estimate_read_cost(1.0)
-        three = accelerator.estimate_read_cost(3.0)
+        one = accelerator.estimate_read_cost(_profile(1.0))
+        three = accelerator.estimate_read_cost(_profile(3.0))
         assert three.latency_ns > one.latency_ns
         assert three.energy_joules > one.energy_joules
 
@@ -166,15 +178,19 @@ class TestAnalyticPath:
         charge = AsmCapAccelerator(
             ArchConfig(array_rows=32, array_cols=128, n_arrays=4),
             n_functional_arrays=1, noisy=False,
-        ).estimate_read_cost(1.0)
+        ).estimate_read_cost()
         current = AsmCapAccelerator(
             ArchConfig(array_rows=32, array_cols=128, n_arrays=4,
                        domain="current"),
             n_functional_arrays=1, noisy=False,
-        ).estimate_read_cost(1.0)
+        ).estimate_read_cost()
         assert current.energy_joules > charge.energy_joules
         assert current.latency_ns > charge.latency_ns
 
     def test_invalid_searches(self, accelerator):
         with pytest.raises(ArchConfigError):
-            accelerator.estimate_read_cost(0.0)
+            accelerator.estimate_read_cost(_profile(0.0))
+
+    def test_scalar_argument_rejected(self, accelerator):
+        with pytest.raises(ArchConfigError):
+            accelerator.estimate_read_cost(2.0)

@@ -134,44 +134,44 @@ class TestFig8Measured:
         assert "measured" in text
         assert "analytic" in text
 
-    def test_asmcap_read_cost_profile_equivalent(self):
-        profile = analytic_strategy_profile("A")
-        via_profile = asmcap_read_cost(profile=profile)
-        via_scalars = asmcap_read_cost(profile.searches_per_read,
-                                       profile.rotation_cycles_per_read)
-        assert via_profile.latency_ns == via_scalars.latency_ns
-        assert via_profile.energy_joules == via_scalars.energy_joules
+    def test_asmcap_read_cost_default_is_plain_profile(self):
+        assert (asmcap_read_cost().latency_ns
+                == asmcap_read_cost(StrategyProfile.plain()).latency_ns)
 
-    def test_asmcap_read_cost_rejects_mixed_args(self):
-        profile = analytic_strategy_profile("A")
+    def test_asmcap_read_cost_rejects_scalar_argument(self):
         with pytest.raises(ExperimentError):
-            asmcap_read_cost(2.0, profile=profile)
+            asmcap_read_cost(2.0)
 
 
-class TestEstimateReadCostShim:
+class TestEstimateReadCostProfileOnly:
     @pytest.fixture(scope="class")
     def accelerator(self):
         return AsmCapAccelerator(
             config=ArchConfig.paper_system(), n_functional_arrays=1
         )
 
-    def test_profile_equals_scalars(self, accelerator):
-        profile = analytic_strategy_profile("B")
-        via_profile = accelerator.estimate_read_cost(profile=profile)
-        via_scalars = accelerator.estimate_read_cost(
-            profile.searches_per_read, profile.rotation_cycles_per_read
+    def test_profile_drives_the_estimate(self, accelerator):
+        plain = accelerator.estimate_read_cost(StrategyProfile.plain())
+        full = accelerator.estimate_read_cost(
+            analytic_strategy_profile("B")
         )
-        assert via_profile.latency_ns == via_scalars.latency_ns
-        assert via_profile.energy_joules == via_scalars.energy_joules
+        assert full.searches_per_read > plain.searches_per_read
+        assert full.latency_ns > plain.latency_ns
+        assert full.energy_joules > plain.energy_joules
 
     def test_defaults_to_plain_read(self, accelerator):
         assert (accelerator.estimate_read_cost().searches_per_read
                 == 1.0)
 
-    def test_rejects_mixed_args(self, accelerator):
-        profile = analytic_strategy_profile("A")
+    def test_rejects_scalar_argument(self, accelerator):
         with pytest.raises(ArchConfigError):
-            accelerator.estimate_read_cost(2.0, profile=profile)
+            accelerator.estimate_read_cost(2.0)
+
+    def test_plain_profile_is_one_search_no_rotation(self):
+        plain = StrategyProfile.plain()
+        assert plain.searches_per_read == 1.0
+        assert plain.rotation_cycles_per_read == 0.0
+        assert plain.source == "analytic"
 
 
 class TestTypicalEvent:

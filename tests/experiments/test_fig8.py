@@ -114,8 +114,12 @@ class TestCostHelpers:
         assert edam_read_cost().latency_ns > steady_state_search_period_ns()
 
     def test_asmcap_cost_monotone_in_searches(self):
-        one = asmcap_read_cost(1.0, 0.0)
-        two = asmcap_read_cost(2.0, 0.0)
+        from repro.cost.profile import StrategyProfile
+        one = asmcap_read_cost(StrategyProfile.plain())
+        two = asmcap_read_cost(StrategyProfile(
+            condition="test", searches_per_read=2.0,
+            rotation_cycles_per_read=0.0, source="analytic",
+        ))
         assert two.latency_ns > one.latency_ns
         assert two.energy_joules == pytest.approx(2 * one.energy_joules)
 

@@ -1,0 +1,246 @@
+"""Kernel-backend registry, resolution order and exact-count contracts.
+
+The binding contract of :mod:`repro.kernels`: every registered backend
+returns **exactly equal integer counts** — the boolean comparison sweep
+is the reference semantics, the GEMM and bitpacked lanes are
+implementations of it.  These tests pin the registry/resolution API and
+the bit-identity at the primitive level; the execution-path identity
+(scalar/batched/sweep/sharded) lives in ``test_cross_backend.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cam.array import CamArray, StoredReference
+from repro.cam.cell import MatchMode
+from repro.distance.ed_star import mismatch_counts_all_reads
+from repro.distance.edit_distance import composition_lower_bound
+from repro.errors import CamConfigError
+from repro.kernels import (
+    DEFAULT_BACKEND,
+    KERNEL_BACKEND_ENV,
+    BitpackedBackend,
+    GemmBackend,
+    as_backend,
+    available_backends,
+    encode_reference,
+    get_backend,
+    resolve_backend,
+)
+from repro.knobs import validate_service_knobs
+
+
+def _reference_counts(segments: np.ndarray, queries: np.ndarray,
+                      ed_star: bool) -> np.ndarray:
+    """The boolean-sweep reference semantics, computed directly."""
+    if ed_star:
+        return mismatch_counts_all_reads(segments, queries)
+    return np.count_nonzero(
+        segments[None, :, :] != queries[:, None, :], axis=2
+    ).astype(np.intp)
+
+
+class TestRegistry:
+    def test_both_builtin_backends_registered(self):
+        names = available_backends()
+        assert "numpy-gemm" in names
+        assert "bitpacked" in names
+        assert names == tuple(sorted(names))
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(CamConfigError) as excinfo:
+            get_backend("warp-drive")
+        # The error lists what IS registered.
+        assert "numpy-gemm" in str(excinfo.value)
+
+    def test_as_backend_defaults_to_gemm(self):
+        assert as_backend(None).name == DEFAULT_BACKEND == "numpy-gemm"
+
+    def test_as_backend_passthrough(self):
+        backend = BitpackedBackend()
+        assert as_backend(backend) is backend
+        assert as_backend("bitpacked").name == "bitpacked"
+
+    def test_validate_service_knobs_backend(self):
+        validate_service_knobs(backend="bitpacked")
+        validate_service_knobs(backend=GemmBackend())
+        with pytest.raises(CamConfigError):
+            validate_service_knobs(backend="no-such-backend")
+
+
+class TestResolutionOrder:
+    """Explicit knob > ``REPRO_KERNEL_BACKEND`` env var > autotune."""
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "bitpacked")
+        assert resolve_backend("numpy-gemm").name == "numpy-gemm"
+
+    def test_env_beats_autotune(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "bitpacked")
+        assert resolve_backend(None).name == "bitpacked"
+
+    def test_invalid_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "warp-drive")
+        with pytest.raises(CamConfigError) as excinfo:
+            resolve_backend(None)
+        assert KERNEL_BACKEND_ENV in str(excinfo.value)
+
+    def test_autotune_tail_returns_registered_backend(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        assert resolve_backend(None).name in available_backends()
+
+    def test_instance_passthrough(self):
+        backend = BitpackedBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_array_resolves_explicit_knob(self):
+        array = CamArray(rows=4, cols=16, noisy=False,
+                         backend="bitpacked")
+        assert array.backend == "bitpacked"
+
+    def test_array_rejects_unknown_backend(self):
+        with pytest.raises(CamConfigError):
+            CamArray(rows=4, cols=16, backend="warp-drive")
+
+    def test_array_env_override(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "bitpacked")
+        assert CamArray(rows=4, cols=16, noisy=False).backend == "bitpacked"
+
+
+class TestEncodeOnce:
+    def test_one_pass_serves_every_backend(self):
+        rng = np.random.default_rng(7)
+        segments = rng.integers(0, 4, (8, 32)).astype(np.uint8)
+        queries = rng.integers(0, 4, (5, 32)).astype(np.uint8)
+        ref = StoredReference.encode(segments)
+        assert ref.n_encodes == 1
+        for name in available_backends():
+            ref.counts_batch(queries, MatchMode.ED_STAR, backend=name)
+            ref.counts_batch(queries, MatchMode.HAMMING, backend=name)
+            ref.counts_batch_dual(queries, backend=name)
+        assert ref.n_encodes == 1
+
+    def test_encoded_reference_arrays_are_read_only(self):
+        encoded = encode_reference(np.zeros((2, 8), dtype=np.uint8))
+        for arr in (encoded.segments, encoded.onehot, encoded.planes,
+                    encoded.valid):
+            assert not arr.flags.writeable
+
+
+# -- randomized exact-equality properties (satellite: fallback lanes) --
+
+# Codes 0..3 are ACGT; 4..6 stand for N/ambiguity codes that force the
+# boolean fallback lane.
+_acgt_rows = st.integers(min_value=1, max_value=7)
+_cols = st.integers(min_value=1, max_value=70)
+
+
+@st.composite
+def _workload(draw, max_code: int):
+    """(segments, queries) with shared width; queries may be empty."""
+    n_rows = draw(_acgt_rows)
+    n_cols = draw(_cols)
+    n_queries = draw(st.integers(min_value=0, max_value=5))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    segments = rng.integers(0, 4, (n_rows, n_cols)).astype(np.uint8)
+    queries = rng.integers(0, max_code + 1,
+                           (n_queries, n_cols)).astype(np.uint8)
+    return segments, queries
+
+
+class TestExactEqualityProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_workload(max_code=3))
+    def test_acgt_counts_match_reference(self, workload):
+        segments, queries = workload
+        encoded = encode_reference(segments)
+        for ed_star in (True, False):
+            expected = _reference_counts(segments, queries, ed_star)
+            for name in available_backends():
+                got = get_backend(name).counts_batch(encoded, queries,
+                                                     ed_star=ed_star)
+                assert got.shape == expected.shape
+                assert np.array_equal(got, expected), name
+
+    @settings(max_examples=60, deadline=None)
+    @given(_workload(max_code=6))
+    def test_ambiguity_codes_fall_back_exactly(self, workload):
+        """Reads with N/ambiguity codes agree with the boolean
+        reference on every backend (the packed/GEMM lanes route them
+        to the shared fallback)."""
+        segments, queries = workload
+        encoded = encode_reference(segments)
+        for ed_star in (True, False):
+            expected = _reference_counts(segments, queries, ed_star)
+            for name in available_backends():
+                got = get_backend(name).counts_batch(encoded, queries,
+                                                     ed_star=ed_star)
+                assert np.array_equal(got, expected), name
+
+    @settings(max_examples=40, deadline=None)
+    @given(_workload(max_code=6))
+    def test_dual_equals_two_single_passes(self, workload):
+        segments, queries = workload
+        encoded = encode_reference(segments)
+        for name in available_backends():
+            backend = get_backend(name)
+            ed, hd = backend.counts_batch_dual(encoded, queries)
+            assert np.array_equal(
+                ed, backend.counts_batch(encoded, queries, ed_star=True))
+            assert np.array_equal(
+                hd, backend.counts_batch(encoded, queries, ed_star=False))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(0, 2**32 - 1))
+    def test_single_row_reference(self, n_cols, seed):
+        rng = np.random.default_rng(seed)
+        segments = rng.integers(0, 4, (1, n_cols)).astype(np.uint8)
+        queries = rng.integers(0, 5, (3, n_cols)).astype(np.uint8)
+        encoded = encode_reference(segments)
+        expected = _reference_counts(segments, queries, True)
+        for name in available_backends():
+            got = get_backend(name).counts_batch(encoded, queries,
+                                                 ed_star=True)
+            assert np.array_equal(got, expected), name
+
+    def test_empty_batch_every_backend(self):
+        segments = np.zeros((3, 16), dtype=np.uint8)
+        queries = np.zeros((0, 16), dtype=np.uint8)
+        encoded = encode_reference(segments)
+        for name in available_backends():
+            for ed_star in (True, False):
+                got = get_backend(name).counts_batch(encoded, queries,
+                                                     ed_star=ed_star)
+                assert got.shape == (0, 3)
+
+
+class TestCompositionProfiles:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=6),
+           st.integers(min_value=1, max_value=70),
+           st.integers(0, 2**32 - 1))
+    def test_backends_agree_with_bincount(self, max_code, n_cols, seed):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, max_code + 1, (4, n_cols)).astype(np.uint8)
+        n_codes = int(rows.max()) + 1
+        expected = np.stack(
+            [np.bincount(row, minlength=n_codes) for row in rows]
+        ).astype(np.int32)
+        for name in available_backends():
+            got = get_backend(name).composition_profiles(rows, n_codes)
+            assert np.array_equal(got, expected), name
+
+    def test_mixed_alphabet_pair_bound(self):
+        """ACGT segments vs ambiguity-code reads: the profile widths
+        must agree (regression for the bitplane path returning 4 bins
+        when the other operand needs more)."""
+        segments = np.array([[0, 1, 2, 3]], dtype=np.uint8)
+        reads = np.array([[0, 1, 2, 7]], dtype=np.uint8)
+        bound = composition_lower_bound(segments, reads)
+        assert bound.shape == (1, 1)
+        assert bound[0, 0] == 1  # one base differs -> L1=2 -> bound 1

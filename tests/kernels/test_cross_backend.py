@@ -1,0 +1,185 @@
+"""Cross-backend bit-identity on every execution path.
+
+The tentpole contract of the kernel registry: swapping the backend
+knob changes *nothing observable* — decisions, per-read costs,
+cost-ledger views and aggregate reports are exactly equal on the
+scalar, batched, sweep and sharded paths (and through the streaming
+service and multi-session frontend built on them).  Everything here is
+asserted with ``==`` / ``array_equal``, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cam.array import CamArray
+from repro.cam.cell import MatchMode
+from repro.core.matcher import AsmCapMatcher, MatcherConfig
+from repro.core.pipeline import (
+    ReadMappingPipeline,
+    ShardedReadMappingPipeline,
+)
+from repro.service.frontend import MappingFrontend
+from repro.service.stream import StreamingMappingService
+
+BACKENDS = ("numpy-gemm", "bitpacked")
+THRESHOLD = 12
+
+
+def _reads(dataset) -> np.ndarray:
+    return np.stack([record.read.codes for record in dataset.reads])
+
+
+def _matcher(dataset, backend: str) -> AsmCapMatcher:
+    array = CamArray(rows=dataset.n_segments,
+                     cols=dataset.read_length,
+                     noisy=True, seed=3, backend=backend)
+    array.store(dataset.segments)
+    return AsmCapMatcher(array, dataset.model, MatcherConfig(), seed=5)
+
+
+def _assert_stats_equal(a, b):
+    assert a.n_searches == b.n_searches
+    assert a.n_rotation_cycles == b.n_rotation_cycles
+    assert a.total_energy_joules == b.total_energy_joules
+    assert a.total_latency_ns == b.total_latency_ns
+
+
+def _assert_reports_identical(a, b):
+    assert a.n_reads == b.n_reads
+    assert a.n_searches == b.n_searches
+    assert a.total_energy_joules == b.total_energy_joules
+    assert a.total_latency_ns == b.total_latency_ns
+    assert len(a.mappings) == len(b.mappings)
+    for left, right in zip(a.mappings, b.mappings):
+        assert left.read_index == right.read_index
+        assert left.matched_rows == right.matched_rows
+
+
+class TestScalarPath:
+    def test_search_and_match_identical(self, small_dataset_a):
+        reads = _reads(small_dataset_a)[:6]
+        per_backend = []
+        for backend in BACKENDS:
+            matcher = _matcher(small_dataset_a, backend)
+            outcomes = [matcher.match(read, THRESHOLD, query_key=i)
+                        for i, read in enumerate(reads)]
+            per_backend.append((outcomes, matcher.array.stats))
+        (ref_outcomes, ref_stats), (alt_outcomes, alt_stats) = per_backend
+        for ref, alt in zip(ref_outcomes, alt_outcomes):
+            assert np.array_equal(ref.decisions, alt.decisions)
+            assert ref.n_searches == alt.n_searches
+            assert ref.energy_joules == alt.energy_joules
+            assert ref.latency_ns == alt.latency_ns
+        _assert_stats_equal(ref_stats, alt_stats)
+
+    def test_raw_counts_identical(self, small_dataset_a):
+        reads = _reads(small_dataset_a)[:4]
+        for mode in (MatchMode.ED_STAR, MatchMode.HAMMING):
+            counts = [
+                _matcher(small_dataset_a, b).array.mismatch_counts_batch(
+                    reads, mode)
+                for b in BACKENDS
+            ]
+            assert np.array_equal(counts[0], counts[1])
+
+
+class TestBatchedPath:
+    def test_match_batch_identical(self, small_dataset_a):
+        reads = _reads(small_dataset_a)
+        outcomes = []
+        for backend in BACKENDS:
+            matcher = _matcher(small_dataset_a, backend)
+            outcomes.append(matcher.match_batch(
+                reads, THRESHOLD, query_keys=list(range(reads.shape[0]))
+            ))
+        ref, alt = outcomes
+        assert np.array_equal(ref.decisions, alt.decisions)
+        assert np.array_equal(ref.n_searches, alt.n_searches)
+        assert np.array_equal(ref.energy_joules, alt.energy_joules)
+        assert np.array_equal(ref.latency_ns, alt.latency_ns)
+        assert np.array_equal(ref.hdac_mask, alt.hdac_mask)
+        assert np.array_equal(ref.tasr_mask, alt.tasr_mask)
+
+
+class TestSweepPath:
+    def test_match_sweep_identical(self, small_dataset_a):
+        reads = _reads(small_dataset_a)[:8]
+        thresholds = np.asarray([6, 10, 14], dtype=int)
+        outcomes = []
+        for backend in BACKENDS:
+            matcher = _matcher(small_dataset_a, backend)
+            outcomes.append(matcher.match_sweep(reads, thresholds))
+        ref, alt = outcomes
+        assert np.array_equal(ref.decisions, alt.decisions)
+        assert np.array_equal(ref.n_searches, alt.n_searches)
+        assert np.array_equal(ref.energy_joules, alt.energy_joules)
+
+
+class TestShardedPath:
+    def test_sharded_run_identical(self, small_dataset_a):
+        reads = list(_reads(small_dataset_a))
+        reports, stats = [], []
+        for backend in BACKENDS:
+            pipeline = ShardedReadMappingPipeline(
+                small_dataset_a.segments, small_dataset_a.model,
+                n_shards=4, seed=3, backend=backend,
+            )
+            assert pipeline.backend == backend
+            with pipeline:
+                reports.append(pipeline.run(reads, THRESHOLD))
+                stats.append(pipeline.merged_stats())
+        _assert_reports_identical(reports[0], reports[1])
+        _assert_stats_equal(stats[0], stats[1])
+
+
+class TestServicePaths:
+    def test_streaming_service_identical(self, small_dataset_a):
+        reads = list(_reads(small_dataset_a))
+        reports = []
+        for backend in BACKENDS:
+            service = StreamingMappingService(
+                small_dataset_a.segments, small_dataset_a.model,
+                threshold=THRESHOLD, micro_batch=5, seed=3,
+                backend=backend,
+            )
+            assert service.backend == backend
+            service.submit_many(reads)
+            reports.append(service.close())
+        _assert_reports_identical(reports[0], reports[1])
+
+    def test_frontend_sessions_identical(self, small_dataset_a):
+        reads = list(_reads(small_dataset_a))
+        reports = []
+        for backend in BACKENDS:
+            with MappingFrontend(small_dataset_a.segments,
+                                 small_dataset_a.model,
+                                 backend=backend) as frontend:
+                session = frontend.session(threshold=THRESHOLD, seed=3)
+                session.submit_many(reads)
+                reports.append(session.close())
+            assert frontend.encode_count() == 1
+        _assert_reports_identical(reports[0], reports[1])
+
+    def test_session_backend_override(self, small_dataset_a):
+        reads = list(_reads(small_dataset_a))
+        with MappingFrontend(small_dataset_a.segments,
+                             small_dataset_a.model,
+                             backend="numpy-gemm") as frontend:
+            default = frontend.session(threshold=THRESHOLD, seed=3)
+            packed = frontend.session(threshold=THRESHOLD, seed=3,
+                                      backend="bitpacked")
+            assert default.pipeline.backend == "numpy-gemm"
+            assert packed.pipeline.backend == "bitpacked"
+            default.submit_many(reads)
+            packed.submit_many(reads)
+            _assert_reports_identical(default.close(), packed.close())
+
+
+class TestPipelineBackendProperty:
+    def test_batched_pipeline_reports_backend(self, small_dataset_a):
+        pipeline = ReadMappingPipeline(
+            _matcher(small_dataset_a, "bitpacked")
+        )
+        assert pipeline.backend == "bitpacked"

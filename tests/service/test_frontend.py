@@ -387,10 +387,12 @@ class TestLifecycle:
             session = frontend.session(threshold=THRESHOLD, seed=0)
             with pytest.raises(CamConfigError):
                 session.submit(np.zeros(3, dtype=np.uint8))
-            with pytest.raises(ServiceError):
+            with pytest.raises(CamConfigError):
                 frontend.session(threshold=THRESHOLD, micro_batch=0)
-            with pytest.raises(ServiceError):
+            with pytest.raises(CamConfigError):
                 frontend.session(threshold=THRESHOLD, compaction=0)
+            with pytest.raises(CamConfigError):
+                frontend.session(threshold=THRESHOLD, backend="no-such")
         with pytest.raises(ServiceError):
             MappingFrontend(small_dataset_a.segments,
                             small_dataset_a.model, engine="warp")

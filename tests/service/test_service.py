@@ -206,7 +206,7 @@ class TestLifecycle:
             service.submit(np.zeros(3, dtype=np.uint8))
         with pytest.raises(ServiceError):
             self._service(small_dataset_a, engine="warp")
-        with pytest.raises(ServiceError):
+        with pytest.raises(CamConfigError):
             self._service(small_dataset_a, micro_batch=0)
 
     def test_returned_reports_are_safe_to_mutate(self, small_dataset_a):
@@ -238,11 +238,14 @@ class TestLifecycle:
 
     def test_rejects_falsy_knobs(self, small_dataset_a):
         """Regression: compaction=0 must fail at the service boundary
-        (ServiceError), not deep inside the ledger layer."""
-        with pytest.raises(ServiceError):
+        (the shared CamConfigError knob gate), not deep inside the
+        ledger layer."""
+        with pytest.raises(CamConfigError):
             self._service(small_dataset_a, compaction=0)
-        with pytest.raises(ServiceError):
+        with pytest.raises(CamConfigError):
             self._service(small_dataset_a, micro_batch=-3)
+        with pytest.raises(CamConfigError):
+            self._service(small_dataset_a, backend="warp-drive")
 
     def test_retain_mappings_false_bounds_results(self, small_dataset_a):
         reads = _reads(small_dataset_a)

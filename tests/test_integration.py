@@ -110,7 +110,7 @@ class TestSystemLevel:
         schedule = scheduler.schedule(n_reads=1000, n_segments=512)
         accelerator = AsmCapAccelerator(ArchConfig.paper_system(),
                                         n_functional_arrays=1, noisy=False)
-        estimate = accelerator.estimate_read_cost(searches_per_read=1.0)
+        estimate = accelerator.estimate_read_cost()
         per_read = schedule.stream_energy_joules / 1000
         assert per_read == pytest.approx(estimate.energy_joules, rel=0.05)
 
