@@ -30,6 +30,7 @@ import time
 
 import numpy as np
 
+from conftest import add_json_argument, write_bench_json
 from repro.cam.array import CamArray
 from repro.core.matcher import AsmCapMatcher, MatcherConfig
 from repro.core.pipeline import ReadMappingPipeline, ShardedReadMappingPipeline
@@ -73,6 +74,7 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="fail unless batched/scalar >= this factor")
     parser.add_argument("--min-sharded-speedup", type=float, default=0.0,
                         help="fail unless sharded/scalar >= this factor")
+    add_json_argument(parser)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -133,6 +135,19 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"FAIL: sharded speedup {sharded_speedup:.1f}x < "
               f"{args.min_sharded_speedup:.1f}x", file=sys.stderr)
         failed = True
+    write_bench_json(
+        args.json, bench="bench_batch_pipeline",
+        config={"reads": args.reads, "read_length": args.read_length,
+                "segments": args.segments, "shards": args.shards,
+                "threshold": args.threshold,
+                "condition": args.condition, "seed": args.seed,
+                "repeats": args.repeats, "smoke": args.smoke},
+        timings={label: elapsed for label, elapsed, _ in rows},
+        derived={"batched_speedup": batched_speedup,
+                 "sharded_speedup": sharded_speedup,
+                 "mapped_fraction": rows[0][2].mapped_fraction,
+                 "gate_passed": not failed},
+    )
     return 1 if failed else 0
 
 

@@ -23,6 +23,7 @@ import argparse
 import sys
 import time
 
+from conftest import add_json_argument, write_bench_json
 from repro import constants
 from repro.experiments.fig8 import SYSTEMS, compute_fig8
 
@@ -75,6 +76,7 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="single pass per path (CI hot-path check)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions per path (best taken)")
+    add_json_argument(parser)
     args = parser.parse_args(argv)
     repeats = 1 if args.smoke else args.repeats
 
@@ -98,6 +100,12 @@ def main(argv: "list[str] | None" = None) -> int:
     print(measured.render())
     print("\nOK: ordering, paper anchors (within 3x), and "
           "measured == analytic strategy statistics")
+    write_bench_json(
+        args.json, bench="bench_fig8_system",
+        config={"smoke": args.smoke, "repeats": repeats},
+        timings={"measured_s": measured_s, "analytic_s": analytic_s},
+        derived={"checks_passed": True},
+    )
     return 0
 
 

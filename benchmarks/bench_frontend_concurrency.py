@@ -42,6 +42,7 @@ import time
 
 import numpy as np
 
+from conftest import add_json_argument, write_bench_json
 from repro.cost.events import ReferenceLoad
 from repro.genome.datasets import build_dataset
 from repro.service import MappingFrontend, StreamingMappingService
@@ -175,6 +176,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sizes for CI hot-path checks")
+    add_json_argument(parser)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -235,6 +237,23 @@ def main(argv: "list[str] | None" = None) -> int:
           f"to their standalone services")
     if not failed:
         print("OK: shared reference encoded exactly once")
+    write_bench_json(
+        args.json, bench="bench_frontend_concurrency",
+        config={"sessions": args.sessions, "reads": args.reads,
+                "read_length": args.read_length,
+                "segments": args.segments, "threshold": args.threshold,
+                "condition": args.condition, "engine": args.engine,
+                "shards": args.shards, "micro_batch": args.micro_batch,
+                "seed": args.seed, "smoke": args.smoke},
+        timings={"frontend_setup_s": fe_setup, "frontend_stream_s": fe_s,
+                 "standalone_setup_s": sa_setup,
+                 "standalone_stream_s": sa_s},
+        derived={"frontend_encodes": fe_encodes,
+                 "standalone_encodes": sa_encodes,
+                 "encodes_avoided": sa_encodes - fe_encodes,
+                 "sessions_bit_identical": True,
+                 "gate_passed": not failed},
+    )
     return 1 if failed else 0
 
 

@@ -27,6 +27,7 @@ import time
 import numpy as np
 import pytest
 
+from conftest import add_json_argument, write_bench_json
 from repro.distance.ed_star import ed_star_batch, mismatch_counts_all_reads
 from repro.distance.edit_distance import (
     banded_edit_distance_batch,
@@ -150,6 +151,7 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="timed repetitions per backend (best taken)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sizes for CI hot-path checks")
+    add_json_argument(parser)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -188,6 +190,15 @@ def main(argv: "list[str] | None" = None) -> int:
     print(f"{'backend':<14} {'seconds':>10} {'vs numpy-gemm':>14}")
     for label, elapsed, _ in rows:
         print(f"{label:<14} {elapsed:>10.6f} {base / elapsed:>13.2f}x")
+    write_bench_json(
+        args.json, bench="bench_kernels",
+        config={"queries": args.queries, "rows": args.rows,
+                "cols": args.cols, "seed": args.seed,
+                "repeats": args.repeats, "smoke": args.smoke},
+        timings={label: elapsed for label, elapsed, _ in rows},
+        derived={f"speedup_{label}": base / elapsed
+                 for label, elapsed, _ in rows},
+    )
     return 0
 
 

@@ -38,6 +38,7 @@ import time
 
 import numpy as np
 
+from conftest import add_json_argument, write_bench_json
 from repro.cam.array import CamArray
 from repro.core.matcher import AsmCapMatcher, MatcherConfig
 from repro.core.pipeline import ReadMappingPipeline, ShardedReadMappingPipeline
@@ -142,6 +143,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sizes for CI hot-path checks")
+    add_json_argument(parser)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -220,6 +222,23 @@ def main(argv: "list[str] | None" = None) -> int:
           if not failed else "\nbounded-memory check FAILED")
     print("OK: streamed report bit-identical to one-shot run_batched; "
           "compacted views bit-identical to append-only views")
+    write_bench_json(
+        args.json, bench="bench_service_stream",
+        config={"reads": args.reads, "read_length": args.read_length,
+                "segments": args.segments, "threshold": args.threshold,
+                "condition": args.condition, "engine": args.engine,
+                "shards": args.shards, "micro_batch": args.micro_batch,
+                "compaction": args.compaction, "seed": args.seed,
+                "smoke": args.smoke},
+        timings={"compacted_s": compacted_s, "plain_s": plain_s,
+                 "one_shot_s": reference_s},
+        derived={"peak_live_events": peak_live,
+                 "final_plain_events": final_plain,
+                 "live_event_bound": bound,
+                 "compactions": snap.compactions,
+                 "events_folded": snap.ledger_events_folded,
+                 "gate_passed": not failed},
+    )
     return 1 if failed else 0
 
 

@@ -41,6 +41,7 @@ import time
 
 import numpy as np
 
+from conftest import add_json_argument, write_bench_json
 from repro.eval.confusion import ConfusionMatrix
 from repro.eval.experiment import (
     AccuracyExperiment,
@@ -181,6 +182,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="fail unless engine sweep/scalar >= this "
                              "factor on every timed condition")
+    add_json_argument(parser)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -197,6 +199,8 @@ def main(argv: "list[str] | None" = None) -> int:
           f"{'sweep s':>10} {'speedup':>9} {'identical':>10}")
 
     failed = False
+    timings: "dict[str, float]" = {}
+    derived: "dict[str, object]" = {}
     for condition in conditions:
         thresholds = thresholds_for(condition)
         shape = (condition, thresholds, args.runs, args.reads,
@@ -236,6 +240,23 @@ def main(argv: "list[str] | None" = None) -> int:
                   f"{engine_speedup:.1f}x < {args.min_speedup:.1f}x",
                   file=sys.stderr)
             failed = True
+        timings[f"{condition}_scalar_s"] = scalar_s
+        timings[f"{condition}_sweep_s"] = sweep_s
+        timings[f"{condition}_e2e_scalar_s"] = e2e_scalar_s
+        timings[f"{condition}_e2e_sweep_s"] = e2e_sweep_s
+        derived[f"{condition}_engine_speedup"] = engine_speedup
+        derived[f"{condition}_e2e_speedup"] = e2e_speedup
+        derived[f"{condition}_identical"] = bool(engine_ok and e2e_ok)
+    derived["gate_passed"] = not failed
+    write_bench_json(
+        args.json, bench="bench_sweep_engine",
+        config={"condition": args.condition, "runs": args.runs,
+                "reads": args.reads, "read_length": args.read_length,
+                "segments": args.segments, "seed": args.seed,
+                "workers": args.workers, "repeats": args.repeats,
+                "smoke": args.smoke, "min_speedup": args.min_speedup},
+        timings=timings, derived=derived,
+    )
     return 1 if failed else 0
 
 

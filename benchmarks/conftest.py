@@ -1,4 +1,4 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures and helpers for the benchmark harness.
 
 Each ``bench_*.py`` regenerates one paper artifact (table or figure)
 under pytest-benchmark; run with::
@@ -8,14 +8,53 @@ under pytest-benchmark; run with::
 Slow Monte-Carlo benches use ``benchmark.pedantic`` with a single round
 so the harness prints the artifact once per invocation instead of
 re-simulating it dozens of times.
+
+The standalone ``python benchmarks/bench_*.py`` entry points also share
+the machine-readable output contract defined here: every script takes
+``--json PATH`` (:func:`add_json_argument`) and dumps one
+``{"bench", "config", "timings", "derived"}`` document via
+:func:`write_bench_json`, so CI can archive results and trend them
+without scraping tables from stdout.
 """
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.genome.datasets import build_dataset
+
+
+def add_json_argument(parser) -> None:
+    """Install the shared ``--json PATH`` benchmark option."""
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write a machine-readable {bench, config, timings, "
+             "derived} summary to PATH",
+    )
+
+
+def write_bench_json(path: "str | None", *, bench: str, config: dict,
+                     timings: dict, derived: dict) -> None:
+    """Dump one benchmark run as JSON (no-op when *path* is None).
+
+    ``bench`` names the script, ``config`` echoes the resolved knobs,
+    ``timings`` holds raw seconds, and ``derived`` holds computed
+    figures of merit (speedups, pass/fail gates, identity checks).
+    """
+    if path is None:
+        return
+    document = {
+        "bench": bench,
+        "config": config,
+        "timings": timings,
+        "derived": derived,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

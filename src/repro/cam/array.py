@@ -296,6 +296,26 @@ class StoredReference:
         reference.seal()
         return reference
 
+    @classmethod
+    def adopt_encoded(cls, encoded: EncodedReference) -> "StoredReference":
+        """A sealed reference *adopting* a pre-built encoding, zero-copy.
+
+        The attach path of :mod:`repro.parallel`: a worker process that
+        mapped the encoded payload out of shared memory rebuilds the
+        sealed value directly — the plane backs onto the shared
+        segment matrix (:meth:`~repro.cam.sram.SramPlane.from_stored`),
+        the encoding cache is pre-populated with the shared views, and
+        **no encoding pass runs** (:attr:`n_encodes` stays 0, the
+        worker-side encode-once evidence).
+        """
+        reference = cls.__new__(cls)
+        reference._plane = SramPlane.from_stored(encoded.segments)
+        reference._segments = encoded.segments
+        reference._encoded = encoded
+        reference._sealed = True
+        reference._n_encodes = 0
+        return reference
+
     # -- configuration ----------------------------------------------------
 
     @property

@@ -42,6 +42,31 @@ class SramPlane:
         self._data = np.zeros((rows, cols), dtype=np.uint8)
         self._written = np.zeros(rows, dtype=bool)
 
+    @classmethod
+    def from_stored(cls, data: np.ndarray) -> "SramPlane":
+        """A fully-written plane *adopting* an existing code matrix.
+
+        The zero-copy attach path of :mod:`repro.parallel`: the matrix
+        (typically a read-only view over a shared-memory buffer) backs
+        the plane directly — no per-row copy — and every row is marked
+        written.  Such a plane is immutable in practice: the adopted
+        matrix is left read-only, so fault injection on it raises.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[0] == 0 or data.shape[1] == 0:
+            raise CamConfigError(
+                f"a stored plane needs a non-empty (rows, cols) code "
+                f"matrix, got shape {data.shape}"
+            )
+        if data.size and int(data.max()) >= alphabet.ALPHABET_SIZE:
+            raise CamConfigError("segment codes must be 2-bit (0..3)")
+        plane = cls.__new__(cls)
+        plane._rows = int(data.shape[0])
+        plane._cols = int(data.shape[1])
+        plane._data = data
+        plane._written = np.ones(plane._rows, dtype=bool)
+        return plane
+
     @property
     def rows(self) -> int:
         return self._rows

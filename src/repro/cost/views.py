@@ -198,6 +198,32 @@ def search_stats(events: Iterable[LedgerEvent]) -> SearchStats:
     return stats
 
 
+def fold_ledger_observability(
+        ledgers,
+        ) -> "tuple[dict[str, int], int, int, int, int]":
+    """Fold the bounded-memory evidence over a set of ledgers.
+
+    Returns ``(pass_counts, events_live, events_folded,
+    population_elements, compactions)`` — the ledger-derived fields of
+    :class:`repro.service.stream.ServiceStats`, defined once for the
+    single-client service, the frontend's sessions, and the sharded
+    pipeline's engine observability alike.
+    """
+    pass_counts: "dict[str, int]" = {}
+    events_live = 0
+    events_folded = 0
+    population = 0
+    compactions = 0
+    for ledger in ledgers:
+        for name, count in ledger.pass_counts().items():
+            pass_counts[name] = pass_counts.get(name, 0) + count
+        events_live += len(ledger)
+        events_folded += ledger.n_folded
+        population += ledger.live_population_elements()
+        compactions += ledger.n_compactions
+    return pass_counts, events_live, events_folded, population, compactions
+
+
 def merge_search_stats(parts: Iterable[SearchStats]) -> SearchStats:
     """Sum per-ledger :class:`SearchStats` folds in input order.
 

@@ -16,9 +16,12 @@ backends").
 """
 
 from repro.kernels.base import (
+    ENCODED_REFERENCE_FIELDS,
     EncodedReference,
     KernelBackend,
     encode_reference,
+    encoded_reference_arrays,
+    encoded_reference_from_arrays,
     pack_bitplanes,
     valid_masks,
 )
@@ -38,7 +41,10 @@ from repro.kernels import numba_lane as _numba_lane  # noqa: F401 (registers)
 __all__ = [
     "BitpackedBackend",
     "DEFAULT_BACKEND",
+    "ENCODED_REFERENCE_FIELDS",
     "EncodedReference",
+    "encoded_reference_arrays",
+    "encoded_reference_from_arrays",
     "GemmBackend",
     "KERNEL_BACKEND_ENV",
     "KernelBackend",

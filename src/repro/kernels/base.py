@@ -153,6 +153,49 @@ def encode_reference(segments: np.ndarray) -> EncodedReference:
                             valid_no_last=no_last)
 
 
+#: The payload arrays of an :class:`EncodedReference`, in the fixed
+#: serialisation order the shared-memory transport uses.
+ENCODED_REFERENCE_FIELDS = (
+    "segments", "onehot", "planes",
+    "valid", "valid_no_first", "valid_no_last",
+)
+
+
+def encoded_reference_arrays(
+        encoded: EncodedReference) -> "tuple[tuple[str, np.ndarray], ...]":
+    """``(name, array)`` pairs of an encoding's payload, fixed order.
+
+    The single definition of "everything a worker process needs to
+    search a reference" — :mod:`repro.parallel` serialises exactly
+    these arrays into a shared-memory segment, and
+    :func:`encoded_reference_from_arrays` rebuilds the value from
+    them, so the transport cannot drift from the dataclass.
+    """
+    return tuple((name, getattr(encoded, name))
+                 for name in ENCODED_REFERENCE_FIELDS)
+
+
+def encoded_reference_from_arrays(
+        arrays: "dict[str, np.ndarray]") -> EncodedReference:
+    """Rebuild an :class:`EncodedReference` from its payload arrays.
+
+    The inverse of :func:`encoded_reference_arrays` for zero-copy
+    transports: the arrays are adopted as-is (marked read-only, never
+    copied, no re-encoding pass), so views over a shared-memory buffer
+    stay views.
+    """
+    missing = [name for name in ENCODED_REFERENCE_FIELDS
+               if name not in arrays]
+    if missing:
+        raise ValueError(
+            f"encoded-reference payload is missing arrays: {missing}"
+        )
+    for name in ENCODED_REFERENCE_FIELDS:
+        arrays[name].setflags(write=False)
+    return EncodedReference(**{name: arrays[name]
+                               for name in ENCODED_REFERENCE_FIELDS})
+
+
 class KernelBackend:
     """Base class of the mismatch-count kernel backends.
 

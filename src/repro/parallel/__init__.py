@@ -1,0 +1,57 @@
+"""repro.parallel — process-parallel sharded execution substrate.
+
+The process engine behind ``engine="process"`` on
+:class:`~repro.core.pipeline.ShardedReadMappingPipeline` (and
+``shard_engine=`` at the service layer), in three layers:
+
+* :mod:`repro.parallel.shm` — sealed
+  :class:`~repro.cam.array.StoredReference` payloads in
+  ``multiprocessing.shared_memory`` segments with a versioned,
+  checksummed header; zero-copy attach, owner-side unlink, leak guard;
+* :mod:`repro.parallel.worker` — the long-lived spawned worker: attach
+  every shard once, then run self-contained
+  :class:`~repro.parallel.worker.ShardTask` items (fresh keyed matcher
+  per task, backend resolved *by name* in the worker) and return
+  outcomes plus compacted :class:`~repro.parallel.worker.LedgerSummary`
+  records;
+* :mod:`repro.parallel.engine` —
+  :class:`~repro.parallel.engine.ProcessShardEngine`, the coordinator:
+  share once, spawn once, queue per chunk, detect dead workers, clean
+  up shared memory unconditionally.
+
+**Binding invariant.**  For any worker count and any scheduling, the
+process engine's decisions, per-read costs and reports are
+bit-identical to the thread engine's (and hence to the scalar keyed
+path) — every random draw is a pure function of
+``(seed, stream tag, query key, pass tag)``, tasks are cut at the
+pipeline's exact chunk boundaries, and the merge runs in the pipeline,
+in deterministic task order.  DESIGN.md ("Process-safety contract")
+states the rules; ``tests/parallel`` enforces them with exact
+equality.
+"""
+
+from repro.parallel.engine import ProcessShardEngine
+from repro.parallel.shm import (
+    SHM_MAGIC,
+    SHM_VERSION,
+    AttachedReference,
+    SharedReferenceHandle,
+    SharedStoredReference,
+    attach_stored_reference,
+    share_stored_reference,
+)
+from repro.parallel.worker import LedgerSummary, ShardTask, worker_main
+
+__all__ = [
+    "AttachedReference",
+    "LedgerSummary",
+    "ProcessShardEngine",
+    "SHM_MAGIC",
+    "SHM_VERSION",
+    "ShardTask",
+    "SharedReferenceHandle",
+    "SharedStoredReference",
+    "attach_stored_reference",
+    "share_stored_reference",
+    "worker_main",
+]

@@ -1,0 +1,377 @@
+"""The process-engine coordinator: spawn once, queue tasks, merge later.
+
+:class:`ProcessShardEngine` owns the process side of the sharded
+fan-out (``engine="process"`` on
+:class:`~repro.core.pipeline.ShardedReadMappingPipeline`):
+
+* **share once** — every sealed shard reference is copied into shared
+  memory exactly once (:func:`~repro.parallel.shm.share_stored_reference`);
+* **spawn once** — long-lived workers (``spawn`` context, so nothing
+  is inherited by fork — backends re-resolve by name in the child)
+  attach the shards at startup and handshake ``ready``;
+* **queue per chunk** — :meth:`run_tasks` feeds self-contained
+  :class:`~repro.parallel.worker.ShardTask` items through one shared
+  task queue (idle workers steal work) and collects the results by
+  task id, so *scheduling order never matters* — the caller reassembles
+  results in its own deterministic task order;
+* **fail loudly** — a worker that dies mid-run (OOM kill, signal)
+  surfaces as a :class:`~repro.errors.ServiceError` naming the worker
+  and its exit code, never as a hang on an empty queue; the engine is
+  then *broken* and refuses further work until rebuilt;
+* **clean up always** — :meth:`close` (idempotent, also the context
+  manager exit) sends shutdown sentinels, joins the workers, and
+  unlinks every shared segment; a ``weakref.finalize`` guard does the
+  same for abandoned engines at garbage collection or interpreter
+  exit, so no run leaks ``/dev/shm`` segments or worker processes.
+
+The engine is deliberately *policy-free*: it neither chunks work nor
+merges outcomes — the pipeline owns both, which is how the thread and
+process engines share one deterministic merge (and hence the
+bit-identity contract).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import weakref
+from typing import Sequence
+
+from repro.cam.array import StoredReference
+from repro.errors import CamConfigError, ServiceError
+from repro.parallel.shm import share_stored_reference
+from repro.parallel.worker import LedgerSummary, ShardTask, worker_main
+
+__all__ = ["ProcessShardEngine"]
+
+#: Seconds between result-queue polls; each timeout re-checks worker
+#: liveness so a dead worker becomes an error, not a hang.
+_POLL_SECONDS = 0.2
+
+#: Seconds a closing engine waits for a worker to exit after its
+#: shutdown sentinel before terminating it.
+_JOIN_SECONDS = 5.0
+
+
+def _cleanup(workers: list, owners: list) -> None:
+    """Last-resort teardown shared by close() and the finalize guard.
+
+    Mutates the lists in place so running it twice is a no-op; safe at
+    interpreter exit (touches no queues — daemon workers die with the
+    parent anyway, the segments are what must not leak).
+    """
+    while workers:
+        process = workers.pop()
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=_JOIN_SECONDS)
+    while owners:
+        owners.pop().close()
+
+
+class ProcessShardEngine:
+    """A pool of spawned shard workers over shared-memory references.
+
+    Parameters
+    ----------
+    shards:
+        Sealed per-shard :class:`~repro.cam.array.StoredReference`
+        objects, in shard order (the same tuple the pipeline's
+        matchers are built over).
+    domain / noisy:
+        Array configuration every worker-side matcher uses (the
+        per-task seed/config/backend travel in the tasks themselves,
+        which is what lets sessions with different settings share one
+        engine).
+    n_workers:
+        Worker processes to spawn (the pipeline passes its
+        ``max_workers`` knob).
+    """
+
+    def __init__(self, shards: Sequence[StoredReference], *,
+                 domain: str = "charge", noisy: bool = True,
+                 n_workers: int = 1):
+        if not shards:
+            raise CamConfigError(
+                "the process engine needs at least one shard reference"
+            )
+        for shard in shards:
+            if not shard.sealed:
+                raise CamConfigError(
+                    "every shard reference must be sealed before it "
+                    "can be shared across processes"
+                )
+        if int(n_workers) < 1:
+            raise CamConfigError(
+                f"n_workers must be positive, got {n_workers}"
+            )
+        self._shards = tuple(shards)
+        self._domain = domain
+        self._noisy = bool(noisy)
+        self._n_workers = int(n_workers)
+        self._ctx = multiprocessing.get_context("spawn")
+        # Mutable lists shared with the finalize guard (see _cleanup).
+        self._workers: list = []
+        self._owners: list = []
+        self._task_queue = None
+        self._result_queue = None
+        self._started = False
+        self._closed = False
+        self._broken: "str | None" = None
+        self._next_task_id = 0
+        # One shared engine may serve many sessions (the frontend hands
+        # every session pipeline the same pool); serialise whole
+        # run_tasks calls so concurrent dispatch threads never
+        # interleave on the single result queue.
+        self._lock = threading.RLock()
+        self._worker_backends: "dict[int, str]" = {}
+        self._worker_encodes: "dict[int, int]" = {}
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._workers, self._owners
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        """Whether a worker death poisoned this engine (rebuild it)."""
+        return self._broken is not None
+
+    @property
+    def shared_nbytes(self) -> int:
+        """Total bytes of shared-memory reference payload (0 before
+        the lazy start)."""
+        return sum(owner.nbytes for owner in self._owners)
+
+    def worker_pids(self) -> "tuple[int, ...]":
+        """PIDs of the live worker pool (worker order)."""
+        return tuple(process.pid for process in self._workers)
+
+    def worker_backends(self) -> "tuple[str, ...]":
+        """Each worker's *default* kernel-backend resolution — what a
+        ``backend=None`` task runs on, resolved by name inside the
+        worker (env var > that process's autotune)."""
+        return tuple(self._worker_backends[i]
+                     for i in sorted(self._worker_backends))
+
+    def worker_encode_counts(self) -> "tuple[int, ...]":
+        """Latest reported encode-pass totals per worker.
+
+        All zeros is the encode-once evidence: attached references
+        never re-encode (the benchmark and tests assert this).
+        """
+        return tuple(self._worker_encodes[i]
+                     for i in sorted(self._worker_encodes))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Share the shards and spawn the workers (idempotent).
+
+        Called lazily by the first :meth:`run_tasks`; explicit calls
+        just front-load the spawn cost.
+        """
+        with self._lock:
+            self._start_locked()
+
+    def _start_locked(self) -> None:
+        if self._closed:
+            raise ServiceError("this process engine has been closed")
+        if self._started:
+            return
+        try:
+            for shard in self._shards:
+                self._owners.append(share_stored_reference(shard))
+            handles = [owner.handle for owner in self._owners]
+            self._task_queue = self._ctx.Queue()
+            self._result_queue = self._ctx.Queue()
+            for index in range(self._n_workers):
+                process = self._ctx.Process(
+                    target=worker_main,
+                    args=(index, handles, self._domain, self._noisy,
+                          self._task_queue, self._result_queue),
+                    name=f"asmcap-shard-worker-{index}",
+                    daemon=True,
+                )
+                process.start()
+                self._workers.append(process)
+            pending = set(range(self._n_workers))
+            while pending:
+                message = self._next_message()
+                if message[0] == "fatal":
+                    raise ServiceError(
+                        f"shard worker {message[1]} failed to attach "
+                        f"its shared references:\n{message[2]}"
+                    )
+                if message[0] != "ready":  # pragma: no cover - protocol
+                    raise ServiceError(
+                        f"unexpected startup message {message[0]!r} "
+                        f"from a shard worker"
+                    )
+                _, index, backend_name, n_encodes = message
+                self._worker_backends[index] = backend_name
+                self._worker_encodes[index] = n_encodes
+                pending.discard(index)
+        except BaseException:
+            self._abandon("engine start-up failed")
+            raise
+        self._started = True
+
+    def close(self) -> None:
+        """Stop the workers and unlink the shared segments (idempotent).
+
+        Live workers get a shutdown sentinel and :data:`_JOIN_SECONDS`
+        to exit before being terminated; the segments are always
+        unlinked.  A closed engine refuses further :meth:`run_tasks`.
+        """
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._task_queue is not None and self._broken is None:
+            for process in self._workers:
+                if process.is_alive():
+                    try:
+                        self._task_queue.put(None)
+                    except (OSError, ValueError):  # pragma: no cover
+                        break
+        for process in self._workers:
+            process.join(timeout=_JOIN_SECONDS)
+        self._finalizer.detach()
+        _cleanup(self._workers, self._owners)
+        for q in (self._task_queue, self._result_queue):
+            if q is not None:
+                q.close()
+                # The feeder threads may still hold unsent items (e.g.
+                # tasks a dead worker never drained); don't let them
+                # block interpreter shutdown.
+                q.cancel_join_thread()
+        self._task_queue = None
+        self._result_queue = None
+
+    def __enter__(self) -> "ProcessShardEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _abandon(self, reason: str) -> None:
+        """Mark the engine broken and tear the pool down immediately."""
+        self._broken = reason
+        self._finalizer.detach()
+        _cleanup(self._workers, self._owners)
+
+    # -- execution ----------------------------------------------------------
+
+    def run_tasks(self, tasks: Sequence[ShardTask]
+                  ) -> "list[tuple[object, LedgerSummary]]":
+        """Execute *tasks* on the worker pool; results in task order.
+
+        Enqueues every task on the shared queue (idle workers pick
+        work up in whatever order scheduling allows) and blocks until
+        all results arrived.  Returns ``(outcome, summary)`` pairs
+        positionally aligned with *tasks* — the caller's task order is
+        the only order that exists downstream, which is what keeps the
+        merge deterministic under any scheduling.
+
+        Raises :class:`~repro.errors.ServiceError` if a worker died
+        (naming it and its exit code) or a task raised (embedding the
+        worker-side traceback).  A worker death breaks the engine;
+        task errors leave it usable.
+
+        Thread-safe: calls from concurrent dispatch threads (sessions
+        sharing one frontend engine) are serialised whole, so one
+        call's results can never be drained by another.
+        """
+        with self._lock:
+            self._check_usable()
+            self._start_locked()
+            if not tasks:
+                return []
+            for offset, task in enumerate(tasks):
+                self._task_queue.put((self._next_task_id + offset, task))
+            first_id = self._next_task_id
+            self._next_task_id += len(tasks)
+            results: "dict[int, tuple[object, LedgerSummary]]" = {}
+            errors: "dict[int, str]" = {}
+            while len(results) + len(errors) < len(tasks):
+                message = self._next_message()
+                kind = message[0]
+                if kind == "ok":
+                    _, task_id, worker_index, outcome, summary, encodes = \
+                        message
+                    self._worker_encodes[worker_index] = encodes
+                    results[task_id] = (outcome, summary)
+                elif kind == "error":
+                    _, task_id, _worker_index, text = message
+                    errors[task_id] = text
+                else:  # pragma: no cover - protocol
+                    raise ServiceError(
+                        f"unexpected result message {kind!r} from a shard "
+                        f"worker"
+                    )
+            if errors:
+                task_id = min(errors)
+                raise ServiceError(
+                    f"shard task {task_id - first_id} failed in a worker "
+                    f"process:\n{errors[task_id]}"
+                )
+            return [results[first_id + offset]
+                    for offset in range(len(tasks))]
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise ServiceError("this process engine has been closed")
+        if self._broken is not None:
+            raise ServiceError(
+                f"this process engine is broken ({self._broken}); "
+                f"build a new pipeline/engine to continue"
+            )
+
+    def _next_message(self):
+        """One message off the result queue, polling worker liveness.
+
+        Converts a silently-dead worker (kill -9, OOM) into a clear
+        :class:`~repro.errors.ServiceError` instead of blocking
+        forever on a result that can no longer arrive.
+        """
+        while True:
+            try:
+                return self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                for index, process in enumerate(self._workers):
+                    if not process.is_alive():
+                        exit_code = process.exitcode
+                        self._abandon(
+                            f"worker {index} died with exit code "
+                            f"{exit_code}"
+                        )
+                        raise ServiceError(
+                            f"shard worker {index} (pid {process.pid}) "
+                            f"died with exit code {exit_code} while "
+                            f"tasks were outstanding; its results are "
+                            f"lost — the engine is now broken and the "
+                            f"run must be retried on a fresh pipeline"
+                        ) from None

@@ -1,0 +1,368 @@
+"""Shared-memory transport for sealed stored references.
+
+The process engine's zero-copy substrate: a sealed
+:class:`~repro.cam.array.StoredReference` — the SRAM plane plus the
+one-pass :class:`~repro.kernels.EncodedReference` planes — is written
+**once** into a ``multiprocessing.shared_memory`` segment by
+:func:`share_stored_reference`, and every worker process maps the same
+physical pages back into a sealed reference with
+:func:`attach_stored_reference`.  Workers therefore borrow megabytes
+of encoded reference without pickling them per task, and without ever
+re-running an encoding pass (``n_encodes`` of an attached reference
+stays 0 — the worker-side encode-once evidence).
+
+**Segment layout.**  A versioned, checksummed header in front of the
+64-byte-aligned payload arrays::
+
+    magic  b"ASMCAPSM"                       8 bytes
+    version, meta_length                     2 x uint32 (little-endian)
+    meta_crc32, payload_crc32                2 x uint32
+    payload_length                           uint64
+    meta JSON                                meta_length bytes
+    ... 64-byte alignment padding ...
+    payload arrays (fixed field order of
+    repro.kernels.ENCODED_REFERENCE_FIELDS)  payload_length bytes
+
+The meta JSON records each array's dtype/shape/offset.  ``attach``
+verifies the magic, the version, and both CRC32s before building any
+view, so a truncated, foreign or torn segment fails loudly
+(:class:`~repro.errors.CamConfigError`) instead of producing silently
+wrong counts.
+
+**Lifecycle.**  :func:`share_stored_reference` returns a
+:class:`SharedStoredReference` owner: ``close()`` (idempotent, also
+the context-manager exit) unmaps *and unlinks* the segment, and a
+``weakref.finalize`` guard does the same for abandoned owners — at
+garbage collection or interpreter exit — so the test suite and the
+benchmarks finish without ``resource_tracker`` leak warnings.
+Attachments opt out of the resource tracker (the owner's unlink is
+authoritative; Python < 3.13 would otherwise double-track every
+worker's attachment and warn at worker exit).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import weakref
+import zlib
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.cam.array import StoredReference
+from repro.errors import CamConfigError
+from repro.kernels import (
+    ENCODED_REFERENCE_FIELDS,
+    encoded_reference_arrays,
+    encoded_reference_from_arrays,
+)
+
+__all__ = [
+    "SHM_MAGIC",
+    "SHM_VERSION",
+    "SharedReferenceHandle",
+    "SharedStoredReference",
+    "AttachedReference",
+    "attach_stored_reference",
+    "share_stored_reference",
+]
+
+#: Leading magic bytes of every shared-reference segment.
+SHM_MAGIC = b"ASMCAPSM"
+
+#: Header format version; bumped on any layout change so an attach
+#: against a stale writer fails loudly.
+SHM_VERSION = 1
+
+#: ``magic | version | meta_length | meta_crc32 | payload_crc32 |
+#: payload_length`` — little-endian, fixed width.
+_HEADER = struct.Struct("<8sIIIIQ")
+
+#: Payload arrays start on this alignment (numpy views over uint64
+#: planes need 8; 64 keeps rows cache-line aligned).
+_ALIGN = 64
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SharedReferenceHandle:
+    """A picklable ticket for one shared reference segment.
+
+    Everything else an attach needs (geometry, dtypes, offsets,
+    checksums) lives in the segment's own header, so the ticket a
+    coordinator sends to its workers is just the segment name.
+    """
+
+    name: str
+
+
+class SharedStoredReference:
+    """Owner of one shared-memory copy of a sealed reference.
+
+    Created by :func:`share_stored_reference`; holds the segment until
+    :meth:`close` (or the finalize guard) unlinks it.  Workers attach
+    via :attr:`handle`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory):
+        self._shm: "shared_memory.SharedMemory | None" = shm
+        self._finalizer = weakref.finalize(
+            self, _destroy_segment, shm
+        )
+
+    @property
+    def handle(self) -> SharedReferenceHandle:
+        """The picklable attach ticket for this segment."""
+        if self._shm is None:
+            raise CamConfigError(
+                "this shared reference has been closed (unlinked)"
+            )
+        return SharedReferenceHandle(name=self._shm.name)
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name (None-safe via handle)."""
+        return self.handle.name
+
+    @property
+    def nbytes(self) -> int:
+        """Allocated segment size in bytes."""
+        if self._shm is None:
+            return 0
+        return self._shm.size
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        self._finalizer.detach()
+        _destroy_segment(self._shm)
+        self._shm = None
+
+    def __enter__(self) -> "SharedStoredReference":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    """Unmap + unlink, tolerating an already-unlinked segment."""
+    try:
+        shm.close()
+    except OSError:  # pragma: no cover - platform-specific teardown
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced another unlink
+        pass
+
+
+def share_stored_reference(
+        reference: StoredReference) -> SharedStoredReference:
+    """Copy a sealed reference's payload into a shared-memory segment.
+
+    One copy, at share time — every worker that attaches afterwards
+    maps the same pages read-only instead of receiving pickled arrays
+    per task.  Requires a **sealed** reference (the payload must be
+    immutable once other processes can map it).
+    """
+    if not reference.sealed:
+        raise CamConfigError(
+            "only a sealed StoredReference can be shared across "
+            "processes (seal() or StoredReference.encode(...) first)"
+        )
+    arrays = encoded_reference_arrays(reference.encoded())
+    meta_arrays = []
+    offset = 0
+    for name, array in arrays:
+        array = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        meta_arrays.append({
+            "name": name,
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+            "nbytes": int(array.nbytes),
+        })
+        offset += array.nbytes
+    payload_length = offset
+    meta = json.dumps({"arrays": meta_arrays}).encode("ascii")
+
+    payload_start = _aligned(_HEADER.size + len(meta))
+    total = payload_start + payload_length
+    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    try:
+        buf = shm.buf
+        for spec, (_, array) in zip(meta_arrays, arrays):
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=buf,
+                              offset=payload_start + spec["offset"])
+            view[...] = array
+        # One CRC over the whole payload region (alignment padding
+        # included — the segment is zero-initialised), matching how
+        # the attach side verifies it.
+        payload_crc = zlib.crc32(
+            buf[payload_start:payload_start + payload_length]
+        )
+        buf[:_HEADER.size] = _HEADER.pack(
+            SHM_MAGIC, SHM_VERSION, len(meta),
+            zlib.crc32(meta), payload_crc, payload_length,
+        )
+        buf[_HEADER.size:_HEADER.size + len(meta)] = meta
+    except BaseException:
+        _destroy_segment(shm)
+        raise
+    return SharedStoredReference(shm)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without adding tracker obligations.
+
+    The sharing process owns unlink responsibility.  On Python 3.13+
+    the ``track=False`` keyword expresses that directly.  Older
+    Pythons auto-register every attach — but our attachers (the spawn
+    workers, same-process tests) share the owner's resource-tracker
+    process, whose per-name registry deduplicates, so the attach adds
+    no entry and the owner's eventual ``unlink()`` balances the books
+    exactly once.  Explicitly unregistering here would strip the
+    owner's entry instead (and the later unlink would log a tracker
+    ``KeyError``), so we deliberately leave the registration alone.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+class AttachedReference:
+    """A worker-side view of one shared reference segment.
+
+    :attr:`reference` is a sealed :class:`StoredReference` whose
+    arrays are zero-copy views over the mapped segment; the attachment
+    keeps the mapping alive and :meth:`close` drops it (the views die
+    with it — only call once the reference is no longer used).
+    Closing never unlinks: the sharing owner does that.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 reference: StoredReference):
+        self._shm: "shared_memory.SharedMemory | None" = shm
+        self._reference = reference
+
+    @property
+    def reference(self) -> StoredReference:
+        if self._shm is None:
+            raise CamConfigError("this attachment has been closed")
+        return self._reference
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def close(self) -> None:
+        """Unmap the segment (idempotent; does **not** unlink)."""
+        if self._shm is None:
+            return
+        self._reference = None
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover - live views
+            pass
+
+    def __enter__(self) -> "AttachedReference":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def attach_stored_reference(
+        handle: "SharedReferenceHandle | str") -> AttachedReference:
+    """Map a shared segment back into a sealed stored reference.
+
+    Validates the versioned header (magic, version, meta CRC32,
+    payload CRC32) before building any view; every payload array is a
+    read-only, zero-copy view over the mapped buffer, and the sealed
+    reference is rebuilt without an encoding pass
+    (:meth:`~repro.cam.array.StoredReference.adopt_encoded`).
+    Raises :class:`~repro.errors.CamConfigError` on any header or
+    checksum mismatch, and on unknown segment names.
+    """
+    name = handle.name if isinstance(handle, SharedReferenceHandle) \
+        else str(handle)
+    try:
+        shm = _attach_untracked(name)
+    except FileNotFoundError as exc:
+        raise CamConfigError(
+            f"no shared reference segment named {name!r} (was the "
+            f"owner closed, unlinking it?)"
+        ) from exc
+    try:
+        buf = shm.buf
+        if len(buf) < _HEADER.size:
+            raise CamConfigError(
+                f"shared segment {name!r} is smaller than a header"
+            )
+        magic, version, meta_length, meta_crc, payload_crc, \
+            payload_length = _HEADER.unpack_from(buf, 0)
+        if magic != SHM_MAGIC:
+            raise CamConfigError(
+                f"shared segment {name!r} is not an ASMCap reference "
+                f"(bad magic {magic!r})"
+            )
+        if version != SHM_VERSION:
+            raise CamConfigError(
+                f"shared segment {name!r} has header version {version}; "
+                f"this build reads version {SHM_VERSION}"
+            )
+        meta_end = _HEADER.size + meta_length
+        payload_start = _aligned(meta_end)
+        if len(buf) < payload_start + payload_length:
+            raise CamConfigError(
+                f"shared segment {name!r} is truncated "
+                f"({len(buf)} bytes, header promises "
+                f"{payload_start + payload_length})"
+            )
+        meta_bytes = bytes(buf[_HEADER.size:meta_end])
+        if zlib.crc32(meta_bytes) != meta_crc:
+            raise CamConfigError(
+                f"shared segment {name!r} failed the meta checksum"
+            )
+        if zlib.crc32(buf[payload_start:payload_start + payload_length]) \
+                != payload_crc:
+            raise CamConfigError(
+                f"shared segment {name!r} failed the payload checksum"
+            )
+        meta = json.loads(meta_bytes.decode("ascii"))
+        arrays: "dict[str, np.ndarray]" = {}
+        for spec in meta["arrays"]:
+            view = np.ndarray(
+                tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]),
+                buffer=buf, offset=payload_start + spec["offset"],
+            )
+            view.setflags(write=False)
+            arrays[spec["name"]] = view
+        if tuple(arrays) != ENCODED_REFERENCE_FIELDS:
+            raise CamConfigError(
+                f"shared segment {name!r} carries arrays "
+                f"{tuple(arrays)}, expected {ENCODED_REFERENCE_FIELDS}"
+            )
+        reference = StoredReference.adopt_encoded(
+            encoded_reference_from_arrays(arrays)
+        )
+    except BaseException:
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+        raise
+    return AttachedReference(shm, reference)

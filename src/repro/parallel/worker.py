@@ -1,0 +1,191 @@
+"""The shard worker process: attach once, search per task, summarise.
+
+One long-lived worker per slot of a
+:class:`~repro.parallel.engine.ProcessShardEngine`.  At startup the
+worker attaches every shard's shared-memory segment exactly once
+(:func:`repro.parallel.shm.attach_stored_reference` — zero-copy, no
+encoding pass) and reports a ``ready`` handshake; afterwards it loops
+on the task queue until the ``None`` sentinel arrives.
+
+**Per-task matcher, bit-identical by keys.**  Each
+:class:`ShardTask` builds a *fresh*
+:class:`~repro.core.matcher.AsmCapMatcher` over the attached shard
+with the task's seed/config/backend.  That is correct — not merely
+convenient — because every random draw the keyed batch path consumes
+is a pure function of ``(seed, stream tag, query key, pass tag)``
+(:mod:`repro.cam.keyed_noise`): a matcher carries no consumable stream
+state between keyed calls, so a throwaway matcher per task makes
+exactly the decisions a persistent thread-engine matcher makes for the
+same ``(codes, keys, threshold)`` block.  Tasks are therefore
+self-contained, which is also what lets sessions with *different*
+seeds, configs and backends share one engine (the multi-session
+frontend).
+
+**Backends resolve by name, in the worker.**  A task carries at most a
+backend *name*; the worker resolves it through the standard order
+(explicit > ``REPRO_KERNEL_BACKEND`` > per-process autotune) against
+its own registry.  Workers never inherit pickled backend objects or
+the parent's calibration cache — a worker on the same machine may even
+autotune to a different backend, which is harmless because backends
+are bit-identical by contract.
+
+**Ledger summaries, not ledgers.**  The worker folds each task's
+ledger into a picklable :class:`LedgerSummary` (exact search counters
+plus per-strategy pass counts) and discards the events — the same
+fold-and-drop a compacting ledger performs, applied at the process
+boundary so result pickles stay small.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cost.views import SearchStats, search_stats
+
+__all__ = [
+    "LedgerSummary",
+    "ShardTask",
+    "worker_main",
+]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One self-contained unit of shard work (picklable).
+
+    Exactly one :meth:`~repro.core.matcher.AsmCapMatcher.match_batch`
+    call: *codes* against shard *shard_index* at *threshold*, with the
+    global determinism *keys* the thread engine would use for the same
+    chunk.  ``seed`` is the **pipeline** seed — the worker derives the
+    shard's array seed as ``seed + shard_index``, mirroring the
+    thread-engine construction.  ``backend`` is a registry *name* (or
+    ``None`` for the standard selection order), never an instance.
+    """
+
+    shard_index: int
+    codes: np.ndarray
+    keys: "tuple[int, ...]"
+    threshold: int
+    seed: int
+    config: object          # MatcherConfig | None (frozen dataclass)
+    error_model: object     # ErrorModel (frozen dataclass)
+    backend: "str | None" = None
+
+
+@dataclass(frozen=True)
+class LedgerSummary:
+    """The compacted, picklable residue of one task's cost ledger.
+
+    ``stats`` is the exact :func:`~repro.cost.views.search_stats` fold
+    of the task's events; ``pass_counts`` the per-strategy event
+    counts; ``n_events`` how many events were folded away.  Summing
+    task summaries in deterministic task order is the process engine's
+    equivalent of folding a compacted ledger — integer counters are
+    bit-identical to the thread engine's, float totals agree to float
+    precision (the documented grouping caveat of
+    :meth:`~repro.core.pipeline.ShardedReadMappingPipeline.merged_stats`).
+    """
+
+    stats: SearchStats
+    pass_counts: "dict[str, int]" = field(default_factory=dict)
+    n_events: int = 0
+
+
+def _resolved_default_backend_name() -> str:
+    """The backend a ``backend=None`` task will run on, in *this*
+    process (env var > per-process autotune)."""
+    from repro.kernels import resolve_backend
+
+    return resolve_backend(None).name
+
+
+def worker_main(worker_index: int, handles, domain: str, noisy: bool,
+                task_queue, result_queue) -> None:
+    """Entry point of one spawned shard worker.
+
+    Protocol (all messages are plain picklable tuples):
+
+    * startup — attach every shard handle, then send
+      ``("ready", worker_index, default_backend_name, n_encodes)``;
+      an attach/validation failure sends
+      ``("fatal", worker_index, traceback_text)`` and exits.
+    * loop — ``task_queue.get()`` yields either ``None`` (shutdown
+      sentinel → clean exit) or ``(task_id, ShardTask)``; each task
+      answers ``("ok", task_id, worker_index, outcome, summary,
+      n_encodes)`` or ``("error", task_id, worker_index,
+      traceback_text)`` (the worker stays alive after a task error).
+
+    ``n_encodes`` is the running total of encode passes across this
+    worker's attached references — the encode-once evidence, asserted
+    to stay 0 by tests and the process-engine benchmark.
+    """
+    from repro.parallel.shm import attach_stored_reference
+
+    attachments = []
+    try:
+        try:
+            for handle in handles:
+                attachments.append(attach_stored_reference(handle))
+            references = [a.reference for a in attachments]
+        except BaseException:
+            result_queue.put(
+                ("fatal", worker_index, traceback.format_exc())
+            )
+            return
+        result_queue.put((
+            "ready", worker_index, _resolved_default_backend_name(),
+            sum(r.n_encodes for r in references),
+        ))
+        while True:
+            item = task_queue.get()
+            if item is None:
+                return
+            task_id, task = item
+            try:
+                outcome, summary = _run_task(
+                    task, references[task.shard_index], domain, noisy
+                )
+            except BaseException:  # noqa: BLE001 — report, stay alive
+                result_queue.put(
+                    ("error", task_id, worker_index,
+                     traceback.format_exc())
+                )
+                continue
+            result_queue.put((
+                "ok", task_id, worker_index, outcome, summary,
+                sum(r.n_encodes for r in references),
+            ))
+    finally:
+        for attachment in attachments:
+            attachment.close()
+
+
+def _run_task(task: ShardTask, reference, domain: str,
+              noisy: bool) -> "tuple[object, LedgerSummary]":
+    """One task's match_batch over the attached shard.
+
+    The matcher construction mirrors the thread engine's pre-encoded
+    branch exactly — ``over_stored`` with ``seed + shard_index`` —
+    so the keyed draws, and with them every decision and per-query
+    cost, are bit-identical to the same chunk on the thread engine.
+    """
+    from repro.core.matcher import AsmCapMatcher
+
+    matcher = AsmCapMatcher.over_stored(
+        reference, task.error_model, task.config,
+        domain=domain, noisy=noisy,
+        seed=task.seed + task.shard_index,
+        ledger_compaction=None, backend=task.backend,
+    )
+    outcome = matcher.match_batch(task.codes, task.threshold,
+                                  query_keys=list(task.keys))
+    ledger = matcher.array.ledger
+    summary = LedgerSummary(
+        stats=search_stats(ledger),
+        pass_counts=ledger.pass_counts(),
+        n_events=len(ledger),
+    )
+    return outcome, summary

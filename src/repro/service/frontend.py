@@ -30,8 +30,12 @@ reference and served exactly one synchronous caller.
   (``backpressure="block"``, the default) or raises
   :class:`~repro.errors.ServiceError` (``backpressure="error"``);
 * for the sharded engine, every session's pipeline shares the
-  frontend's one persistent shard fan-out executor instead of owning
-  a pool each.
+  frontend's one persistent shard fan-out — a thread executor
+  (``shard_engine="thread"``) or one
+  :class:`~repro.parallel.ProcessShardEngine` whose spawned workers
+  attach the shared-memory shard references once and serve every
+  session's self-contained tasks (``shard_engine="process"``) —
+  instead of owning a pool each.
 
 **Session-isolation / determinism contract.**  A session configured
 with ``(seed, threshold, micro_batch, compaction)`` and fed a read
@@ -62,6 +66,7 @@ from repro.arch.autotune import (
     MIN_SERVICE_BACKLOG,
     plan_microbatch,
     plan_service_pool,
+    resolve_engine,
 )
 from repro.cam.array import StoredReference, as_segments_matrix
 from repro.core.matcher import AsmCapMatcher, MatcherConfig
@@ -78,12 +83,13 @@ from repro.cost.views import SearchStats
 from repro.errors import CamConfigError, ServiceError
 from repro.genome.edits import ErrorModel
 from repro.genome.reads import ReadRecord
+from repro.parallel import ProcessShardEngine
 from repro.service.stream import (
     DEFAULT_SERVICE_COMPACTION,
     ServiceStats,
     engine_ledgers,
     engine_merged_stats,
-    fold_ledger_observability,
+    engine_observability,
     validate_service_knobs,
 )
 
@@ -338,7 +344,8 @@ class MappingSession:
             stats = engine_merged_stats(self._frontend.engine,
                                         self._pipeline)
             (pass_counts, events_live, events_folded, population,
-             compactions) = fold_ledger_observability(self.ledgers())
+             compactions) = engine_observability(self._frontend.engine,
+                                                 self._pipeline)
             with self._frontend._lock:
                 wall = (0.0 if self._started_at is None
                         else time.perf_counter() - self._started_at)
@@ -471,6 +478,15 @@ class MappingFrontend:
         individual sessions may override it.  Bit-identical across
         backends, so the frontend/standalone equivalence holds
         whichever backend runs.
+    shard_engine:
+        Sharded-engine fan-out execution engine — ``"thread"`` shares
+        one fan-out thread pool across sessions, ``"process"`` shares
+        one :class:`~repro.parallel.ProcessShardEngine` (the shard
+        references live in shared memory and one spawned worker pool
+        serves every session's self-contained tasks), ``None`` resolves
+        through the standard order (environment variable, then
+        autotune).  Resolved once, frontend-wide, so every session's
+        pipeline agrees.  Bit-identical either way.
     """
 
     def __init__(self, segments: np.ndarray, error_model: ErrorModel,
@@ -483,7 +499,8 @@ class MappingFrontend:
                  pool_workers: "int | None" = None,
                  max_backlog: "int | None" = None,
                  backpressure: str = "block",
-                 backend: "str | None" = None):
+                 backend: "str | None" = None,
+                 shard_engine: "str | None" = None):
         if engine not in _ENGINES:
             raise ServiceError(
                 f"engine must be one of {_ENGINES}, got {engine!r}"
@@ -493,7 +510,12 @@ class MappingFrontend:
                 f"backpressure must be one of {_BACKPRESSURE}, got "
                 f"{backpressure!r}"
             )
-        validate_service_knobs(backend=backend)
+        validate_service_knobs(backend=backend, engine=shard_engine)
+        if shard_engine is not None and engine != "sharded":
+            raise ServiceError(
+                f"shard_engine={shard_engine!r} applies to the sharded "
+                f"engine only (engine={engine!r})"
+            )
         segments = as_segments_matrix(segments)
         self._engine_kind = engine
         self._model = error_model
@@ -543,11 +565,26 @@ class MappingFrontend:
         self._pool_workers = int(pool_workers)
         self._max_backlog = int(max_backlog)
         self._shard_executor: "ThreadPoolExecutor | None" = None
+        self._process_engine: "ProcessShardEngine | None" = None
+        self._shard_engine_kind: "str | None" = None
         if engine == "sharded":
-            self._shard_executor = ThreadPoolExecutor(
-                max_workers=max(1, plan.shard_workers),
-                thread_name_prefix="asmcap-frontend-shard",
+            # One frontend-wide resolution: every session's pipeline
+            # receives the resolved name explicitly, so no session can
+            # disagree with the frontend about which fan-out runs.
+            self._shard_engine_kind = resolve_engine(
+                shard_engine, self._n_rows, self._cols,
+                n_shards=self.n_shards,
             )
+            if self._shard_engine_kind == "process":
+                self._process_engine = ProcessShardEngine(
+                    self._stored_refs, domain=domain, noisy=noisy,
+                    n_workers=max(1, plan.shard_workers),
+                )
+            else:
+                self._shard_executor = ThreadPoolExecutor(
+                    max_workers=max(1, plan.shard_workers),
+                    thread_name_prefix="asmcap-frontend-shard",
+                )
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -582,6 +619,18 @@ class MappingFrontend:
     def n_shards(self) -> int:
         """Shards the reference is partitioned across (1 = batched)."""
         return len(self._stored_refs)
+
+    @property
+    def shard_engine(self) -> "str | None":
+        """Resolved shard fan-out engine (``"thread"`` or
+        ``"process"``); ``None`` on the batched engine."""
+        return self._shard_engine_kind
+
+    def process_engine(self) -> "ProcessShardEngine | None":
+        """The shared process engine (``None`` unless the sharded
+        engine resolved to ``"process"``) — every session's pipeline
+        fans out on this one pool of spawned workers."""
+        return self._process_engine
 
     @property
     def pool_workers(self) -> int:
@@ -667,7 +716,9 @@ class MappingFrontend:
                 domain=self._domain, noisy=self._noisy, seed=seed,
                 chunk_size=self._chunk_size,
                 ledger_compaction=compaction, backend=backend,
+                engine=self._shard_engine_kind,
                 executor=self._shard_executor,
+                process_engine=self._process_engine,
             )
         with self._lock:
             if not self._running:
@@ -711,6 +762,11 @@ class MappingFrontend:
             thread.join()
         if self._shard_executor is not None:
             self._shard_executor.shutdown(wait=True)
+        if self._process_engine is not None:
+            # Joins the spawned workers and unlinks every shared
+            # segment — the frontend owns the engine, sessions only
+            # borrow it.
+            self._process_engine.close()
         self._closed = True
 
     def __enter__(self) -> "MappingFrontend":

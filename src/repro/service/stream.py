@@ -54,7 +54,11 @@ from repro.core.pipeline import (
     ShardedReadMappingPipeline,
 )
 from repro.cost.ledger import CostLedger
-from repro.cost.views import SearchStats, search_stats
+from repro.cost.views import (
+    SearchStats,
+    fold_ledger_observability,
+    search_stats,
+)
 from repro.errors import CamConfigError, ServiceError
 from repro.genome.edits import ErrorModel
 from repro.genome.reads import ReadRecord
@@ -65,6 +69,7 @@ __all__ = [
     "ServiceStats",
     "StreamingMappingService",
     "engine_ledgers",
+    "engine_observability",
     "fold_ledger_observability",
     "validate_service_knobs",
 ]
@@ -86,29 +91,20 @@ def engine_ledgers(engine: str, pipeline) -> "tuple[CostLedger, ...]":
             *(m.array.ledger for m in pipeline.matchers))
 
 
-def fold_ledger_observability(
-        ledgers: "tuple[CostLedger, ...]",
+def engine_observability(
+        engine: str, pipeline,
         ) -> "tuple[dict[str, int], int, int, int, int]":
-    """Fold the bounded-memory evidence over a set of ledgers.
+    """The engine's ledger-observability fold, engine-appropriate.
 
-    Returns ``(pass_counts, events_live, events_folded,
-    population_elements, compactions)`` — the ledger-derived fields of
-    :class:`ServiceStats`, defined once for the single-client service
-    and the frontend's sessions alike.
+    Thread-engine and batched pipelines fold their live ledgers
+    (:func:`~repro.cost.views.fold_ledger_observability`); a sharded
+    pipeline on the process engine reads its accumulated worker-side
+    ledger summaries instead (the per-task events were folded at the
+    process boundary and never cross it).
     """
-    pass_counts: "dict[str, int]" = {}
-    events_live = 0
-    events_folded = 0
-    population = 0
-    compactions = 0
-    for ledger in ledgers:
-        for name, count in ledger.pass_counts().items():
-            pass_counts[name] = pass_counts.get(name, 0) + count
-        events_live += len(ledger)
-        events_folded += ledger.n_folded
-        population += ledger.live_population_elements()
-        compactions += ledger.n_compactions
-    return pass_counts, events_live, events_folded, population, compactions
+    if engine == "sharded" and pipeline.engine == "process":
+        return pipeline.ledger_observability()
+    return fold_ledger_observability(engine_ledgers(engine, pipeline))
 
 
 def engine_merged_stats(engine: str, pipeline) -> SearchStats:
@@ -216,6 +212,12 @@ class StreamingMappingService:
         :mod:`repro.kernels`).  Bit-identical across backends, so a
         streamed session keeps its one-shot bit-identity contract
         whichever backend runs.
+    shard_engine:
+        Sharded-engine fan-out execution engine — ``"thread"``,
+        ``"process"`` or ``None`` (the standard resolution order; see
+        :class:`~repro.core.pipeline.ShardedReadMappingPipeline`).
+        Sharded engine only; bit-identical either way, so the knob
+        never touches the determinism contract.
     retain_mappings:
         Keep every per-read :class:`~repro.core.pipeline.ReadMapping`
         in the aggregate report (the one-shot behaviour, needed for
@@ -238,13 +240,20 @@ class StreamingMappingService:
                  chunk_size: "int | None" = None,
                  max_workers: "int | None" = None,
                  backend: "str | None" = None,
+                 shard_engine: "str | None" = None,
                  retain_mappings: bool = True):
         if engine not in _ENGINES:
             raise ServiceError(
                 f"engine must be one of {_ENGINES}, got {engine!r}"
             )
         validate_service_knobs(micro_batch, compaction,
-                               max_workers=max_workers, backend=backend)
+                               max_workers=max_workers, backend=backend,
+                               engine=shard_engine)
+        if shard_engine is not None and engine != "sharded":
+            raise ServiceError(
+                f"shard_engine={shard_engine!r} applies to the sharded "
+                f"engine only (engine={engine!r})"
+            )
         segments = as_segments_matrix(segments)
         self._threshold = int(threshold)
         self._engine_kind = engine
@@ -268,6 +277,7 @@ class StreamingMappingService:
                 domain=domain, noisy=noisy, seed=seed,
                 max_workers=max_workers, chunk_size=chunk_size,
                 ledger_compaction=compaction, backend=backend,
+                engine=shard_engine,
             )
             n_shards_effective = self._pipeline.n_shards
         if micro_batch is None:
@@ -295,6 +305,15 @@ class StreamingMappingService:
     def engine(self) -> str:
         """``"batched"`` or ``"sharded"``."""
         return self._engine_kind
+
+    @property
+    def shard_engine(self) -> "str | None":
+        """The sharded pipeline's resolved fan-out engine
+        (``"thread"`` or ``"process"``); ``None`` on the batched
+        engine, which has no shard fan-out."""
+        if self._engine_kind != "sharded":
+            return None
+        return self._pipeline.engine
 
     @property
     def backend(self) -> str:
@@ -452,7 +471,8 @@ class StreamingMappingService:
         :class:`ServiceStats`)."""
         stats = self.merged_stats()
         (pass_counts, events_live, events_folded, population,
-         compactions) = fold_ledger_observability(self.ledgers())
+         compactions) = engine_observability(self._engine_kind,
+                                             self._pipeline)
         wall = (0.0 if self._started_at is None
                 else time.perf_counter() - self._started_at)
         return ServiceStats(

@@ -5,15 +5,22 @@ from __future__ import annotations
 import pytest
 
 from repro.arch.autotune import (
+    ENCODED_BYTES_PER_CELL,
+    ENGINE_ENV,
     MAX_CHUNK_READS,
     MIN_CHUNK_READS,
     MIN_ROWS_PER_SHARD,
+    PROCESS_MIN_CPUS,
+    PROCESS_MIN_REFERENCE_BYTES,
     ShardPlan,
     available_cpus,
+    plan_engine,
     plan_microbatch,
     plan_shards,
+    resolve_engine,
     sweep_worker_count,
 )
+from repro.errors import CamConfigError
 from repro.core.pipeline import ShardedReadMappingPipeline
 from repro.genome.datasets import build_dataset
 
@@ -119,6 +126,68 @@ class TestSweepWorkers:
     def test_available_cpus_floor(self):
         assert available_cpus(0) == 1
         assert available_cpus() >= 1
+
+
+# A reference whose encoded payload clears PROCESS_MIN_REFERENCE_BYTES
+# (1024 * 256 * 17 B ≈ 4.25 MiB ≥ 4 MiB).
+_BIG_ROWS, _BIG_COLS = 1024, 256
+
+
+class TestPlanEngine:
+    def test_big_partitioned_reference_on_big_host(self):
+        assert (_BIG_ROWS * _BIG_COLS * ENCODED_BYTES_PER_CELL
+                >= PROCESS_MIN_REFERENCE_BYTES)
+        assert plan_engine(_BIG_ROWS, _BIG_COLS, n_shards=4,
+                           cpu_count=8) == "process"
+
+    def test_small_host_stays_on_threads(self):
+        assert plan_engine(_BIG_ROWS, _BIG_COLS, n_shards=4,
+                           cpu_count=PROCESS_MIN_CPUS - 1) == "thread"
+
+    def test_single_shard_stays_on_threads(self):
+        assert plan_engine(_BIG_ROWS, _BIG_COLS, n_shards=1,
+                           cpu_count=8) == "thread"
+
+    def test_small_reference_stays_on_threads(self):
+        assert plan_engine(64, 128, n_shards=4, cpu_count=8) == "thread"
+
+    def test_unknown_shard_count_assumes_partitioned(self):
+        assert plan_engine(_BIG_ROWS, _BIG_COLS, n_shards=None,
+                           cpu_count=8) == "process"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_engine(0, 64)
+        with pytest.raises(ValueError):
+            plan_engine(64, 0)
+
+
+class TestResolveEngine:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "process")
+        assert resolve_engine("thread", _BIG_ROWS, _BIG_COLS,
+                              n_shards=4, cpu_count=8) == "thread"
+
+    def test_env_beats_plan(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "process")
+        # The plan alone would say "thread" on a tiny host.
+        assert resolve_engine(None, _BIG_ROWS, _BIG_COLS, n_shards=4,
+                              cpu_count=1) == "process"
+
+    def test_falls_back_to_plan(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert resolve_engine(None, _BIG_ROWS, _BIG_COLS, n_shards=4,
+                              cpu_count=8) == "process"
+        assert resolve_engine(None, 64, 128, n_shards=4,
+                              cpu_count=8) == "thread"
+
+    def test_rejects_unknown_names(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        with pytest.raises(CamConfigError, match="engine"):
+            resolve_engine("fork", 64, 128)
+        monkeypatch.setenv(ENGINE_ENV, "fork")
+        with pytest.raises(CamConfigError, match="engine"):
+            resolve_engine(None, 64, 128)
 
 
 class TestPipelineIntegration:

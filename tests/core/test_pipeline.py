@@ -253,7 +253,7 @@ class TestShardedPipeline:
         persistent pool across runs and release it on close()."""
         pipeline = ShardedReadMappingPipeline(
             noisy_dataset.segments, noisy_dataset.model, n_shards=2,
-            noisy=False, seed=3,
+            noisy=False, seed=3, engine="thread",
         )
         assert pipeline.owns_executor
         assert pipeline._pool is None  # lazy until the first run
@@ -274,7 +274,7 @@ class TestShardedPipeline:
     def test_context_manager_closes_executor(self, noisy_dataset):
         with ShardedReadMappingPipeline(
                 noisy_dataset.segments, noisy_dataset.model, n_shards=2,
-                noisy=False) as pipeline:
+                noisy=False, engine="thread") as pipeline:
             pipeline.run(noisy_dataset.reads[:2], threshold=8)
             assert pipeline._pool is not None
         assert pipeline._pool is None

@@ -1,0 +1,195 @@
+"""Tests for the shared-memory stored-reference transport.
+
+The process engine's substrate: sharing must be a bit-exact,
+zero-copy, encode-free roundtrip, and every corrupted / foreign /
+vanished segment must fail loudly with
+:class:`~repro.errors.CamConfigError` — never with silently wrong
+mismatch counts.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.cam.array import StoredReference
+from repro.errors import CamConfigError
+from repro.kernels import ENCODED_REFERENCE_FIELDS, encoded_reference_arrays
+from repro.parallel import (
+    SHM_MAGIC,
+    attach_stored_reference,
+    share_stored_reference,
+)
+from repro.parallel.shm import _HEADER, _aligned
+
+
+@pytest.fixture(scope="module")
+def reference() -> StoredReference:
+    rng = np.random.default_rng(42)
+    segments = rng.integers(0, 4, size=(32, 96), dtype=np.uint8)
+    return StoredReference.encode(segments)
+
+
+def _segment_layout(name: str) -> "tuple[int, int]":
+    """``(payload_start, payload_length)`` parsed from a live segment."""
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        _, _, meta_length, _, _, payload_length = _HEADER.unpack_from(
+            shm.buf, 0
+        )
+        return _aligned(_HEADER.size + meta_length), payload_length
+    finally:
+        shm.close()
+
+
+class TestRoundtrip:
+    def test_attach_is_bit_exact(self, reference):
+        with share_stored_reference(reference) as owner:
+            with attach_stored_reference(owner.handle) as attachment:
+                original = dict(
+                    encoded_reference_arrays(reference.encoded())
+                )
+                mirrored = dict(
+                    encoded_reference_arrays(
+                        attachment.reference.encoded())
+                )
+                assert tuple(mirrored) == ENCODED_REFERENCE_FIELDS
+                for name in ENCODED_REFERENCE_FIELDS:
+                    assert original[name].dtype == mirrored[name].dtype
+                    np.testing.assert_array_equal(
+                        original[name], mirrored[name]
+                    )
+
+    def test_attached_reference_is_sealed_without_encoding(self, reference):
+        with share_stored_reference(reference) as owner:
+            with attach_stored_reference(owner.handle) as attachment:
+                mirrored = attachment.reference
+                assert mirrored.sealed
+                assert mirrored.n_encodes == 0
+                mirrored.encoded()
+                # Reading the cached encoding must never count as an
+                # encode pass — the worker-side encode-once evidence.
+                assert mirrored.n_encodes == 0
+
+    def test_attached_views_are_read_only(self, reference):
+        with share_stored_reference(reference) as owner:
+            with attach_stored_reference(owner.handle) as attachment:
+                arrays = dict(encoded_reference_arrays(
+                    attachment.reference.encoded()
+                ))
+                for name in ENCODED_REFERENCE_FIELDS:
+                    with pytest.raises(ValueError):
+                        arrays[name].flat[0] = 0
+
+    def test_accepts_bare_segment_name(self, reference):
+        with share_stored_reference(reference) as owner:
+            with attach_stored_reference(owner.name) as attachment:
+                assert attachment.reference.sealed
+
+
+class TestSharePreconditions:
+    def test_unsealed_reference_rejected(self):
+        with pytest.raises(CamConfigError, match="sealed"):
+            share_stored_reference(StoredReference(rows=4, cols=8))
+
+
+class TestValidation:
+    def test_unknown_name(self):
+        with pytest.raises(CamConfigError, match="no shared reference"):
+            attach_stored_reference("asmcap-test-no-such-segment")
+
+    def _corrupt(self, name: str, offset: int) -> None:
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            shm.buf[offset] ^= 0xFF
+        finally:
+            shm.close()
+
+    def test_bad_magic(self, reference):
+        with share_stored_reference(reference) as owner:
+            self._corrupt(owner.name, 0)
+            with pytest.raises(CamConfigError, match="bad magic"):
+                attach_stored_reference(owner.handle)
+
+    def test_bad_version(self, reference):
+        with share_stored_reference(reference) as owner:
+            # The version field sits right after the 8-byte magic.
+            self._corrupt(owner.name, len(SHM_MAGIC))
+            with pytest.raises(CamConfigError, match="header version"):
+                attach_stored_reference(owner.handle)
+
+    def test_meta_corruption(self, reference):
+        with share_stored_reference(reference) as owner:
+            self._corrupt(owner.name, _HEADER.size)
+            with pytest.raises(CamConfigError, match="meta checksum"):
+                attach_stored_reference(owner.handle)
+
+    def test_payload_corruption(self, reference):
+        with share_stored_reference(reference) as owner:
+            payload_start, payload_length = _segment_layout(owner.name)
+            assert payload_length > 0
+            self._corrupt(owner.name, payload_start + payload_length - 1)
+            with pytest.raises(CamConfigError, match="payload checksum"):
+                attach_stored_reference(owner.handle)
+
+    def test_truncated_header(self, reference):
+        shm = shared_memory.SharedMemory(create=True, size=4)
+        try:
+            with pytest.raises(CamConfigError,
+                               match="smaller than a header"):
+                attach_stored_reference(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_truncated_payload(self, reference):
+        with share_stored_reference(reference) as owner:
+            # Lie about the payload length: promise more bytes than
+            # the segment holds.
+            shm = shared_memory.SharedMemory(name=owner.name)
+            try:
+                struct.pack_into("<Q", shm.buf, _HEADER.size - 8,
+                                 1 << 62)
+            finally:
+                shm.close()
+            with pytest.raises(CamConfigError, match="truncated"):
+                attach_stored_reference(owner.handle)
+
+
+class TestLifecycle:
+    def test_owner_close_is_idempotent(self, reference):
+        owner = share_stored_reference(reference)
+        name = owner.name
+        owner.close()
+        owner.close()
+        assert owner.closed
+        assert owner.nbytes == 0
+        with pytest.raises(CamConfigError, match="closed"):
+            owner.handle
+        with pytest.raises(CamConfigError, match="no shared reference"):
+            attach_stored_reference(name)
+
+    def test_attach_close_is_idempotent(self, reference):
+        with share_stored_reference(reference) as owner:
+            attachment = attach_stored_reference(owner.handle)
+            attachment.close()
+            attachment.close()
+            assert attachment.closed
+            with pytest.raises(CamConfigError, match="closed"):
+                attachment.reference
+
+    def test_attachment_survives_while_owner_lives(self, reference):
+        with share_stored_reference(reference) as owner:
+            first = attach_stored_reference(owner.handle)
+            second = attach_stored_reference(owner.handle)
+            np.testing.assert_array_equal(
+                first.reference.encoded().segments,
+                second.reference.encoded().segments,
+            )
+            first.close()
+            # The second attachment still reads the same pages.
+            assert second.reference.sealed
+            second.close()
