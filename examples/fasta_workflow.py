@@ -1,13 +1,22 @@
 #!/usr/bin/env python
-"""FASTA/FASTQ workflow: run ASMCap on files instead of synthetic data.
+"""FASTA/FASTQ workflow: ingest once into the store, boot forever warm.
 
-Demonstrates the I/O path a user with real data would take:
+Demonstrates the I/O path a user with real data would take — now split
+into the two phases the reference store creates:
 
-1. write a reference FASTA and an error-injected FASTQ read file
-   (stand-ins for downloaded data — the formats are the real thing);
-2. parse them back with the ambiguity-resolution policies;
-3. segment the reference, load the accelerator, and map the reads;
-4. emit a simple mapping report.
+1. **ingest** (once per reference): write reference FASTAs and an
+   error-injected FASTQ (stand-ins for downloaded data), parse them
+   with the ambiguity-resolution policies, segment, one-hot-encode,
+   and save each reference as an on-disk stored reference registered
+   in a :class:`~repro.refstore.ReferenceCatalog`;
+2. **serve** (every boot after): a
+   :class:`~repro.service.MappingFrontend` over the catalog opens the
+   references by ``mmap`` — zero encode passes — and maps the FASTQ
+   reads in two concurrent sessions, one per reference.
+
+The FASTQ read names carry their origin (reference and segment), so
+the mapping is self-checking: reads map back to their origin segment
+in their own reference's session.
 
 Run:  python examples/fasta_workflow.py
 """
@@ -19,8 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.cam import CamArray
-from repro.core import AsmCapMatcher, MatcherConfig, ReadMappingPipeline
+from repro.cam.array import StoredReference
 from repro.genome import ErrorModel, ReadSampler, generate_reference
 from repro.genome.io_fasta import (
     FastaRecord,
@@ -30,71 +38,115 @@ from repro.genome.io_fasta import (
     write_fasta,
     write_fastq,
 )
+from repro.refstore import ReferenceCatalog
+from repro.service import MappingFrontend
 
 READ_LENGTH = 128
-N_SEGMENTS = 32
+N_SEGMENTS = 32          # per reference
+READS_PER_REFERENCE = 16
 THRESHOLD = 5
+MODEL = ErrorModel.condition_a()
+REFERENCES = ("chr_a", "chr_b")
 
 
-def prepare_files(directory: Path) -> tuple[Path, Path]:
-    """Create reference.fa and reads.fq (the 'download' stand-in)."""
-    reference = generate_reference(N_SEGMENTS * READ_LENGTH + 512, seed=21)
-    fasta_path = directory / "reference.fa"
-    write_fasta([FastaRecord("synthetic_chr1", reference)], fasta_path)
-
-    model = ErrorModel.condition_a()
-    sampler = ReadSampler(reference, READ_LENGTH, model, seed=22)
+def prepare_files(directory: Path) -> "tuple[dict[str, Path], Path]":
+    """Create two reference FASTAs and one FASTQ (the 'download')."""
+    fasta_paths = {}
+    fastq_records = []
     rng = np.random.default_rng(23)
-    records = []
-    for i in range(24):
-        segment_index = int(rng.integers(0, N_SEGMENTS))
-        record = sampler.sample_at(segment_index * READ_LENGTH)
-        # Constant placeholder quality (the CAM has no quality input).
-        qualities = np.full(READ_LENGTH, 35, dtype=np.int16)
-        records.append(FastqRecord(f"read_{i}_seg{segment_index}",
-                                   record.read, qualities))
+    for offset, name in enumerate(REFERENCES):
+        reference = generate_reference(
+            N_SEGMENTS * READ_LENGTH + 512, seed=21 + offset)
+        path = directory / f"{name}.fa"
+        write_fasta([FastaRecord(f"synthetic_{name}", reference)], path)
+        fasta_paths[name] = path
+
+        sampler = ReadSampler(reference, READ_LENGTH, MODEL,
+                              seed=22 + offset)
+        for i in range(READS_PER_REFERENCE):
+            segment_index = int(rng.integers(0, N_SEGMENTS))
+            record = sampler.sample_at(segment_index * READ_LENGTH)
+            # Constant placeholder quality (the CAM has no quality
+            # input).
+            qualities = np.full(READ_LENGTH, 35, dtype=np.int16)
+            fastq_records.append(FastqRecord(
+                f"read_{i}_{name}_seg{segment_index}",
+                record.read, qualities))
     fastq_path = directory / "reads.fq"
-    write_fastq(records, fastq_path)
-    return fasta_path, fastq_path
+    write_fastq(fastq_records, fastq_path)
+    return fasta_paths, fastq_path
+
+
+def ingest(fasta_paths: "dict[str, Path]",
+           directory: Path) -> ReferenceCatalog:
+    """Parse + encode each FASTA once; register the store files."""
+    catalog = ReferenceCatalog()
+    for name, fasta_path in fasta_paths.items():
+        # Parse back (ambiguity policy 'random' would handle real 'N's).
+        sequence = parse_fasta(fasta_path)[0].sequence
+        segments = np.stack([
+            sequence.codes[i * READ_LENGTH:(i + 1) * READ_LENGTH]
+            for i in range(N_SEGMENTS)
+        ])
+        nbytes = catalog.store(name, StoredReference.encode(segments),
+                               directory / f"{name}.asmcap")
+        print(f"ingested {fasta_path.name} -> {name}.asmcap "
+              f"({len(sequence)} bases, {nbytes / 1024:.0f} KiB)")
+    return catalog
+
+
+def serve(catalog: ReferenceCatalog, fastq_path: Path) -> None:
+    """Warm boot: map the FASTQ against both references, by mmap."""
+    reads = parse_fastq(fastq_path)
+    print(f"parsed {len(reads)} FASTQ reads")
+
+    with MappingFrontend(None, MODEL, catalog=catalog) as frontend:
+        sessions = {name: frontend.session(threshold=THRESHOLD, seed=2,
+                                           reference=name)
+                    for name in REFERENCES}
+        for record in reads:
+            for session in sessions.values():
+                session.submit(record.sequence.codes)
+        reports = {name: session.close()
+                   for name, session in sessions.items()}
+        assert frontend.encode_count() == 0, \
+            "serving must never re-encode a stored reference"
+
+    # Check provenance encoded in the FASTQ names: each read maps to
+    # its origin segment in its own reference's session.
+    correct = 0
+    for index, record in enumerate(reads):
+        origin_name = "_".join(record.name.split("_")[2:-1])
+        origin_segment = int(record.name.split("seg")[-1])
+        mapping = reports[origin_name].mappings[index]
+        if origin_segment in mapping.matched_rows:
+            correct += 1
+    total = len(reads)
+    print(f"{correct}/{total} reads mapped back to their origin "
+          f"segment in their own reference's session")
+    assert correct >= total * 0.7
+
+    stats = catalog.stats()
+    print(f"catalog: {stats.misses} opens, {stats.hits} hits, "
+          f"{stats.resident_bytes / 1024:.0f} KiB resident")
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         directory = Path(tmp)
-        fasta_path, fastq_path = prepare_files(directory)
-        print(f"wrote {fasta_path.name} and {fastq_path.name}")
+        fasta_paths, fastq_path = prepare_files(directory)
+        print(f"wrote {', '.join(p.name for p in fasta_paths.values())} "
+              f"and {fastq_path.name}")
 
-        # Parse back (ambiguity policy 'random' would handle real 'N's).
-        reference = parse_fasta(fasta_path)[0].sequence
-        reads = parse_fastq(fastq_path)
-        print(f"parsed reference ({len(reference)} bases) and "
-              f"{len(reads)} reads")
+        catalog = ingest(fasta_paths, directory)
+        serve(catalog, fastq_path)
 
-        # Segment and load.
-        segments = np.stack([
-            reference.codes[i * READ_LENGTH:(i + 1) * READ_LENGTH]
-            for i in range(N_SEGMENTS)
-        ])
-        array = CamArray(rows=N_SEGMENTS, cols=READ_LENGTH, seed=1)
-        array.store(segments)
-        matcher = AsmCapMatcher(array, ErrorModel.condition_a(),
-                                MatcherConfig(), seed=2)
-        pipeline = ReadMappingPipeline(matcher)
-
-        report = pipeline.run([r.sequence.codes for r in reads], THRESHOLD)
-        print(f"mapped {report.n_mapped}/{report.n_reads} reads at "
-              f"T={THRESHOLD} ({report.unique_fraction * 100:.0f}% unique)")
-
-        # Check provenance encoded in the FASTQ names.
-        correct = 0
-        for record, mapping in zip(reads, report.mappings):
-            origin = int(record.name.split("seg")[-1])
-            if origin in mapping.matched_rows:
-                correct += 1
-        print(f"{correct}/{len(reads)} reads mapped back to their "
-              f"origin segment")
-        assert correct >= len(reads) * 0.7
-        print("OK: file-based workflow complete.")
+        # A second boot serves entirely from the store files — the
+        # encode phase above is never repeated.
+        serve(catalog, fastq_path)
+        catalog.close()
+    print("OK: file-based two-reference workflow complete "
+          "(one ingest, two warm boots).")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from repro.arch.accelerator import (
 from repro.arch.autotune import (
     ServicePoolPlan,
     ShardPlan,
+    estimate_stored_reference_bytes,
     plan_microbatch,
     plan_service_pool,
     plan_shards,
@@ -55,6 +56,7 @@ __all__ = [
     "cell_area_fraction",
     "cell_area_um2",
     "component_energies_per_search",
+    "estimate_stored_reference_bytes",
     "plan_microbatch",
     "plan_service_pool",
     "plan_shards",

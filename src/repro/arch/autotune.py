@@ -275,6 +275,23 @@ ENCODED_BYTES_PER_CELL = 17
 PROCESS_MIN_REFERENCE_BYTES = 1 << 22
 
 
+def estimate_stored_reference_bytes(n_rows: int, cols: int) -> int:
+    """Approximate encoded-payload bytes of one stored reference.
+
+    :data:`ENCODED_BYTES_PER_CELL` over the reference geometry — the
+    same estimate :func:`plan_engine` thresholds on, exposed so a
+    :class:`~repro.refstore.ReferenceCatalog` byte budget can be sized
+    from reference shapes before any file exists.  An upper-ish bound
+    on the true store-file size (which adds a fixed header and
+    per-array alignment padding but packs the planes tighter).
+    """
+    if n_rows <= 0:
+        raise ValueError(f"n_rows must be positive, got {n_rows}")
+    if cols <= 0:
+        raise ValueError(f"cols must be positive, got {cols}")
+    return int(n_rows) * int(cols) * ENCODED_BYTES_PER_CELL
+
+
 def plan_engine(n_rows: int, cols: int,
                 n_shards: "int | None" = None,
                 cpu_count: "int | None" = None) -> str:

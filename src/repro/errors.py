@@ -62,3 +62,16 @@ class LedgerCompactionError(ReproError):
 
 class ServiceError(ReproError):
     """A streaming mapping service was used outside its lifecycle."""
+
+
+class RefStoreError(CamConfigError):
+    """An on-disk reference store or catalog operation failed.
+
+    Raised when a stored-reference file is corrupt, truncated, of the
+    wrong format/version, or when a :class:`~repro.refstore.catalog.
+    ReferenceCatalog` rule is violated (evicting a pinned reference,
+    borrowing an unknown name, exceeding lifecycle bounds).  Derives
+    from :class:`CamConfigError` so transport-agnostic callers that
+    already guard shared-memory attach failures catch file-store
+    failures with the same ``except`` clause.
+    """

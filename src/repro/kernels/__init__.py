@@ -23,6 +23,7 @@ from repro.kernels.base import (
     encoded_reference_arrays,
     encoded_reference_from_arrays,
     pack_bitplanes,
+    slice_encoded_reference,
     valid_masks,
 )
 from repro.kernels.registry import (
@@ -55,5 +56,6 @@ __all__ = [
     "pack_bitplanes",
     "register_backend",
     "resolve_backend",
+    "slice_encoded_reference",
     "valid_masks",
 ]

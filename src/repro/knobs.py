@@ -64,3 +64,44 @@ def validate_service_knobs(micro_batch: "int | None" = None,
         )
     if backend is not None and not isinstance(backend, KernelBackend):
         get_backend(backend)  # raises CamConfigError on unknown names
+
+
+def validate_reference_source(segments, *,
+                              catalog: "object | None" = None) -> None:
+    """Reject inconsistent ``(segments, catalog)`` constructor pairings.
+
+    The service layer accepts three reference sources in the
+    ``segments`` position: a raw segment matrix, a sealed
+    :class:`~repro.cam.array.StoredReference` (e.g. from
+    :func:`repro.refstore.open_stored_reference`), or — with
+    ``catalog=`` — a reference *name* to borrow from a
+    :class:`~repro.refstore.ReferenceCatalog`.  This gate pins the
+    pairing rules once, so every boundary raises the same
+    :class:`~repro.errors.CamConfigError`:
+
+    * ``catalog=`` given → ``segments`` must be a name string;
+    * a name string without ``catalog=`` is meaningless;
+    * a passed-in stored reference must be sealed (an unsealed one
+      still accepts stores, and sessions must never race them).
+    """
+    # Function-level import: cam.array imports this module's sibling
+    # gate, so the reference type cannot be imported at module level.
+    from repro.cam.array import StoredReference
+
+    if catalog is not None:
+        if not isinstance(segments, str):
+            raise CamConfigError(
+                f"with catalog=, pass the reference name (a str) in "
+                f"the segments position, got {type(segments).__name__}"
+            )
+    elif isinstance(segments, str):
+        raise CamConfigError(
+            f"a reference name ({segments!r}) needs catalog=; without "
+            f"one, pass a segment matrix or a sealed StoredReference"
+        )
+    elif isinstance(segments, StoredReference) and not segments.sealed:
+        raise CamConfigError(
+            "a StoredReference passed to the service layer must be "
+            "sealed (StoredReference.encode(...) seals; adopted "
+            "references are born sealed)"
+        )

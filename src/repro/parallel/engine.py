@@ -4,8 +4,14 @@
 fan-out (``engine="process"`` on
 :class:`~repro.core.pipeline.ShardedReadMappingPipeline`):
 
-* **share once** — every sealed shard reference is copied into shared
-  memory exactly once (:func:`~repro.parallel.shm.share_stored_reference`);
+* **share once, or not at all** — a sealed shard reference is copied
+  into shared memory exactly once
+  (:func:`~repro.parallel.shm.share_stored_reference`); a shard whose
+  :attr:`~repro.cam.array.StoredReference.source` is an on-disk
+  :class:`~repro.refstore.format.FileReferenceHandle` skips even that
+  copy — workers re-open the store file's row range themselves (the
+  page cache shares the physical pages), and :attr:`shared_nbytes`
+  stays 0;
 * **spawn once** — long-lived workers (``spawn`` context, so nothing
   is inherited by fork — backends re-resolve by name in the child)
   attach the shards at startup and handshake ``ready``;
@@ -157,7 +163,8 @@ class ProcessShardEngine:
     @property
     def shared_nbytes(self) -> int:
         """Total bytes of shared-memory reference payload (0 before
-        the lazy start)."""
+        the lazy start, and 0 *forever* when every shard is
+        file-backed — the zero-copy-boot evidence)."""
         return sum(owner.nbytes for owner in self._owners)
 
     def worker_pids(self) -> "tuple[int, ...]":
@@ -196,10 +203,21 @@ class ProcessShardEngine:
             raise ServiceError("this process engine has been closed")
         if self._started:
             return
+        from repro.refstore.format import FileReferenceHandle
+
         try:
+            handles = []
             for shard in self._shards:
-                self._owners.append(share_stored_reference(shard))
-            handles = [owner.handle for owner in self._owners]
+                source = shard.source
+                if isinstance(source, FileReferenceHandle):
+                    # File-backed shard: workers re-open the store file
+                    # themselves — no shared-memory copy at all, which
+                    # is why shared_nbytes stays 0 on this path.
+                    handles.append(source)
+                else:
+                    owner = share_stored_reference(shard)
+                    self._owners.append(owner)
+                    handles.append(owner.handle)
             self._task_queue = self._ctx.Queue()
             self._result_queue = self._ctx.Queue()
             for index in range(self._n_workers):

@@ -42,14 +42,9 @@ worker's attachment and warn at worker exit).
 
 from __future__ import annotations
 
-import json
-import struct
 import weakref
-import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-
-import numpy as np
 
 from repro.cam.array import StoredReference
 from repro.errors import CamConfigError
@@ -57,6 +52,17 @@ from repro.kernels import (
     ENCODED_REFERENCE_FIELDS,
     encoded_reference_arrays,
     encoded_reference_from_arrays,
+)
+# Layout re-exports: tests and layout-aware callers read the segment
+# geometry through this module's historical names.
+from repro.parallel.header import ALIGN as _ALIGN  # noqa: F401
+from repro.parallel.header import HEADER as _HEADER  # noqa: F401
+from repro.parallel.header import aligned as _aligned  # noqa: F401
+from repro.parallel.header import (
+    open_container,
+    plan_layout,
+    seal_header,
+    write_payload,
 )
 
 __all__ = [
@@ -69,23 +75,15 @@ __all__ = [
     "share_stored_reference",
 ]
 
-#: Leading magic bytes of every shared-reference segment.
+#: Leading magic bytes of every shared-reference segment.  The layout
+#: behind it is the shared container codec of
+#: :mod:`repro.parallel.header` (``_HEADER`` / ``_ALIGN`` /
+#: ``_aligned`` re-export it for layout-aware callers and tests).
 SHM_MAGIC = b"ASMCAPSM"
 
 #: Header format version; bumped on any layout change so an attach
 #: against a stale writer fails loudly.
 SHM_VERSION = 1
-
-#: ``magic | version | meta_length | meta_crc32 | payload_crc32 |
-#: payload_length`` — little-endian, fixed width.
-_HEADER = struct.Struct("<8sIIIIQ")
-
-#: Payload arrays start on this alignment (numpy views over uint64
-#: planes need 8; 64 keeps rows cache-line aligned).
-_ALIGN = 64
-
-def _aligned(offset: int) -> int:
-    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
 @dataclass(frozen=True)
@@ -181,42 +179,15 @@ def share_stored_reference(
             "processes (seal() or StoredReference.encode(...) first)"
         )
     arrays = encoded_reference_arrays(reference.encoded())
-    meta_arrays = []
-    offset = 0
-    for name, array in arrays:
-        array = np.ascontiguousarray(array)
-        offset = _aligned(offset)
-        meta_arrays.append({
-            "name": name,
-            "dtype": array.dtype.str,
-            "shape": list(array.shape),
-            "offset": offset,
-            "nbytes": int(array.nbytes),
-        })
-        offset += array.nbytes
-    payload_length = offset
-    meta = json.dumps({"arrays": meta_arrays}).encode("ascii")
-
-    payload_start = _aligned(_HEADER.size + len(meta))
-    total = payload_start + payload_length
-    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    layout = plan_layout(arrays)
+    shm = shared_memory.SharedMemory(create=True,
+                                     size=max(1, layout.total))
     try:
-        buf = shm.buf
-        for spec, (_, array) in zip(meta_arrays, arrays):
-            view = np.ndarray(array.shape, dtype=array.dtype, buffer=buf,
-                              offset=payload_start + spec["offset"])
-            view[...] = array
-        # One CRC over the whole payload region (alignment padding
-        # included — the segment is zero-initialised), matching how
-        # the attach side verifies it.
-        payload_crc = zlib.crc32(
-            buf[payload_start:payload_start + payload_length]
-        )
-        buf[:_HEADER.size] = _HEADER.pack(
-            SHM_MAGIC, SHM_VERSION, len(meta),
-            zlib.crc32(meta), payload_crc, payload_length,
-        )
-        buf[_HEADER.size:_HEADER.size + len(meta)] = meta
+        # The segment is zero-initialised, so the payload CRC the
+        # codec computes covers deterministic alignment padding.
+        write_payload(shm.buf, layout, arrays)
+        seal_header(shm.buf, layout, magic=SHM_MAGIC,
+                    version=SHM_VERSION)
     except BaseException:
         _destroy_segment(shm)
         raise
@@ -307,55 +278,12 @@ def attach_stored_reference(
             f"owner closed, unlinking it?)"
         ) from exc
     try:
-        buf = shm.buf
-        if len(buf) < _HEADER.size:
-            raise CamConfigError(
-                f"shared segment {name!r} is smaller than a header"
-            )
-        magic, version, meta_length, meta_crc, payload_crc, \
-            payload_length = _HEADER.unpack_from(buf, 0)
-        if magic != SHM_MAGIC:
-            raise CamConfigError(
-                f"shared segment {name!r} is not an ASMCap reference "
-                f"(bad magic {magic!r})"
-            )
-        if version != SHM_VERSION:
-            raise CamConfigError(
-                f"shared segment {name!r} has header version {version}; "
-                f"this build reads version {SHM_VERSION}"
-            )
-        meta_end = _HEADER.size + meta_length
-        payload_start = _aligned(meta_end)
-        if len(buf) < payload_start + payload_length:
-            raise CamConfigError(
-                f"shared segment {name!r} is truncated "
-                f"({len(buf)} bytes, header promises "
-                f"{payload_start + payload_length})"
-            )
-        meta_bytes = bytes(buf[_HEADER.size:meta_end])
-        if zlib.crc32(meta_bytes) != meta_crc:
-            raise CamConfigError(
-                f"shared segment {name!r} failed the meta checksum"
-            )
-        if zlib.crc32(buf[payload_start:payload_start + payload_length]) \
-                != payload_crc:
-            raise CamConfigError(
-                f"shared segment {name!r} failed the payload checksum"
-            )
-        meta = json.loads(meta_bytes.decode("ascii"))
-        arrays: "dict[str, np.ndarray]" = {}
-        for spec in meta["arrays"]:
-            view = np.ndarray(
-                tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]),
-                buffer=buf, offset=payload_start + spec["offset"],
-            )
-            view.setflags(write=False)
-            arrays[spec["name"]] = view
-        if tuple(arrays) != ENCODED_REFERENCE_FIELDS:
-            raise CamConfigError(
-                f"shared segment {name!r} carries arrays "
-                f"{tuple(arrays)}, expected {ENCODED_REFERENCE_FIELDS}"
-            )
+        arrays = open_container(
+            shm.buf, magic=SHM_MAGIC, version=SHM_VERSION,
+            describe=f"shared segment {name!r}",
+            error=CamConfigError,
+            expected_fields=ENCODED_REFERENCE_FIELDS,
+        )
         reference = StoredReference.adopt_encoded(
             encoded_reference_from_arrays(arrays)
         )

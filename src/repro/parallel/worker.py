@@ -121,14 +121,26 @@ def worker_main(worker_index: int, handles, domain: str, noisy: bool,
     ``n_encodes`` is the running total of encode passes across this
     worker's attached references — the encode-once evidence, asserted
     to stay 0 by tests and the process-engine benchmark.
+
+    Each handle is either a shared-memory
+    :class:`~repro.parallel.shm.SharedReferenceHandle` (attach the
+    parent's copied segment) or an on-disk
+    :class:`~repro.refstore.format.FileReferenceHandle` (re-open the
+    store file's row range directly — the parent copied nothing, and
+    the OS page cache shares the file's physical pages across every
+    worker).  Both attach zero-copy with ``n_encodes == 0``.
     """
-    from repro.parallel.shm import attach_stored_reference
+    from repro.parallel.shm import SharedReferenceHandle, attach_stored_reference
+    from repro.refstore.format import open_stored_reference
 
     attachments = []
     try:
         try:
             for handle in handles:
-                attachments.append(attach_stored_reference(handle))
+                if isinstance(handle, SharedReferenceHandle):
+                    attachments.append(attach_stored_reference(handle))
+                else:
+                    attachments.append(open_stored_reference(handle))
             references = [a.reference for a in attachments]
         except BaseException:
             result_queue.put(

@@ -68,6 +68,7 @@ from repro.arch.autotune import (
     plan_service_pool,
     resolve_engine,
 )
+from repro.arch.scheduler import bank_row_ranges
 from repro.cam.array import StoredReference, as_segments_matrix
 from repro.core.matcher import AsmCapMatcher, MatcherConfig
 from repro.core.pipeline import (
@@ -76,7 +77,9 @@ from repro.core.pipeline import (
     ReadMappingPipeline,
     ShardedReadMappingPipeline,
     encode_shard_references,
+    resolve_shard_plan,
 )
+from repro.refstore.format import slice_stored_reference
 from repro.cost.events import ReferenceLoad
 from repro.cost.ledger import CostLedger
 from repro.cost.views import SearchStats
@@ -128,14 +131,16 @@ class MappingSession:
 
     def __init__(self, frontend: "MappingFrontend", index: int,
                  pipeline, threshold: int, micro_batch: int,
-                 retain_mappings: bool):
+                 retain_mappings: bool, cols: int):
         self._frontend = frontend
         self._index = index
         self._pipeline = pipeline
         self._threshold = int(threshold)
         self._micro_batch = int(micro_batch)
         self._retain_mappings = bool(retain_mappings)
-        self._cols = frontend.cols
+        # Explicit, not frontend.cols: on a catalog frontend each
+        # session's width follows its own named reference.
+        self._cols = int(cols)
         #: Serialises engine dispatches against ledger-reading
         #: observability calls; always acquired BEFORE the frontend
         #: lock (the one global lock-ordering rule).
@@ -435,6 +440,33 @@ class MappingSession:
         self._check_failure_locked()
 
 
+class _RefState:
+    """A catalog frontend's per-reference shared state, built lazily.
+
+    One per named reference ever used by a session: the catalog lease
+    (pinning the mapped file for the frontend's lifetime), the
+    zero-copy shard slices sessions borrow, the resolved shard plan,
+    and — when the fan-out resolved to ``"process"`` — the one
+    :class:`~repro.parallel.ProcessShardEngine` every session over
+    this reference shares (its workers re-open the store file by path:
+    no shared-memory copy).
+    """
+
+    __slots__ = ("name", "lease", "shards", "cols", "n_rows",
+                 "chunk_size", "shard_engine_kind", "process_engine")
+
+    def __init__(self, name, lease, shards, cols, n_rows, chunk_size,
+                 shard_engine_kind, process_engine):
+        self.name = name
+        self.lease = lease
+        self.shards = shards
+        self.cols = cols
+        self.n_rows = n_rows
+        self.chunk_size = chunk_size
+        self.shard_engine_kind = shard_engine_kind
+        self.process_engine = process_engine
+
+
 class MappingFrontend:
     """Serve N concurrent mapping sessions over one encoded reference.
 
@@ -443,6 +475,9 @@ class MappingFrontend:
     segments:
         ``(n_rows, N)`` uint8 matrix of reference segments — encoded
         and stored **once**, at construction, for every session.
+        Must be ``None`` when ``catalog=`` is given: a catalog
+        frontend encodes *nothing*; each session names the stored
+        reference it maps against.
     error_model:
         Workload error rates driving the HDAC/TASR policies (shared:
         the policies are a property of the stored workload).
@@ -487,9 +522,20 @@ class MappingFrontend:
         through the standard order (environment variable, then
         autotune).  Resolved once, frontend-wide, so every session's
         pipeline agrees.  Bit-identical either way.
+    catalog:
+        A :class:`~repro.refstore.ReferenceCatalog` to serve stored
+        references from.  Sessions then pass ``reference=<name>`` to
+        :meth:`session`; the frontend borrows each named reference
+        once (pinned until :meth:`close`), slices it into the same
+        bank ranges a segments frontend would encode, and never runs
+        an encode pass — :meth:`encode_count` stays 0.  With the
+        process fan-out, workers attach the store file by path, so
+        booting copies zero reference bytes.  The catalog belongs to
+        the caller and is left open by :meth:`close`.
     """
 
-    def __init__(self, segments: np.ndarray, error_model: ErrorModel,
+    def __init__(self, segments: "np.ndarray | None",
+                 error_model: ErrorModel,
                  config: "MatcherConfig | None" = None,
                  engine: str = "batched",
                  domain: str = "charge",
@@ -500,7 +546,8 @@ class MappingFrontend:
                  max_backlog: "int | None" = None,
                  backpressure: str = "block",
                  backend: "str | None" = None,
-                 shard_engine: "str | None" = None):
+                 shard_engine: "str | None" = None,
+                 catalog: "object | None" = None):
         if engine not in _ENGINES:
             raise ServiceError(
                 f"engine must be one of {_ENGINES}, got {engine!r}"
@@ -516,38 +563,71 @@ class MappingFrontend:
                 f"shard_engine={shard_engine!r} applies to the sharded "
                 f"engine only (engine={engine!r})"
             )
-        segments = as_segments_matrix(segments)
+        if catalog is not None and segments is not None:
+            raise CamConfigError(
+                "a catalog frontend takes no construction-time "
+                "segments; each session names its reference "
+                "(session(..., reference=<name>))"
+            )
+        if catalog is None and segments is None:
+            raise CamConfigError(
+                "segments is required unless a catalog= is given"
+            )
         self._engine_kind = engine
         self._model = error_model
         self._config = config
         self._domain = domain
         self._noisy = bool(noisy)
         self._backend = backend
-        self._n_rows = int(segments.shape[0])
-        self._cols = int(segments.shape[1])
         self._backpressure = backpressure
-
-        # --- encode and store the reference EXACTLY ONCE ---------------
-        self._chunk_size: "int | None" = None
-        if engine == "batched":
-            self._stored_refs: "tuple[StoredReference, ...]" = (
-                StoredReference.encode(segments),
-            )
-        else:
-            self._stored_refs, self._chunk_size = encode_shard_references(
-                segments, n_shards=n_shards, chunk_size=chunk_size
-            )
+        self._catalog = catalog
+        # Catalog mode resolves these per named reference, lazily.
+        self._req_n_shards = n_shards
+        self._req_chunk_size = chunk_size
+        self._req_shard_engine = shard_engine
+        self._ref_states: "dict[str, _RefState]" = {}
+        self._ref_lock = threading.Lock()
         #: Frontend-level traffic ledger; holds the single
         #: ReferenceLoad per shard (the encode-once evidence) — session
         #: ledgers only ever see search passes.
         self._ledger = CostLedger()
-        for ref in self._stored_refs:
-            self._ledger.record(ReferenceLoad(
-                n_segments=ref.n_segments, n_cells=ref.cols,
-            ))
+        self._chunk_size: "int | None" = None
+        self._shard_executor: "ThreadPoolExecutor | None" = None
+        self._process_engine: "ProcessShardEngine | None" = None
+        self._shard_engine_kind: "str | None" = None
+
+        if catalog is None:
+            segments = as_segments_matrix(segments)
+            self._n_rows: "int | None" = int(segments.shape[0])
+            self._cols: "int | None" = int(segments.shape[1])
+            # --- encode and store the reference EXACTLY ONCE -----------
+            if engine == "batched":
+                self._stored_refs: "tuple[StoredReference, ...]" = (
+                    StoredReference.encode(segments),
+                )
+            else:
+                self._stored_refs, self._chunk_size = \
+                    encode_shard_references(
+                        segments, n_shards=n_shards,
+                        chunk_size=chunk_size,
+                    )
+            for ref in self._stored_refs:
+                self._ledger.record(ReferenceLoad(
+                    n_segments=ref.n_segments, n_cells=ref.cols,
+                ))
+            plan = plan_service_pool(n_shards=self.n_shards)
+        else:
+            # Zero encode passes, ever: references arrive through the
+            # catalog as mmap-opened store files, per session.
+            self._n_rows = None
+            self._cols = None
+            self._stored_refs = ()
+            # Reference geometry is unknown until sessions open, so
+            # the dispatch pool assumes a fan-out of 1 unless the
+            # caller pinned n_shards; pass pool_workers to tune.
+            plan = plan_service_pool(n_shards=max(1, n_shards or 1))
 
         # --- persistent dispatch pool ----------------------------------
-        plan = plan_service_pool(n_shards=self.n_shards)
         if pool_workers is None:
             pool_workers = plan.n_workers
         if int(pool_workers) < 1:
@@ -564,10 +644,7 @@ class MappingFrontend:
             )
         self._pool_workers = int(pool_workers)
         self._max_backlog = int(max_backlog)
-        self._shard_executor: "ThreadPoolExecutor | None" = None
-        self._process_engine: "ProcessShardEngine | None" = None
-        self._shard_engine_kind: "str | None" = None
-        if engine == "sharded":
+        if engine == "sharded" and catalog is None:
             # One frontend-wide resolution: every session's pipeline
             # receives the resolved name explicitly, so no session can
             # disagree with the frontend about which fan-out runs.
@@ -611,14 +688,24 @@ class MappingFrontend:
         return self._engine_kind
 
     @property
-    def cols(self) -> int:
-        """Reference segment width (every read must match it)."""
+    def cols(self) -> "int | None":
+        """Reference segment width (every read must match it) —
+        ``None`` on a catalog frontend, where each session's width
+        follows its named reference."""
         return self._cols
 
     @property
     def n_shards(self) -> int:
-        """Shards the reference is partitioned across (1 = batched)."""
+        """Shards the reference is partitioned across (1 = batched;
+        0 on a catalog frontend, whose shard counts are per
+        reference)."""
         return len(self._stored_refs)
+
+    @property
+    def catalog(self) -> "object | None":
+        """The :class:`~repro.refstore.ReferenceCatalog` sessions
+        borrow from (``None`` on a segments frontend)."""
+        return self._catalog
 
     @property
     def shard_engine(self) -> "str | None":
@@ -660,14 +747,22 @@ class MappingFrontend:
 
     @property
     def stored_references(self) -> "tuple[StoredReference, ...]":
-        """The shared, sealed reference (one entry per shard)."""
-        return self._stored_refs
+        """The shared, sealed reference(s) — one entry per shard; on a
+        catalog frontend, every shard of every reference opened so far
+        (reference open order)."""
+        if self._catalog is None:
+            return self._stored_refs
+        with self._ref_lock:
+            return tuple(shard for state in self._ref_states.values()
+                         for shard in state.shards)
 
     def encode_count(self) -> int:
         """Total one-hot encode passes across the shared reference —
         stays equal to :attr:`n_shards` no matter how many sessions
-        open (the benchmark's encode-once evidence)."""
-        return sum(ref.n_encodes for ref in self._stored_refs)
+        open (the benchmark's encode-once evidence), and stays **0**
+        on a catalog frontend: mmap-opened references are adopted, not
+        encoded."""
+        return sum(ref.n_encodes for ref in self.stored_references)
 
     @property
     def sessions(self) -> "tuple[MappingSession, ...]":
@@ -677,13 +772,77 @@ class MappingFrontend:
 
     # -- session factory ----------------------------------------------------
 
+    def _reference_state(self, name: str) -> _RefState:
+        """The shared per-reference state for *name*, built on first
+        use (catalog frontends only).
+
+        Borrows a lease (pinned until :meth:`close`), slices the
+        mapped reference into zero-copy shards at exactly the bank
+        ranges :func:`~repro.core.pipeline.encode_shard_references`
+        would use, resolves the fan-out engine for this geometry, and
+        — for ``"process"`` — builds the one engine whose workers
+        attach the shards by store-file path (no per-boot copies).
+        """
+        with self._ref_lock:
+            state = self._ref_states.get(name)
+            if state is not None:
+                return state
+            lease = self._catalog.borrow(name)
+            try:
+                reference = lease.reference
+                cols = reference.cols
+                n_rows = reference.n_segments
+                chunk_size = None
+                kind = None
+                process_engine = None
+                if self._engine_kind == "batched":
+                    shards = (reference,)
+                else:
+                    n_sh, chunk_size = resolve_shard_plan(
+                        n_rows, cols, self._req_n_shards,
+                        self._req_chunk_size,
+                    )
+                    shards = slice_stored_reference(
+                        reference, bank_row_ranges(n_rows, n_sh)
+                    )
+                    kind = resolve_engine(
+                        self._req_shard_engine, n_rows, cols,
+                        n_shards=len(shards),
+                    )
+                    plan = plan_service_pool(n_shards=len(shards))
+                    if kind == "process":
+                        process_engine = ProcessShardEngine(
+                            shards, domain=self._domain,
+                            noisy=self._noisy,
+                            n_workers=max(1, plan.shard_workers),
+                        )
+                    elif self._shard_executor is None:
+                        # One thread fan-out shared by every thread-kind
+                        # reference, sized for the first one's geometry.
+                        self._shard_executor = ThreadPoolExecutor(
+                            max_workers=max(1, plan.shard_workers),
+                            thread_name_prefix="asmcap-frontend-shard",
+                        )
+            except BaseException:
+                lease.close()
+                raise
+            for shard in shards:
+                self._ledger.record(ReferenceLoad(
+                    n_segments=shard.n_segments, n_cells=shard.cols,
+                ))
+            state = _RefState(name, lease, shards, cols, n_rows,
+                              chunk_size, kind, process_engine)
+            self._ref_states[name] = state
+            return state
+
     def session(self, threshold: int,
                 seed: int = 0,
                 micro_batch: "int | None" = None,
                 compaction: "int | None" = DEFAULT_SERVICE_COMPACTION,
                 retain_mappings: bool = True,
                 config: "MatcherConfig | None" = None,
-                backend: "str | None" = None) -> MappingSession:
+                backend: "str | None" = None,
+                reference: "str | None" = None) -> MappingSession:
         """Open an independent mapping session over the shared
         reference.
 
@@ -694,39 +853,82 @@ class MappingFrontend:
         ``retain_mappings`` and kernel ``backend`` (``None`` = the
         frontend's default).  The expensive reference state is *not*
         rebuilt: only per-session arrays/matchers/ledgers are.
+
+        On a catalog frontend ``reference`` names the catalog entry
+        this session maps against (required; sessions over different
+        names coexist, each reference opened and sliced once).  On a
+        segments frontend ``reference`` must stay ``None``.
         """
         validate_service_knobs(micro_batch, compaction, backend=backend)
         if backend is None:
             backend = self._backend
-        if micro_batch is None:
-            micro_batch = plan_microbatch(self._n_rows, self._cols,
-                                          n_shards=self.n_shards)
-        if self._engine_kind == "batched":
-            matcher = AsmCapMatcher.over_stored(
-                self._stored_refs[0], self._model,
-                config or self._config,
-                domain=self._domain, noisy=self._noisy, seed=seed,
-                ledger_compaction=compaction, backend=backend,
-            )
-            pipeline = ReadMappingPipeline(matcher)
+        if self._catalog is not None:
+            if reference is None:
+                raise ServiceError(
+                    "this frontend serves a reference catalog; name "
+                    "the session's reference: session(..., "
+                    "reference=<name>)"
+                )
+            state = self._reference_state(reference)
+            cols = state.cols
+            if micro_batch is None:
+                micro_batch = plan_microbatch(
+                    state.n_rows, cols, n_shards=len(state.shards)
+                )
+            if self._engine_kind == "batched":
+                pipeline = ReadMappingPipeline(AsmCapMatcher.over_stored(
+                    state.shards[0], self._model,
+                    config or self._config,
+                    domain=self._domain, noisy=self._noisy, seed=seed,
+                    ledger_compaction=compaction, backend=backend,
+                ))
+            else:
+                pipeline = ShardedReadMappingPipeline(
+                    state.shards, self._model, n_shards=None,
+                    config=config or self._config,
+                    domain=self._domain, noisy=self._noisy, seed=seed,
+                    chunk_size=state.chunk_size,
+                    ledger_compaction=compaction, backend=backend,
+                    engine=state.shard_engine_kind,
+                    executor=self._shard_executor,
+                    process_engine=state.process_engine,
+                )
         else:
-            pipeline = ShardedReadMappingPipeline(
-                self._stored_refs, self._model, n_shards=None,
-                config=config or self._config,
-                domain=self._domain, noisy=self._noisy, seed=seed,
-                chunk_size=self._chunk_size,
-                ledger_compaction=compaction, backend=backend,
-                engine=self._shard_engine_kind,
-                executor=self._shard_executor,
-                process_engine=self._process_engine,
-            )
+            if reference is not None:
+                raise ServiceError(
+                    f"reference={reference!r} needs a catalog frontend "
+                    f"(MappingFrontend(None, ..., catalog=...))"
+                )
+            cols = self._cols
+            if micro_batch is None:
+                micro_batch = plan_microbatch(self._n_rows, self._cols,
+                                              n_shards=self.n_shards)
+            if self._engine_kind == "batched":
+                matcher = AsmCapMatcher.over_stored(
+                    self._stored_refs[0], self._model,
+                    config or self._config,
+                    domain=self._domain, noisy=self._noisy, seed=seed,
+                    ledger_compaction=compaction, backend=backend,
+                )
+                pipeline = ReadMappingPipeline(matcher)
+            else:
+                pipeline = ShardedReadMappingPipeline(
+                    self._stored_refs, self._model, n_shards=None,
+                    config=config or self._config,
+                    domain=self._domain, noisy=self._noisy, seed=seed,
+                    chunk_size=self._chunk_size,
+                    ledger_compaction=compaction, backend=backend,
+                    engine=self._shard_engine_kind,
+                    executor=self._shard_executor,
+                    process_engine=self._process_engine,
+                )
         with self._lock:
             if not self._running:
                 raise ServiceError("the mapping frontend has been closed")
             session = MappingSession(
                 self, index=len(self._sessions), pipeline=pipeline,
                 threshold=threshold, micro_batch=int(micro_batch),
-                retain_mappings=retain_mappings,
+                retain_mappings=retain_mappings, cols=cols,
             )
             self._sessions.append(session)
             return session
@@ -767,6 +969,15 @@ class MappingFrontend:
             # segment — the frontend owns the engine, sessions only
             # borrow it.
             self._process_engine.close()
+        with self._ref_lock:
+            # Catalog mode: stop the per-reference fan-out engines,
+            # then unpin the leases so the catalog may evict.  The
+            # catalog itself belongs to the caller and stays open.
+            for state in self._ref_states.values():
+                if state.process_engine is not None:
+                    state.process_engine.close()
+                state.lease.close()
+            self._ref_states.clear()
         self._closed = True
 
     def __enter__(self) -> "MappingFrontend":

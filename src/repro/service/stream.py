@@ -45,13 +45,15 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.arch.autotune import plan_microbatch
-from repro.cam.array import CamArray, as_segments_matrix
+from repro.arch.scheduler import bank_row_ranges
+from repro.cam.array import CamArray, StoredReference, as_segments_matrix
 from repro.core.matcher import AsmCapMatcher, MatcherConfig
 from repro.core.pipeline import (
     MappingReport,
     ReadMapping,
     ReadMappingPipeline,
     ShardedReadMappingPipeline,
+    resolve_shard_plan,
 )
 from repro.cost.ledger import CostLedger
 from repro.cost.views import (
@@ -62,7 +64,8 @@ from repro.cost.views import (
 from repro.errors import CamConfigError, ServiceError
 from repro.genome.edits import ErrorModel
 from repro.genome.reads import ReadRecord
-from repro.knobs import validate_service_knobs
+from repro.knobs import validate_reference_source, validate_service_knobs
+from repro.refstore.format import slice_stored_reference
 
 __all__ = [
     "DEFAULT_SERVICE_COMPACTION",
@@ -177,7 +180,14 @@ class StreamingMappingService:
     Parameters
     ----------
     segments:
-        ``(n_rows, N)`` uint8 matrix of reference segments.
+        The reference, in one of three forms: a ``(n_rows, N)`` uint8
+        segment matrix (encoded here, once); a **sealed**
+        :class:`~repro.cam.array.StoredReference` — e.g. from
+        :func:`repro.refstore.open_stored_reference` — whose encoding
+        is reused with **zero** further encode passes; or, with
+        ``catalog=``, the *name* of a reference to borrow from the
+        catalog.  All three are bit-identical in decisions, costs and
+        reports (the reference persistence contract — DESIGN.md).
     error_model:
         Workload error rates driving the HDAC/TASR policies.
     threshold:
@@ -225,9 +235,17 @@ class StreamingMappingService:
         counters fold in, bounding result memory for endless streams
         (aggregate totals stay bit-identical — the same additions run
         in the same order).
+    catalog:
+        A :class:`~repro.refstore.ReferenceCatalog` to borrow the
+        reference from; ``segments`` must then be a registered
+        reference *name*.  The lease pins the mapped file for the
+        service's lifetime (the catalog will not evict it) and is
+        released by :meth:`close`.
     """
 
-    def __init__(self, segments: np.ndarray, error_model: ErrorModel,
+    def __init__(self,
+                 segments: "np.ndarray | StoredReference | str",
+                 error_model: ErrorModel,
                  threshold: int,
                  config: "MatcherConfig | None" = None,
                  engine: str = "batched",
@@ -241,7 +259,8 @@ class StreamingMappingService:
                  max_workers: "int | None" = None,
                  backend: "str | None" = None,
                  shard_engine: "str | None" = None,
-                 retain_mappings: bool = True):
+                 retain_mappings: bool = True,
+                 catalog: "object | None" = None):
         if engine not in _ENGINES:
             raise ServiceError(
                 f"engine must be one of {_ENGINES}, got {engine!r}"
@@ -249,39 +268,91 @@ class StreamingMappingService:
         validate_service_knobs(micro_batch, compaction,
                                max_workers=max_workers, backend=backend,
                                engine=shard_engine)
+        validate_reference_source(segments, catalog=catalog)
         if shard_engine is not None and engine != "sharded":
             raise ServiceError(
                 f"shard_engine={shard_engine!r} applies to the sharded "
                 f"engine only (engine={engine!r})"
             )
-        segments = as_segments_matrix(segments)
         self._threshold = int(threshold)
         self._engine_kind = engine
-        self._cols = int(segments.shape[1])
         self._retain_mappings = bool(retain_mappings)
-        if engine == "batched":
-            array = CamArray(rows=segments.shape[0], cols=self._cols,
-                             domain=domain, noisy=noisy, seed=seed,
-                             ledger_compaction=compaction,
-                             backend=backend)
-            array.store(segments)
-            self._pipeline = ReadMappingPipeline(
-                AsmCapMatcher(array, error_model, config, seed=seed)
-            )
-            n_shards_effective = 1
-        else:
-            # n_shards=None flows straight through — the sharded
-            # pipeline owns the plan_shards autotune.
-            self._pipeline = ShardedReadMappingPipeline(
-                segments, error_model, n_shards=n_shards, config=config,
-                domain=domain, noisy=noisy, seed=seed,
-                max_workers=max_workers, chunk_size=chunk_size,
-                ledger_compaction=compaction, backend=backend,
-                engine=shard_engine,
-            )
-            n_shards_effective = self._pipeline.n_shards
+        self._lease = None
+        stored: "StoredReference | None" = None
+        if catalog is not None:
+            self._lease = catalog.borrow(segments)
+            stored = self._lease.reference
+        elif isinstance(segments, StoredReference):
+            stored = segments
+        try:
+            if stored is not None:
+                # Pre-encoded reference (catalog lease or caller-owned
+                # stored reference): zero encode passes here — the
+                # batched engine borrows it whole, the sharded engine
+                # slices zero-copy shard views at the same bank ranges
+                # encode_shard_references would use.
+                self._cols = stored.cols
+                n_rows = stored.n_segments
+                if engine == "batched":
+                    self._pipeline = ReadMappingPipeline(
+                        AsmCapMatcher.over_stored(
+                            stored, error_model, config, domain=domain,
+                            noisy=noisy, seed=seed,
+                            ledger_compaction=compaction,
+                            backend=backend)
+                    )
+                    n_shards_effective = 1
+                else:
+                    n_shards_r, chunk_size = resolve_shard_plan(
+                        n_rows, self._cols, n_shards, chunk_size
+                    )
+                    shards = slice_stored_reference(
+                        stored, bank_row_ranges(n_rows, n_shards_r)
+                    )
+                    self._pipeline = ShardedReadMappingPipeline(
+                        shards, error_model, n_shards=None,
+                        config=config, domain=domain, noisy=noisy,
+                        seed=seed, max_workers=max_workers,
+                        chunk_size=chunk_size,
+                        ledger_compaction=compaction, backend=backend,
+                        engine=shard_engine,
+                    )
+                    n_shards_effective = self._pipeline.n_shards
+            else:
+                segments = as_segments_matrix(segments)
+                self._cols = int(segments.shape[1])
+                n_rows = int(segments.shape[0])
+                if engine == "batched":
+                    array = CamArray(rows=segments.shape[0],
+                                     cols=self._cols,
+                                     domain=domain, noisy=noisy,
+                                     seed=seed,
+                                     ledger_compaction=compaction,
+                                     backend=backend)
+                    array.store(segments)
+                    self._pipeline = ReadMappingPipeline(
+                        AsmCapMatcher(array, error_model, config,
+                                      seed=seed)
+                    )
+                    n_shards_effective = 1
+                else:
+                    # n_shards=None flows straight through — the sharded
+                    # pipeline owns the plan_shards autotune.
+                    self._pipeline = ShardedReadMappingPipeline(
+                        segments, error_model, n_shards=n_shards,
+                        config=config, domain=domain, noisy=noisy,
+                        seed=seed, max_workers=max_workers,
+                        chunk_size=chunk_size,
+                        ledger_compaction=compaction, backend=backend,
+                        engine=shard_engine,
+                    )
+                    n_shards_effective = self._pipeline.n_shards
+        except BaseException:
+            if self._lease is not None:
+                self._lease.close()
+            raise
         if micro_batch is None:
-            micro_batch = plan_microbatch(segments.shape[0], self._cols,
+            micro_batch = plan_microbatch(n_rows, self._cols,
                                           n_shards=n_shards_effective)
             validate_service_knobs(micro_batch=micro_batch)
         self._micro_batch = int(micro_batch)
@@ -442,6 +513,10 @@ class StreamingMappingService:
             if self._engine_kind == "sharded":
                 # Release the sharded engine's persistent fan-out pool.
                 self._pipeline.close()
+            if self._lease is not None:
+                # Unpin the catalog reference only after the engines
+                # that searched its arrays are gone.
+                self._lease.close()
             self._closed = True
         return self._report.snapshot()
 

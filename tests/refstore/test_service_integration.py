@@ -1,0 +1,280 @@
+"""Catalog-served sessions are bit-identical to freshly encoded ones.
+
+The standing contract of the reference store: a mapping session over
+a catalog-opened (mmap, ``n_encodes == 0``) reference produces
+bit-identical decisions, costs and reports to one over a freshly
+encoded reference — on every engine and fan-out, and with **zero**
+reference-copy bytes when the process engine boots from store files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cam.array import StoredReference
+from repro.errors import CamConfigError, RefStoreError, ServiceError
+from repro.genome.edits import ErrorModel
+from repro.parallel import ProcessShardEngine
+from repro.refstore import (
+    FileReferenceHandle,
+    ReferenceCatalog,
+    open_stored_reference,
+    save_stored_reference,
+    slice_stored_reference,
+)
+from repro.service.frontend import MappingFrontend
+from repro.service.stream import StreamingMappingService
+
+THRESHOLD = 8
+
+ENGINES = [
+    ("batched", None),
+    ("sharded", "thread"),
+    ("sharded", "process"),
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(11)
+    segments = rng.integers(0, 4, size=(48, 80), dtype=np.uint8)
+    model = ErrorModel(substitution=0.02, insertion=0.01, deletion=0.01)
+    reads = [segments[(i * 5) % 48] for i in range(25)]
+    return segments, model, reads
+
+
+@pytest.fixture(scope="module")
+def catalog(workload, tmp_path_factory):
+    segments, _, _ = workload
+    root = tmp_path_factory.mktemp("catalog")
+    rng = np.random.default_rng(5)
+    other = rng.integers(0, 4, size=(32, 80), dtype=np.uint8)
+    with ReferenceCatalog() as cat:
+        cat.store("main", StoredReference.encode(segments),
+                  root / "main.asmcap")
+        cat.store("other", StoredReference.encode(other),
+                  root / "other.asmcap")
+        yield cat
+
+
+def _reports_identical(a, b) -> None:
+    assert a.n_reads == b.n_reads
+    assert a.n_mapped == b.n_mapped
+    assert a.total_energy_joules == b.total_energy_joules
+    assert a.total_latency_ns == b.total_latency_ns
+    assert ([m.matched_rows for m in a.mappings]
+            == [m.matched_rows for m in b.mappings])
+    assert ([m.outcome.n_searches for m in a.mappings]
+            == [m.outcome.n_searches for m in b.mappings])
+
+
+class TestStreamingService:
+    def _run(self, source, workload, engine, shard_engine,
+             catalog=None):
+        _, model, reads = workload
+        with StreamingMappingService(
+                source, model, threshold=THRESHOLD, engine=engine,
+                n_shards=(2 if engine == "sharded" else None),
+                micro_batch=4, seed=3, shard_engine=shard_engine,
+                catalog=catalog) as service:
+            service.submit_many(reads)
+            return service.drain()
+
+    @pytest.mark.parametrize("engine,shard_engine", ENGINES)
+    def test_catalog_session_matches_fresh_encode(self, workload,
+                                                  catalog, engine,
+                                                  shard_engine):
+        segments = workload[0]
+        fresh = self._run(segments, workload, engine, shard_engine)
+        served = self._run("main", workload, engine, shard_engine,
+                           catalog=catalog)
+        _reports_identical(served, fresh)
+        assert catalog.stats().pinned_count == 0  # close released it
+
+    @pytest.mark.parametrize("engine,shard_engine", ENGINES)
+    def test_stored_reference_matches_fresh_encode(self, workload,
+                                                   tmp_path, engine,
+                                                   shard_engine):
+        segments = workload[0]
+        path = tmp_path / "ref.asmcap"
+        save_stored_reference(path, StoredReference.encode(segments))
+        fresh = self._run(segments, workload, engine, shard_engine)
+        with open_stored_reference(path) as mapped:
+            served = self._run(mapped.reference, workload, engine,
+                               shard_engine)
+            assert mapped.reference.n_encodes == 0
+        _reports_identical(served, fresh)
+
+    def test_name_without_catalog_rejected(self, workload):
+        _, model, _ = workload
+        with pytest.raises(CamConfigError, match="needs catalog="):
+            StreamingMappingService("main", model, threshold=THRESHOLD)
+
+    def test_catalog_without_name_rejected(self, workload, catalog):
+        segments, model, _ = workload
+        with pytest.raises(CamConfigError, match="reference name"):
+            StreamingMappingService(segments, model,
+                                    threshold=THRESHOLD,
+                                    catalog=catalog)
+
+    def test_unknown_name_surfaces_catalog_error(self, workload,
+                                                 catalog):
+        _, model, _ = workload
+        with pytest.raises(RefStoreError, match="ghost"):
+            StreamingMappingService("ghost", model, threshold=THRESHOLD,
+                                    catalog=catalog)
+        assert catalog.stats().pinned_count == 0
+
+    def test_unsealed_stored_reference_rejected(self, workload):
+        _, model, _ = workload
+        with pytest.raises(CamConfigError, match="sealed"):
+            StreamingMappingService(StoredReference(rows=4, cols=8),
+                                    model, threshold=THRESHOLD)
+
+
+class TestProcessEngineZeroCopy:
+    def test_file_backed_shards_boot_without_copies(self, workload,
+                                                    tmp_path):
+        """The acceptance criterion: booting the process engine from a
+        store file moves zero reference bytes — no shared-memory
+        segment is ever created, and no worker runs an encode pass."""
+        segments, model, reads = workload
+        path = tmp_path / "ref.asmcap"
+        save_stored_reference(path, StoredReference.encode(segments))
+        with open_stored_reference(path) as mapped:
+            shards = slice_stored_reference(mapped.reference,
+                                            [(0, 24), (24, 48)])
+            assert all(isinstance(s.source, FileReferenceHandle)
+                       for s in shards)
+            with ProcessShardEngine(shards, n_workers=2) as engine:
+                engine.start()
+                assert engine.shared_nbytes == 0
+                assert engine.worker_encode_counts() == (0, 0)
+
+        with StreamingMappingService(
+                segments, model, threshold=THRESHOLD, engine="sharded",
+                n_shards=2, micro_batch=4, seed=3,
+                shard_engine="process") as service:
+            service.submit_many(reads)
+            fresh = service.drain()
+        with open_stored_reference(path) as mapped:
+            with StreamingMappingService(
+                    mapped.reference, model, threshold=THRESHOLD,
+                    engine="sharded", n_shards=2, micro_batch=4,
+                    seed=3, shard_engine="process") as service:
+                service.submit_many(reads)
+                served = service.drain()
+                engine = service.pipeline.process_engine()
+                assert engine.shared_nbytes == 0
+                assert engine.worker_encode_counts() == tuple(
+                    0 for _ in range(engine.n_workers))
+        _reports_identical(served, fresh)
+
+    def test_memory_backed_shards_still_share(self, workload):
+        # The shared-memory fallback stays available for references
+        # that never touched disk.
+        segments, _, _ = workload
+        reference = StoredReference.encode(segments)
+        shards = slice_stored_reference(reference, [(0, 24), (24, 48)])
+        assert all(s.source is None for s in shards)
+        with ProcessShardEngine(shards, n_workers=2) as engine:
+            engine.start()
+            assert engine.shared_nbytes > 0
+            assert engine.worker_encode_counts() == (0, 0)
+
+
+class TestFrontend:
+    def _base_report(self, workload, engine, shard_engine):
+        segments, model, reads = workload
+        with MappingFrontend(
+                segments, model, engine=engine,
+                n_shards=(2 if engine == "sharded" else None),
+                shard_engine=shard_engine) as frontend:
+            session = frontend.session(threshold=THRESHOLD, seed=3,
+                                       micro_batch=4)
+            session.submit_many(reads)
+            return session.close()
+
+    @pytest.mark.parametrize("engine,shard_engine", ENGINES)
+    def test_catalog_sessions_match_fresh_encode(self, workload,
+                                                 catalog, engine,
+                                                 shard_engine):
+        _, model, reads = workload
+        fresh = self._base_report(workload, engine, shard_engine)
+        with MappingFrontend(
+                None, model, engine=engine,
+                n_shards=(2 if engine == "sharded" else None),
+                shard_engine=shard_engine, catalog=catalog) as frontend:
+            main = frontend.session(threshold=THRESHOLD, seed=3,
+                                    micro_batch=4, reference="main")
+            other = frontend.session(threshold=THRESHOLD, seed=3,
+                                     micro_batch=4, reference="other")
+            for read in reads:
+                main.submit(read)
+                other.submit(read)
+            served = main.close()
+            other_report = other.close()
+            assert frontend.encode_count() == 0
+            assert frontend.cols is None
+            assert frontend.catalog is catalog
+        _reports_identical(served, fresh)
+        # The tenant on the other reference ran its own geometry.
+        assert other_report.n_reads == len(reads)
+        assert catalog.stats().pinned_count == 0
+
+    def test_two_tenants_share_one_opened_reference(self, workload,
+                                                    catalog):
+        _, model, reads = workload
+        before = catalog.stats()
+        with MappingFrontend(None, model, engine="sharded", n_shards=2,
+                             catalog=catalog) as frontend:
+            first = frontend.session(threshold=THRESHOLD, seed=3,
+                                     micro_batch=4, reference="main")
+            second = frontend.session(threshold=THRESHOLD, seed=11,
+                                      micro_batch=5, reference="main")
+            first.submit_many(reads)
+            second.submit_many(reads[:13])
+            first.close()
+            second.close()
+            shards = frontend.stored_references
+            assert len(shards) == 2  # one open, one slice pass
+            assert all(s.n_encodes == 0 for s in shards)
+        after = catalog.stats()
+        # Both sessions rode one borrow: exactly one open (hit or
+        # miss), not two.
+        assert (after.hits + after.misses
+                - before.hits - before.misses) == 1
+        assert after.pinned_count == 0
+
+    def test_catalog_frontend_rejects_segments(self, workload, catalog):
+        segments, model, _ = workload
+        with pytest.raises(CamConfigError, match="construction-time"):
+            MappingFrontend(segments, model, catalog=catalog)
+        with pytest.raises(CamConfigError, match="segments is required"):
+            MappingFrontend(None, model)
+
+    def test_session_reference_knob_validated(self, workload, catalog):
+        segments, model, _ = workload
+        with MappingFrontend(None, model, catalog=catalog) as frontend:
+            with pytest.raises(ServiceError, match="reference=<name>"):
+                frontend.session(threshold=THRESHOLD)
+            with pytest.raises(RefStoreError, match="ghost"):
+                frontend.session(threshold=THRESHOLD, reference="ghost")
+        with MappingFrontend(segments, model) as frontend:
+            with pytest.raises(ServiceError, match="catalog frontend"):
+                frontend.session(threshold=THRESHOLD, reference="main")
+
+    def test_close_releases_pins_but_not_catalog(self, workload,
+                                                 catalog):
+        _, model, reads = workload
+        frontend = MappingFrontend(None, model, catalog=catalog)
+        session = frontend.session(threshold=THRESHOLD, seed=3,
+                                   reference="main")
+        session.submit_many(reads[:5])
+        session.close()
+        assert catalog.stats().pinned_count == 1  # frontend still pins
+        frontend.close()
+        assert catalog.stats().pinned_count == 0
+        with catalog.borrow("main") as lease:  # catalog stays usable
+            assert lease.reference.sealed

@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Aggregate benchmark ``--json`` documents into a perf trajectory.
+
+Every ``benchmarks/bench_*.py`` script emits one machine-readable
+``{"bench", "config", "timings", "derived"}`` document via ``--json``
+(see ``benchmarks/conftest.py``); CI archives them as the
+``bench-json`` artifact.  This tool is the consumer: it folds a set of
+those documents into one append-only ``BENCH_TRAJECTORY.json`` and
+prints the per-bench timing deltas against the previous recorded run,
+so a perf regression shows up as a number in the PR log instead of a
+feeling.
+
+The trajectory file maps each bench name to its run history::
+
+    {"version": 1,
+     "benches": {"bench_refstore_warmstart": [
+         {"label": "run-1", "config": {...},
+          "timings": {"cold_boot_s": 0.134, ...},
+          "derived": {"speedup": 13.7, ...}},
+         ...]}}
+
+Runs are comparable only at equal config, so a run whose config
+differs from the previous entry is recorded but its deltas are marked
+``(config changed)`` rather than compared.
+
+Usage::
+
+    python tools/bench_trend.py out/*.json                # append + deltas
+    python tools/bench_trend.py out/*.json --label v1.2   # tagged run
+    python tools/bench_trend.py --show                    # history only
+    python tools/bench_trend.py out/*.json --dry-run      # deltas, no write
+
+CI smoke: run any bench with ``--smoke --json doc.json``, then
+``python tools/bench_trend.py doc.json --trajectory t.json`` twice —
+the second invocation must print a delta line per timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TRAJECTORY_VERSION = 1
+REQUIRED_KEYS = ("bench", "config", "timings", "derived")
+
+
+def load_document(path: Path) -> dict:
+    """One bench ``--json`` document, validated against the contract."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"FAIL: cannot read bench JSON {path}: {exc}")
+    missing = [key for key in REQUIRED_KEYS if key not in document]
+    if missing:
+        raise SystemExit(
+            f"FAIL: {path} is not a bench document (missing "
+            f"{', '.join(missing)}; expected the conftest "
+            f"write_bench_json contract)"
+        )
+    return document
+
+
+def load_trajectory(path: Path) -> dict:
+    if not path.exists():
+        return {"version": TRAJECTORY_VERSION, "benches": {}}
+    try:
+        trajectory = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"FAIL: cannot read trajectory {path}: {exc}")
+    if trajectory.get("version") != TRAJECTORY_VERSION:
+        raise SystemExit(
+            f"FAIL: trajectory {path} has version "
+            f"{trajectory.get('version')!r}; this tool writes version "
+            f"{TRAJECTORY_VERSION}"
+        )
+    return trajectory
+
+
+def next_label(trajectory: dict) -> str:
+    """``run-N`` where N counts the longest recorded history."""
+    longest = max((len(history) for history
+                   in trajectory["benches"].values()), default=0)
+    return f"run-{longest + 1}"
+
+
+def format_delta(name: str, previous: float, current: float) -> str:
+    if previous == 0:
+        return f"    {name:<24} {previous:>10.4f} -> {current:>10.4f}"
+    change = (current - previous) / previous * 100.0
+    arrow = "+" if change >= 0 else ""
+    return (f"    {name:<24} {previous:>10.4f} -> {current:>10.4f}  "
+            f"({arrow}{change:.1f}%)")
+
+
+def report_bench(bench: str, history: "list[dict]") -> None:
+    current = history[-1]
+    print(f"{bench} [{current['label']}]")
+    if len(history) == 1:
+        for name, value in sorted(current["timings"].items()):
+            print(f"    {name:<24} {value:>10.4f}  (first recorded run)")
+        return
+    previous = history[-2]
+    if previous["config"] != current["config"]:
+        print(f"    (config changed since {previous['label']}; "
+              f"deltas skipped)")
+        for name, value in sorted(current["timings"].items()):
+            print(f"    {name:<24} {value:>10.4f}")
+        return
+    for name, value in sorted(current["timings"].items()):
+        if name in previous["timings"]:
+            print(format_delta(name, previous["timings"][name], value))
+        else:
+            print(f"    {name:<24} {value:>10.4f}  (new timing)")
+
+
+def show_history(trajectory: dict) -> int:
+    if not trajectory["benches"]:
+        print("trajectory is empty (no runs recorded yet)")
+        return 0
+    for bench, history in sorted(trajectory["benches"].items()):
+        labels = ", ".join(entry["label"] for entry in history)
+        print(f"{bench}: {len(history)} run(s) [{labels}]")
+        report_bench(bench, history)
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("documents", nargs="*", type=Path,
+                        help="bench --json documents to fold in")
+    parser.add_argument("--trajectory", type=Path,
+                        default=Path("BENCH_TRAJECTORY.json"),
+                        help="trajectory file to append to "
+                             "(default: %(default)s)")
+    parser.add_argument("--label", default=None,
+                        help="label for this run (default: run-N)")
+    parser.add_argument("--show", action="store_true",
+                        help="print the recorded history and exit")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print deltas without writing the "
+                             "trajectory")
+    args = parser.parse_args(argv)
+
+    trajectory = load_trajectory(args.trajectory)
+    if args.show:
+        return show_history(trajectory)
+    if not args.documents:
+        parser.error("no bench documents given (or use --show)")
+
+    label = args.label or next_label(trajectory)
+    folded = []
+    for path in args.documents:
+        document = load_document(path)
+        bench = document["bench"]
+        history = trajectory["benches"].setdefault(bench, [])
+        history.append({
+            "label": label,
+            "config": document["config"],
+            "timings": document["timings"],
+            "derived": document["derived"],
+        })
+        folded.append(bench)
+        report_bench(bench, history)
+
+    if not args.dry_run:
+        args.trajectory.write_text(
+            json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"recorded {len(folded)} bench(es) as {label!r} in "
+              f"{args.trajectory}")
+    else:
+        print(f"dry run: {len(folded)} bench(es) compared, "
+              f"{args.trajectory} not written")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
