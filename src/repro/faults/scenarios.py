@@ -1,0 +1,330 @@
+"""Deterministic chaos workloads across engine x backend x compaction.
+
+Each :class:`ChaosScenario` is a small, fully seeded mapping workload
+with a fixed route through the stack — direct segments into the
+streaming service, via a saved store file, via a catalog borrow, or
+through the multi-session frontend — and a declared set of applicable
+fault kinds (the hook points its route actually reaches).  ``run()``
+executes the workload once and returns a :class:`ScenarioOutcome`
+whose ``result`` is a canonical, ``==``-comparable projection of the
+final :class:`~repro.core.pipeline.MappingReport`; the
+:class:`~repro.faults.checker.InvariantChecker` compares armed runs
+against the fault-free baseline bit for bit.
+
+Scenario geometry is pinned (shard counts, worker counts, micro-batch
+size) rather than autotuned, so hit indices — and therefore which
+dispatch a scheduled fault lands on — are identical on every machine.
+Every scenario issues exactly :data:`N_DISPATCHES` micro-batch
+dispatches (the last one at drain time), which is the ``max_hits`` a
+generated plan should use; ``kill_mid_drain`` then lands on the
+drain-time dispatch by construction.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError, ServiceError
+
+__all__ = [
+    "N_DISPATCHES",
+    "SCENARIOS",
+    "ChaosScenario",
+    "ScenarioOutcome",
+    "canonical_report",
+    "get_scenario",
+]
+
+#: Workload shape shared by every scenario (pinned, never autotuned).
+N_READS = 18
+MICRO_BATCH = 4
+THRESHOLD = 6
+SEED = 11
+N_SHARDS = 2
+#: ceil(N_READS / MICRO_BATCH): 4 full batches + the drain-time flush.
+N_DISPATCHES = 5
+
+#: Fault kinds reaching the process engine's hook points (appended to
+#: a scenario's service-level kinds when its fan-out is ``process``).
+_PROCESS_KINDS = ("worker_kill", "worker_stall", "kill_mid_drain")
+
+
+def _workload() -> "tuple[np.ndarray, list[np.ndarray]]":
+    """The one deterministic reference + read feed every scenario maps."""
+    rng = np.random.default_rng(0xC0FFEE)
+    segments = rng.integers(0, 4, size=(64, 48), dtype=np.uint8)
+    reads: "list[np.ndarray]" = []
+    for j in range(N_READS):
+        if j % 3 == 2:
+            reads.append(rng.integers(0, 4, size=48, dtype=np.uint8))
+        else:
+            reads.append(segments[(j * 7) % 64].copy())
+    return segments, reads
+
+
+def _error_model():
+    from repro.genome.edits import ErrorModel
+
+    return ErrorModel(substitution=0.02, insertion=0.01, deletion=0.01)
+
+
+def canonical_report(report) -> tuple:
+    """A hashable, exactly-comparable projection of a mapping report.
+
+    Counters, the float cost totals (compared bit-exactly — the
+    determinism contract promises identical accumulation order), and
+    every per-read decision."""
+    return (
+        report.n_reads,
+        report.n_mapped,
+        report.n_unique,
+        report.n_searches,
+        report.total_energy_joules,
+        report.total_latency_ns,
+        tuple((mapping.read_index, mapping.matched_rows)
+              for mapping in report.mappings),
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """``result`` plus the documented typed errors the scenario
+    *handled* through a sanctioned recovery (currently: retrying an
+    all-or-nothing submit after backlog saturation) — recorded so the
+    checker can demand they were caused by a fired fault."""
+
+    result: tuple
+    handled: "tuple[BaseException, ...]" = ()
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One fixed route through the stack plus its applicable faults."""
+
+    name: str
+    engine: str                      # "batched" | "sharded"
+    shard_engine: "str | None"       # None | "thread" | "process"
+    backend: str
+    compaction: "int | None"
+    route: str                       # "stream" | "store" | "catalog"
+    #                                # | "frontend"
+    fault_kinds: "tuple[str, ...]"
+    max_hits: int = N_DISPATCHES
+
+    @property
+    def reachable_points(self) -> "tuple[str, ...]":
+        """The hook points this route actually drives — plan
+        generation attaches faults here only, so schedules are rarely
+        vacuous.  ``parallel.shm.attach`` is never listed: it fires in
+        the spawned worker, where the parent's armed injector does not
+        exist (shm corruption is injected parent-side at share time
+        instead)."""
+        if self.route == "frontend":
+            return ("service.frontend.enqueue",
+                    "service.frontend.execute")
+        points = ("service.stream.dispatch",)
+        if self.route == "store":
+            points += ("refstore.save", "refstore.open")
+        elif self.route == "catalog":
+            points += ("refstore.save", "refstore.catalog.open")
+        if self.shard_engine == "process":
+            points += ("parallel.engine.dispatch",)
+            if self.route == "stream":
+                # File-backed routes share shards by path, not shm.
+                points += ("parallel.shm.share",)
+        return points
+
+    def run(self) -> ScenarioOutcome:
+        with tempfile.TemporaryDirectory(prefix="asmcap-chaos-") as dir_:
+            if self.route == "stream":
+                return self._run_stream(None)
+            if self.route == "store":
+                return self._run_store(Path(dir_))
+            if self.route == "catalog":
+                return self._run_catalog(Path(dir_))
+            if self.route == "frontend":
+                return self._run_frontend()
+            raise ValueError(f"unknown scenario route {self.route!r}")
+
+    # -- routes --------------------------------------------------------------
+
+    def _service(self, source, **extra):
+        from repro.service.stream import StreamingMappingService
+
+        kwargs = dict(
+            error_model=_error_model(), threshold=THRESHOLD,
+            engine=self.engine, micro_batch=MICRO_BATCH,
+            compaction=self.compaction, seed=SEED,
+            backend=self.backend,
+        )
+        if self.engine == "sharded":
+            kwargs.update(n_shards=N_SHARDS, max_workers=1,
+                          shard_engine=self.shard_engine)
+        kwargs.update(extra)
+        return StreamingMappingService(source, **kwargs)
+
+    def _run_stream(self, _) -> ScenarioOutcome:
+        segments, reads = _workload()
+        service = self._service(segments)
+        try:
+            service.submit_many(reads)
+            return ScenarioOutcome(canonical_report(service.drain()))
+        finally:
+            with contextlib.suppress(ReproError):
+                service.close()
+
+    def _run_store(self, workdir: Path) -> ScenarioOutcome:
+        from repro.cam.array import StoredReference
+        from repro.refstore.format import (
+            open_stored_reference,
+            save_stored_reference,
+        )
+
+        segments, reads = _workload()
+        path = workdir / "reference.asmcap"
+        save_stored_reference(path, StoredReference.encode(segments))
+        mapped = open_stored_reference(path)
+        try:
+            service = self._service(mapped.reference)
+            try:
+                service.submit_many(reads)
+                return ScenarioOutcome(
+                    canonical_report(service.drain())
+                )
+            finally:
+                with contextlib.suppress(ReproError):
+                    service.close()
+        finally:
+            mapped.close()
+
+    def _run_catalog(self, workdir: Path) -> ScenarioOutcome:
+        from repro.cam.array import StoredReference
+        from repro.refstore import ReferenceCatalog
+
+        segments, reads = _workload()
+        catalog = ReferenceCatalog()
+        try:
+            catalog.store("ref", StoredReference.encode(segments),
+                          workdir / "reference.asmcap")
+            service = self._service("ref", catalog=catalog)
+            try:
+                service.submit_many(reads)
+                return ScenarioOutcome(
+                    canonical_report(service.drain())
+                )
+            finally:
+                with contextlib.suppress(ReproError):
+                    service.close()
+        finally:
+            if catalog.stats().pinned_count:
+                raise RuntimeError(
+                    "chaos scenario leaked a catalog lease"
+                )
+            catalog.close()
+
+    def _run_frontend(self) -> ScenarioOutcome:
+        from repro.service.frontend import MappingFrontend
+
+        segments, reads = _workload()
+        kwargs = dict(engine=self.engine, pool_workers=2,
+                      backend=self.backend)
+        if self.engine == "sharded":
+            kwargs.update(n_shards=N_SHARDS,
+                          shard_engine=self.shard_engine)
+        frontend = MappingFrontend(segments, _error_model(), **kwargs)
+        handled: "list[BaseException]" = []
+        try:
+            session = frontend.session(
+                THRESHOLD, seed=SEED, micro_batch=MICRO_BATCH,
+                compaction=self.compaction,
+            )
+            for read in reads:
+                try:
+                    session.submit(read)
+                except ServiceError as exc:
+                    if "backlog full" not in str(exc):
+                        raise
+                    # The documented recovery: a rejected submit is
+                    # all-or-nothing, so retrying the same read cannot
+                    # duplicate it.
+                    handled.append(exc)
+                    session.submit(read)
+            report = session.drain()
+            return ScenarioOutcome(canonical_report(report),
+                                   tuple(handled))
+        finally:
+            with contextlib.suppress(ReproError):
+                frontend.close()
+
+
+_SERVICE_KINDS = ("poisoned_read", "slow_batch")
+
+#: The chaos matrix: both service engines, both shard fan-out engines,
+#: both kernel backends, compaction on and off, all four routes.
+SCENARIOS: "tuple[ChaosScenario, ...]" = (
+    ChaosScenario(
+        name="stream-batched-gemm",
+        engine="batched", shard_engine=None, backend="numpy-gemm",
+        compaction=None, route="stream",
+        fault_kinds=_SERVICE_KINDS,
+    ),
+    ChaosScenario(
+        name="stream-sharded-thread-bitpacked",
+        engine="sharded", shard_engine="thread", backend="bitpacked",
+        compaction=8, route="stream",
+        fault_kinds=_SERVICE_KINDS,
+    ),
+    ChaosScenario(
+        name="stream-sharded-process-gemm",
+        engine="sharded", shard_engine="process", backend="numpy-gemm",
+        compaction=8, route="stream",
+        fault_kinds=_SERVICE_KINDS + _PROCESS_KINDS + ("shm_corrupt",),
+    ),
+    ChaosScenario(
+        name="store-sharded-thread-gemm",
+        engine="sharded", shard_engine="thread", backend="numpy-gemm",
+        compaction=None, route="store",
+        fault_kinds=_SERVICE_KINDS + ("store_truncate",
+                                      "store_crc_flip"),
+    ),
+    ChaosScenario(
+        name="store-sharded-process-bitpacked",
+        engine="sharded", shard_engine="process", backend="bitpacked",
+        compaction=8, route="store",
+        fault_kinds=_SERVICE_KINDS + _PROCESS_KINDS
+        + ("store_truncate", "store_crc_flip"),
+    ),
+    ChaosScenario(
+        name="catalog-batched-bitpacked",
+        engine="batched", shard_engine=None, backend="bitpacked",
+        compaction=8, route="catalog",
+        fault_kinds=_SERVICE_KINDS + ("poisoned_open",),
+    ),
+    ChaosScenario(
+        name="frontend-batched-gemm",
+        engine="batched", shard_engine=None, backend="numpy-gemm",
+        compaction=8, route="frontend",
+        fault_kinds=("poisoned_read", "slow_batch", "backlog_flood"),
+    ),
+    ChaosScenario(
+        name="frontend-sharded-thread-bitpacked",
+        engine="sharded", shard_engine="thread", backend="bitpacked",
+        compaction=None, route="frontend",
+        fault_kinds=("poisoned_read", "slow_batch", "backlog_flood"),
+    ),
+)
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError(
+        f"unknown chaos scenario {name!r}; known: "
+        f"{[s.name for s in SCENARIOS]}"
+    )

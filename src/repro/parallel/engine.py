@@ -46,6 +46,7 @@ from typing import Sequence
 
 from repro.cam.array import StoredReference
 from repro.errors import CamConfigError, ServiceError
+from repro.faults.hooks import fire as _fire_fault
 from repro.parallel.shm import share_stored_reference
 from repro.parallel.worker import LedgerSummary, ShardTask, worker_main
 
@@ -324,6 +325,7 @@ class ProcessShardEngine:
         with self._lock:
             self._check_usable()
             self._start_locked()
+            _fire_fault("parallel.engine.dispatch", engine=self)
             if not tasks:
                 return []
             for offset, task in enumerate(tasks):

@@ -48,6 +48,7 @@ from multiprocessing import shared_memory
 
 from repro.cam.array import StoredReference
 from repro.errors import CamConfigError
+from repro.faults.hooks import fire as _fire_fault
 from repro.kernels import (
     ENCODED_REFERENCE_FIELDS,
     encoded_reference_arrays,
@@ -188,6 +189,10 @@ def share_stored_reference(
         write_payload(shm.buf, layout, arrays)
         seal_header(shm.buf, layout, magic=SHM_MAGIC,
                     version=SHM_VERSION)
+        # Chaos hook: corruption injected here (after the seal) is
+        # covered by the already-computed CRCs, so every later attach
+        # fails loudly — the parent-side stand-in for a torn segment.
+        _fire_fault("parallel.shm.share", buf=shm.buf)
     except BaseException:
         _destroy_segment(shm)
         raise
@@ -278,6 +283,7 @@ def attach_stored_reference(
             f"owner closed, unlinking it?)"
         ) from exc
     try:
+        _fire_fault("parallel.shm.attach", buf=shm.buf)
         arrays = open_container(
             shm.buf, magic=SHM_MAGIC, version=SHM_VERSION,
             describe=f"shared segment {name!r}",

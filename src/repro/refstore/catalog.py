@@ -29,6 +29,7 @@ from typing import Iterator
 
 from repro.cam.array import StoredReference
 from repro.errors import RefStoreError
+from repro.faults.hooks import fire as _fire_fault
 from repro.refstore.format import (
     MappedReference,
     open_stored_reference,
@@ -47,15 +48,20 @@ class CatalogStats:
     """A point-in-time snapshot of one catalog's behaviour.
 
     ``hits``/``misses`` count borrows served from a resident mapping
-    vs. borrows that had to open the file (``misses`` is also the
-    number of opens); ``evictions`` counts unmapped references —
-    budget sweeps and explicit evictions alike.  ``open_seconds_*``
-    time only the miss path (map + validate + adopt), the cost the
-    catalog exists to amortise.
+    vs. borrows that *successfully* opened the file (``misses`` is
+    also the number of successful opens); ``open_failures`` counts
+    borrows whose open raised (corrupt, truncated or missing store
+    file) — a distinct signal, because a failed open costs the caller
+    an error, not a mapping, and an operator alerting on miss rate
+    must not conflate the two.  ``evictions`` counts unmapped
+    references — budget sweeps and explicit evictions alike.
+    ``open_seconds_*`` time only the successful miss path (map +
+    validate + adopt), the cost the catalog exists to amortise.
     """
 
     hits: int
     misses: int
+    open_failures: int
     evictions: int
     resident_count: int
     resident_bytes: int
@@ -152,6 +158,7 @@ class ReferenceCatalog:
         self._closed = False
         self._hits = 0
         self._misses = 0
+        self._open_failures = 0
         self._evictions = 0
         self._open_seconds_total = 0.0
         self._open_seconds_max = 0.0
@@ -234,8 +241,16 @@ class ReferenceCatalog:
                     f"{sorted(self._entries) or 'none'}"
                 )
             if entry.mapped is None:
+                _fire_fault("refstore.catalog.open", name=name,
+                            path=entry.path)
                 started = time.perf_counter()
-                entry.mapped = open_stored_reference(entry.path)
+                try:
+                    entry.mapped = open_stored_reference(entry.path)
+                except RefStoreError:
+                    # Not a miss: the borrow produced an error, not a
+                    # mapping — operators watch this count separately.
+                    self._open_failures += 1
+                    raise
                 elapsed = time.perf_counter() - started
                 self._misses += 1
                 self._open_seconds_total += elapsed
@@ -321,6 +336,7 @@ class ReferenceCatalog:
             return CatalogStats(
                 hits=self._hits,
                 misses=self._misses,
+                open_failures=self._open_failures,
                 evictions=self._evictions,
                 resident_count=sum(
                     1 for entry in self._entries.values()

@@ -48,6 +48,7 @@ from typing import Sequence
 
 from repro.cam.array import StoredReference
 from repro.errors import RefStoreError
+from repro.faults.hooks import fire as _fire_fault
 from repro.kernels import (
     ENCODED_REFERENCE_FIELDS,
     encoded_reference_arrays,
@@ -121,6 +122,10 @@ def save_stored_reference(path, reference: StoredReference) -> int:
     write_payload(buf, layout, arrays)
     seal_header(buf, layout, magic=REFSTORE_MAGIC,
                 version=REFSTORE_VERSION)
+    # Chaos hook: truncation/byte-flips injected on the sealed buffer
+    # reach the disk exactly as a torn or bit-rotted file would, so
+    # the next open fails the size/CRC ladder.
+    _fire_fault("refstore.save", buf=buf, path=path)
     tmp = f"{path}.tmp.{os.getpid()}"
     try:
         with open(tmp, "wb") as handle:
@@ -232,6 +237,7 @@ def open_stored_reference(
         ) from exc
     view = memoryview(mapping)
     try:
+        _fire_fault("refstore.open", path=handle.path)
         arrays = open_container(
             view, magic=REFSTORE_MAGIC, version=REFSTORE_VERSION,
             describe=f"reference store {handle.path!r}",

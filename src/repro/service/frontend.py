@@ -84,6 +84,7 @@ from repro.cost.events import ReferenceLoad
 from repro.cost.ledger import CostLedger
 from repro.cost.views import SearchStats
 from repro.errors import CamConfigError, ServiceError
+from repro.faults.hooks import fire as _fire_fault
 from repro.genome.edits import ErrorModel
 from repro.genome.reads import ReadRecord
 from repro.parallel import ProcessShardEngine
@@ -403,6 +404,10 @@ class MappingSession:
         if not self._buffer:
             return 0
         frontend = self._frontend
+        # Chaos hook: a backlog-saturation fault raises the same
+        # documented ServiceError a genuinely full queue would, so the
+        # all-or-nothing submit unwind is exercised for real.
+        _fire_fault("service.frontend.enqueue", session=self)
         while frontend._backlog_count >= frontend._max_backlog:
             if frontend._backpressure == "error" and not wait:
                 raise ServiceError(
@@ -1031,6 +1036,11 @@ class MappingFrontend:
             failure: "BaseException | None" = None
             report = None
             try:
+                # Chaos hook inside the try: a poisoned read raised
+                # here is captured as this session's failure, exactly
+                # like an engine-side error would be.
+                _fire_fault("service.frontend.execute", session=session,
+                            first_read_index=batch.first_read_index)
                 if self._engine_kind == "batched":
                     report = session._pipeline.run_batched(
                         batch.codes, session._threshold,

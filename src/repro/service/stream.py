@@ -62,6 +62,7 @@ from repro.cost.views import (
     search_stats,
 )
 from repro.errors import CamConfigError, ServiceError
+from repro.faults.hooks import fire as _fire_fault
 from repro.genome.edits import ErrorModel
 from repro.genome.reads import ReadRecord
 from repro.knobs import validate_reference_source, validate_service_knobs
@@ -580,6 +581,11 @@ class StreamingMappingService:
         """Run the buffered micro-batch through the engine."""
         if not self._buffer:
             return 0
+        # Chaos hook, before the buffer swap: a poisoned-read fault
+        # raising here leaves the reads coalesced, so a later drain
+        # (e.g. the close() path) still dispatches them once.
+        _fire_fault("service.stream.dispatch", service=self,
+                    first_read_index=self._n_dispatched)
         batch = self._buffer
         self._buffer = []
         first = self._n_dispatched

@@ -1,0 +1,218 @@
+"""The trichotomy judge and end-to-end chaos checks (thread routes).
+
+``judge()`` is a pure function, so its verdict table is tested in
+isolation; the end-to-end checks drive real scenarios through the
+armed service stack (thread engines only — the process fan-out is the
+chaos soak's job, kept out of the tier-1 budget).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CamConfigError, RefStoreError, ServiceError
+from repro.faults import Fault, FaultPlan
+from repro.faults.checker import judge, resource_snapshot
+from repro.faults.scenarios import SCENARIOS, get_scenario
+
+BASE = (18, 12)  # stand-in canonical results for the pure-judge tests
+_POISON = Fault("poisoned_read", "service.stream.dispatch", 1)
+_STALL = Fault("slow_batch", "service.stream.dispatch", 0)
+_FLOOD = Fault("backlog_flood", "service.frontend.enqueue", 2)
+
+
+class TestJudge:
+    def test_clean_identical_run_is_tolerated(self):
+        verdict, error_type, detail = judge((), None, (), BASE, BASE)
+        assert (verdict, error_type, detail) == ("tolerated", None, "")
+
+    def test_fired_documented_error_is_surfaced(self):
+        verdict, error_type, _ = judge(
+            (_POISON,), CamConfigError("injected"), (), None, BASE)
+        assert verdict == "surfaced"
+        assert error_type == "CamConfigError"
+
+    def test_subclass_of_documented_error_counts(self):
+        fault = Fault("poisoned_open", "refstore.catalog.open", 0)
+        verdict, error_type, _ = judge(
+            (fault,), RefStoreError("corrupt"), (), None, BASE)
+        assert verdict == "surfaced"
+        assert error_type == "RefStoreError"
+
+    def test_undocumented_error_type_is_violation(self):
+        verdict, error_type, detail = judge(
+            (_POISON,), RuntimeError("boom"), (), None, BASE)
+        assert verdict == "violation"
+        assert error_type == "RuntimeError"
+        assert "undocumented" in detail
+
+    def test_error_without_fired_fault_is_violation(self):
+        verdict, _, detail = judge(
+            (), ServiceError("spurious"), (), None, BASE)
+        assert verdict == "violation"
+        assert "without a fired fault" in detail
+
+    def test_error_not_matching_fired_expectation_is_violation(self):
+        # A stall fault documents no error; a ServiceError alongside
+        # it has no fired fault to blame.
+        verdict, _, detail = judge(
+            (_STALL,), ServiceError("spurious"), (), None, BASE)
+        assert verdict == "violation"
+        assert "without a fired fault" in detail
+
+    def test_result_drift_is_violation(self):
+        verdict, _, detail = judge((_STALL,), None, (), (18, 11), BASE)
+        assert verdict == "violation"
+        assert "drifted" in detail
+
+    def test_handled_documented_error_is_surfaced(self):
+        verdict, error_type, _ = judge(
+            (_FLOOD,), None, (ServiceError("backlog full"),),
+            BASE, BASE)
+        assert verdict == "surfaced"
+        assert error_type == "ServiceError"
+
+    def test_handled_error_needs_fired_fault(self):
+        verdict, _, detail = judge(
+            (), None, (ServiceError("backlog full"),), BASE, BASE)
+        assert verdict == "violation"
+        assert "handled error" in detail
+
+    def test_handled_run_must_still_match_baseline(self):
+        verdict, _, detail = judge(
+            (_FLOOD,), None, (ServiceError("backlog full"),),
+            (18, 11), BASE)
+        assert verdict == "violation"
+        assert "drifted" in detail
+
+
+class TestResourceSnapshot:
+    def test_snapshot_fields(self):
+        snapshot = resource_snapshot()
+        assert snapshot.n_threads >= 1
+        assert isinstance(snapshot.shm_names, frozenset)
+        assert isinstance(snapshot.child_pids, frozenset)
+
+
+class TestEndToEnd:
+    """Real chaos runs over the thread-engine scenarios."""
+
+    def test_baseline_is_stable(self, checker):
+        scenario = get_scenario("stream-batched-gemm")
+        first = checker.baseline(scenario)
+        assert first == scenario.run().result
+        assert first[0] == 18  # every read accounted for
+
+    def test_poisoned_read_surfaces(self, checker, poison_plan):
+        verdict = checker.check(get_scenario("stream-batched-gemm"),
+                                poison_plan)
+        assert verdict.ok
+        assert verdict.verdict == "surfaced"
+        assert verdict.error_type == "CamConfigError"
+        assert [fault.kind for fault in verdict.fired] == \
+            ["poisoned_read"]
+        assert verdict.hygiene == ()
+
+    def test_stall_is_tolerated_bit_identically(self, checker,
+                                                stall_plan):
+        verdict = checker.check(get_scenario("stream-batched-gemm"),
+                                stall_plan)
+        assert verdict.ok
+        assert verdict.verdict == "tolerated"
+        assert verdict.error_type is None
+
+    def test_sharded_thread_poison_surfaces(self, checker,
+                                            poison_plan):
+        verdict = checker.check(
+            get_scenario("stream-sharded-thread-bitpacked"),
+            poison_plan)
+        assert verdict.ok
+        assert verdict.verdict == "surfaced"
+
+    def test_store_truncate_surfaces_as_refstore_error(self, checker):
+        plan = FaultPlan.of(
+            Fault("store_truncate", "refstore.save", 0), seed=103)
+        verdict = checker.check(
+            get_scenario("store-sharded-thread-gemm"), plan)
+        assert verdict.ok
+        assert verdict.verdict == "surfaced"
+        assert verdict.error_type == "RefStoreError"
+
+    def test_catalog_poisoned_open_surfaces_and_counts(self, checker):
+        plan = FaultPlan.of(
+            Fault("poisoned_open", "refstore.catalog.open", 0),
+            seed=104)
+        verdict = checker.check(
+            get_scenario("catalog-batched-bitpacked"), plan)
+        assert verdict.ok
+        assert verdict.verdict == "surfaced"
+        assert verdict.error_type == "RefStoreError"
+
+    def test_frontend_backlog_flood_is_handled(self, checker):
+        plan = FaultPlan.of(
+            Fault("backlog_flood", "service.frontend.enqueue", 3),
+            seed=105)
+        verdict = checker.check(get_scenario("frontend-batched-gemm"),
+                                plan)
+        assert verdict.ok
+        # The scenario retries the rejected submit (all-or-nothing),
+        # so the flood surfaces as a handled error with results still
+        # bit-identical to the baseline.
+        assert verdict.verdict == "surfaced"
+        assert verdict.error_type == "ServiceError"
+
+    def test_vacuous_plan_is_tolerated(self, checker):
+        plan = FaultPlan.of(
+            Fault("poisoned_read", "service.frontend.execute", 0),
+            seed=106)
+        verdict = checker.check(get_scenario("stream-batched-gemm"),
+                                plan)
+        assert verdict.ok
+        assert verdict.verdict == "tolerated"
+        assert verdict.fired == ()
+
+    def test_verdicts_reproduce(self, checker, poison_plan):
+        scenario = get_scenario("stream-sharded-thread-bitpacked")
+        first = checker.check(scenario, poison_plan)
+        second = checker.check(scenario, poison_plan)
+        assert first.describe() == second.describe()
+
+    def test_describe_round_trips_to_json(self, checker, stall_plan):
+        import json
+
+        verdict = checker.check(get_scenario("stream-batched-gemm"),
+                                stall_plan)
+        assert json.loads(json.dumps(verdict.describe())) == \
+            verdict.describe()
+
+
+class TestScenarioMatrix:
+    def test_matrix_covers_both_engines_and_backends(self):
+        assert {s.engine for s in SCENARIOS} == {"batched", "sharded"}
+        assert {s.backend for s in SCENARIOS} == \
+            {"numpy-gemm", "bitpacked"}
+        assert {s.shard_engine for s in SCENARIOS
+                if s.shard_engine} == {"thread", "process"}
+        assert {s.compaction for s in SCENARIOS} == {None, 8}
+
+    def test_reachable_points_are_valid(self):
+        from repro.faults import HOOK_POINTS
+
+        for scenario in SCENARIOS:
+            assert scenario.reachable_points
+            for point in scenario.reachable_points:
+                assert point in HOOK_POINTS, scenario.name
+
+    def test_fault_kinds_have_reachable_points(self):
+        from repro.faults import FAULT_SPECS
+
+        for scenario in SCENARIOS:
+            for kind in scenario.fault_kinds:
+                spec = FAULT_SPECS[kind]
+                assert set(spec.points) & \
+                    set(scenario.reachable_points), \
+                    (scenario.name, kind)
+
+    def test_unknown_scenario_name_raises(self):
+        with pytest.raises(KeyError, match="unknown chaos scenario"):
+            get_scenario("nope")

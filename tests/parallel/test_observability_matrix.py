@@ -1,0 +1,147 @@
+"""Observability across the engine x compaction matrix.
+
+``merged_stats()`` / ``ledger_observability()`` are the operator's
+whole-system evidence, and the determinism contract extends to them:
+the integer counters must be identical across the thread engine, the
+process engine, compacted ledgers and append-only ledgers for the
+same seeded run — compaction and fan-out change *where* events fold,
+never *what* they count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ShardedReadMappingPipeline
+from repro.genome.edits import ErrorModel
+
+# Threaded/process stress paths: a deadlock must fail loud in CI,
+# not eat the job timeout (inert without the pytest-timeout plugin).
+pytestmark = pytest.mark.timeout(120)
+
+THRESHOLD = 8
+N_SHARDS = 2
+COMPACTIONS = (None, 8)
+ENGINES = ("thread", "process")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0xBEEF)
+    segments = rng.integers(0, 4, size=(96, 64), dtype=np.uint8)
+    reads = [segments[(j * 11) % 96].copy() for j in range(20)]
+    return segments, reads
+
+
+def _run(workload, engine: str, compaction: "int | None"):
+    segments, reads = workload
+    pipeline = ShardedReadMappingPipeline(
+        segments, ErrorModel(substitution=0.02, insertion=0.01,
+                             deletion=0.01),
+        n_shards=N_SHARDS, seed=5, max_workers=1,
+        # Small chunks so the run produces enough ledger events for
+        # the compaction bound to actually engage.
+        chunk_size=4,
+        ledger_compaction=compaction, engine=engine,
+    )
+    try:
+        report = pipeline.run(reads, threshold=THRESHOLD)
+        stats = pipeline.merged_stats()
+        observability = pipeline.ledger_observability()
+        return report, stats, observability
+    finally:
+        pipeline.close()
+
+
+@pytest.fixture(scope="module")
+def matrix(workload):
+    """One run per engine x compaction cell."""
+    return {
+        (engine, compaction): _run(workload, engine, compaction)
+        for engine in ENGINES
+        for compaction in COMPACTIONS
+    }
+
+
+class TestMergedStatsMatrix:
+    def test_integer_counters_identical_across_matrix(self, matrix):
+        baseline = matrix[("thread", None)][1]
+        assert baseline.n_searches > 0
+        for key, (_, stats, _) in matrix.items():
+            assert stats.n_searches == baseline.n_searches, key
+            assert stats.n_rotation_cycles == \
+                baseline.n_rotation_cycles, key
+
+    def test_thread_float_totals_exact_under_compaction(self, matrix):
+        # Same engine, same fold order: compaction restores the folded
+        # prefix exactly, so even the float totals are bit-identical.
+        plain = matrix[("thread", None)][1]
+        compacted = matrix[("thread", 8)][1]
+        assert compacted.total_energy_joules == \
+            plain.total_energy_joules
+        assert compacted.total_latency_ns == plain.total_latency_ns
+
+    def test_process_float_totals_match_to_precision(self, matrix):
+        # Process workers fold per task, so float grouping differs:
+        # the contract is float-precision agreement, not bit identity.
+        plain = matrix[("thread", None)][1]
+        for compaction in COMPACTIONS:
+            stats = matrix[("process", compaction)][1]
+            assert stats.total_energy_joules == pytest.approx(
+                plain.total_energy_joules, rel=1e-12)
+            assert stats.total_latency_ns == pytest.approx(
+                plain.total_latency_ns, rel=1e-12)
+
+    def test_reports_bit_identical_across_matrix(self, matrix):
+        baseline = matrix[("thread", None)][0]
+        for key, (report, _, _) in matrix.items():
+            assert report.n_mapped == baseline.n_mapped, key
+            assert report.total_energy_joules == \
+                baseline.total_energy_joules, key
+            assert report.total_latency_ns == \
+                baseline.total_latency_ns, key
+            assert [m.matched_rows for m in report.mappings] == \
+                [m.matched_rows for m in baseline.mappings], key
+
+
+class TestLedgerObservabilityMatrix:
+    def test_pass_counts_identical_across_matrix(self, matrix):
+        baseline = matrix[("thread", None)][2][0]
+        assert baseline  # at least one pass kind counted
+        for key, (_, _, observability) in matrix.items():
+            assert observability[0] == baseline, key
+
+    def test_thread_append_only_never_compacts(self, matrix):
+        _, live, folded, _, compactions = matrix[("thread", None)][2]
+        assert compactions == 0
+        assert folded == 0
+        assert live > 0
+
+    def test_thread_compaction_bounds_live_events(self, matrix):
+        _, live_plain, _, _, _ = matrix[("thread", None)][2]
+        _, live, folded, _, compactions = matrix[("thread", 8)][2]
+        assert compactions > 0
+        assert folded > 0
+        assert live < live_plain
+
+    def test_process_folds_at_worker_boundary(self, matrix):
+        # Worker-side folds count as compactions even without a
+        # ledger bound — the fold at the process boundary is real.
+        for compaction in COMPACTIONS:
+            _, _, folded, _, compactions = \
+                matrix[("process", compaction)][2]
+            assert compactions > 0, compaction
+            assert folded > 0, compaction
+
+    def test_population_stays_with_live_events(self, matrix):
+        # Population is a property of *live* events: the thread engine
+        # reports it (shrinking as compaction folds events away); the
+        # process engine folds worker-side, so no live shard events —
+        # and no population — ever cross the boundary.
+        plain = matrix[("thread", None)][2][3]
+        compacted = matrix[("thread", 8)][2][3]
+        assert plain > 0
+        assert 0 < compacted < plain
+        for compaction in COMPACTIONS:
+            assert matrix[("process", compaction)][2][3] == 0

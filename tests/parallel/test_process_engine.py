@@ -30,6 +30,10 @@ from repro.genome.edits import ErrorModel
 from repro.kernels import get_backend
 from repro.parallel import ProcessShardEngine, ShardTask
 
+# Threaded/process stress paths: a deadlock must fail loud in CI,
+# not eat the job timeout (inert without the pytest-timeout plugin).
+pytestmark = pytest.mark.timeout(120)
+
 THRESHOLD = 8
 
 

@@ -16,6 +16,10 @@ from repro.knobs import validate_service_knobs
 from repro.service.frontend import MappingFrontend
 from repro.service.stream import StreamingMappingService
 
+# Threaded/process stress paths: a deadlock must fail loud in CI,
+# not eat the job timeout (inert without the pytest-timeout plugin).
+pytestmark = pytest.mark.timeout(120)
+
 THRESHOLD = 8
 
 

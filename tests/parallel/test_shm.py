@@ -25,6 +25,10 @@ from repro.parallel import (
 )
 from repro.parallel.shm import _HEADER, _aligned
 
+# Threaded/process stress paths: a deadlock must fail loud in CI,
+# not eat the job timeout (inert without the pytest-timeout plugin).
+pytestmark = pytest.mark.timeout(120)
+
 
 @pytest.fixture(scope="module")
 def reference() -> StoredReference:

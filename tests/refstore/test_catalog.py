@@ -99,6 +99,36 @@ class TestStats:
         assert stats.byte_budget is None
         assert stats.open_seconds_total >= stats.open_seconds_max > 0.0
 
+    def test_failed_opens_counted_separately_from_misses(
+            self, catalog, tmp_path):
+        # Regression: a borrow whose open raises used to look like a
+        # cheap miss-free catalog; it must count as an open failure,
+        # and never as a miss (the caller got an error, not a mapping).
+        path = tmp_path / "bad.asmcap"
+        save_stored_reference(path, _reference(7))
+        with open(path, "r+b") as handle:
+            handle.write(b"XXXXXXXX")
+        catalog.add("bad", path)
+        for _ in range(2):
+            with pytest.raises(RefStoreError, match="bad magic"):
+                catalog.borrow("bad")
+        stats = catalog.stats()
+        assert stats.open_failures == 2
+        assert stats.misses == 0
+        assert stats.hits == 0
+        # Failed opens never touch the timed miss path.
+        assert stats.open_seconds_total == 0.0
+        # A later healthy borrow is an ordinary miss again.
+        catalog.borrow("a").close()
+        stats = catalog.stats()
+        assert stats.open_failures == 2
+        assert stats.misses == 1
+
+    def test_open_failures_zero_on_healthy_catalog(self, catalog):
+        catalog.borrow("a").close()
+        catalog.borrow("a").close()
+        assert catalog.stats().open_failures == 0
+
     def test_pinned_count_follows_leases(self, catalog):
         lease_a = catalog.borrow("a")
         lease_a2 = catalog.borrow("a")

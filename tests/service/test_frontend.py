@@ -28,6 +28,10 @@ from repro.service import (
     StreamingMappingService,
 )
 
+# Threaded/process stress paths: a deadlock must fail loud in CI,
+# not eat the job timeout (inert without the pytest-timeout plugin).
+pytestmark = pytest.mark.timeout(120)
+
 THRESHOLD = 3
 
 
