@@ -18,8 +18,8 @@ from repro.experiments.fig7 import (
 def bench_fig7_condition_a(benchmark):
     result = benchmark.pedantic(
         run_fig7,
-        kwargs=dict(condition="A", n_runs=2, n_reads=64, n_segments=64,
-                    seed=11),
+        kwargs={"condition": "A", "n_runs": 2, "n_reads": 64,
+                "n_segments": 64, "seed": 11},
         rounds=1, iterations=1,
     )
     # Shape checks mirroring the paper's Condition-A claims.

@@ -18,8 +18,8 @@ from repro.experiments.fig7 import (
 def bench_fig7_condition_b(benchmark):
     result = benchmark.pedantic(
         run_fig7,
-        kwargs=dict(condition="B", n_runs=2, n_reads=64, n_segments=64,
-                    seed=12),
+        kwargs={"condition": "B", "n_runs": 2, "n_reads": 64,
+                "n_segments": 64, "seed": 12},
         rounds=1, iterations=1,
     )
     assert result.sweep.mean_ratio(SYSTEM_FULL, SYSTEM_EDAM) > 1.0

@@ -31,7 +31,7 @@ from repro.experiments.fig8 import SYSTEMS, compute_fig8
 def check_result(result) -> None:
     """Ordering + paper-anchor assertions shared by both entry points."""
     latencies = [result.costs[name].latency_ns for name in SYSTEMS[:5]]
-    assert all(a > b for a, b in zip(latencies, latencies[1:]))
+    assert all(a > b for a, b in zip(latencies, latencies[1:], strict=False))
     for name, key in (("CM-CPU", "cm_cpu"), ("ReSMA", "resma"),
                       ("SaVI", "savi"), ("EDAM", "edam")):
         measured = result.speedup_over(name, "ASMCap w/o H&T")

@@ -153,7 +153,7 @@ def assert_bit_identical(ours, theirs) -> None:
     assert ours.n_searches == theirs.n_searches
     assert ours.total_energy_joules == theirs.total_energy_joules
     assert ours.total_latency_ns == theirs.total_latency_ns
-    for a, b in zip(ours.mappings, theirs.mappings):
+    for a, b in zip(ours.mappings, theirs.mappings, strict=True):
         assert a.read_index == b.read_index
         assert a.matched_rows == b.matched_rows
         assert a.outcome.energy_joules == b.outcome.energy_joules
@@ -231,7 +231,7 @@ def main(argv: "list[str] | None" = None) -> int:
           f"{fe_loads} vs {sa_loads}")
 
     # -- session isolation: frontend session == standalone twin ---------
-    for index, (ours, theirs) in enumerate(zip(fe_reports, sa_reports)):
+    for ours, theirs in zip(fe_reports, sa_reports, strict=True):
         assert_bit_identical(ours, theirs)
     print(f"OK: all {args.sessions} concurrent sessions bit-identical "
           f"to their standalone services")

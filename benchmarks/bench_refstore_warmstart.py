@@ -58,7 +58,7 @@ def reports_identical(a, b) -> bool:
     if (a.total_energy_joules, a.total_latency_ns) != \
             (b.total_energy_joules, b.total_latency_ns):
         return False
-    for left, right in zip(a.mappings, b.mappings):
+    for left, right in zip(a.mappings, b.mappings, strict=True):
         if left.matched_rows != right.matched_rows:
             return False
         if not np.array_equal(left.outcome.decisions,

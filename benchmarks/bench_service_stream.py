@@ -116,7 +116,7 @@ def assert_bit_identical(streamed, reference) -> None:
     assert streamed.n_searches == reference.n_searches
     assert streamed.total_energy_joules == reference.total_energy_joules
     assert streamed.total_latency_ns == reference.total_latency_ns
-    for ours, theirs in zip(streamed.mappings, reference.mappings):
+    for ours, theirs in zip(streamed.mappings, reference.mappings, strict=True):
         assert ours.read_index == theirs.read_index
         assert ours.matched_rows == theirs.matched_rows
         assert ours.outcome.energy_joules == theirs.outcome.energy_joules
@@ -170,7 +170,7 @@ def main(argv: "list[str] | None" = None) -> int:
     print(f"{'':>9}  {'compacted':>10} {'plain':>11}  "
           f"{'compacted':>11} {'plain':>12}")
     for (reads_c, events_c, pop_c), (_, events_p, pop_p) in zip(
-            compacted_samples, plain_samples):
+            compacted_samples, plain_samples, strict=True):
         print(f"{reads_c:>9}  {events_c:>10} {events_p:>11}  "
               f"{pop_c:>11} {pop_p:>12}")
 

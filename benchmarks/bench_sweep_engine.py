@@ -77,7 +77,7 @@ def prepare_runs(condition: str, thresholds: "list[int]", n_runs: int,
     engine results computed on these inputs are bit-comparable to a
     full ``run_sweep``.
     """
-    ordered = sorted(set(int(t) for t in thresholds))
+    ordered = sorted({int(t) for t in thresholds})
     prepared = []
     for run in range(n_runs):
         dataset = build_dataset(condition, n_reads=n_reads,

@@ -39,7 +39,7 @@ def run(array_width: int, segments: np.ndarray, reads, origins) -> float:
     matcher = FragmentedMatcher(array, segments,
                                 min_fragment_matches=n_fragments)
     recovered = 0
-    for read, origin in zip(reads, origins):
+    for read, origin in zip(reads, origins, strict=True):
         outcome = matcher.match(read.codes, THRESHOLD)
         if outcome.decisions[origin]:
             recovered += 1
@@ -69,7 +69,7 @@ def main() -> None:
         origins.append(origin)
     mean_ed = np.mean([
         edit_distance(DnaSequence(segments[o]), r)
-        for r, o in zip(reads, origins)
+        for r, o in zip(reads, origins, strict=True)
     ])
     print(f"{len(reads)} reads of {LONG_READ} bases, "
           f"mean true edit distance {mean_ed:.1f}, read-level T={THRESHOLD}")

@@ -121,9 +121,9 @@ def main() -> None:
     # Score the screen per pathogen.
     sources = [source for source, _ in stream]
     for pathogen in ("sars-cov-2", "influenza-a"):
-        own = [flag for source, flag in zip(sources, calls[pathogen])
+        own = [flag for source, flag in zip(sources, calls[pathogen], strict=True)
                if source == pathogen]
-        other = [flag for source, flag in zip(sources, calls[pathogen])
+        other = [flag for source, flag in zip(sources, calls[pathogen], strict=True)
                  if source != pathogen]
         sensitivity = sum(own) / max(1, len(own))
         specificity = 1.0 - sum(other) / max(1, len(other))

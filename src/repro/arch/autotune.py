@@ -58,7 +58,7 @@ import os
 import time
 from dataclasses import dataclass
 
-from repro.errors import CamConfigError
+from repro.errors import ArchConfigError, CamConfigError
 
 #: A shard below this many rows spends more time in per-pass Python
 #: dispatch than in the vectorised compare kernels.
@@ -119,9 +119,9 @@ def plan_shards(n_rows: int, cols: int,
         make plans reproducible across machines (tests pin this).
     """
     if n_rows <= 0:
-        raise ValueError(f"n_rows must be positive, got {n_rows}")
+        raise ArchConfigError(f"n_rows must be positive, got {n_rows}")
     if cols <= 0:
-        raise ValueError(f"cols must be positive, got {cols}")
+        raise ArchConfigError(f"cols must be positive, got {cols}")
     cpus = available_cpus(cpu_count)
     by_size = max(1, n_rows // MIN_ROWS_PER_SHARD)
     n_shards = max(1, min(cpus, by_size, n_rows))
@@ -173,11 +173,11 @@ def plan_microbatch(n_rows: int, cols: int,
         per shard.
     """
     if n_rows <= 0:
-        raise ValueError(f"n_rows must be positive, got {n_rows}")
+        raise ArchConfigError(f"n_rows must be positive, got {n_rows}")
     if cols <= 0:
-        raise ValueError(f"cols must be positive, got {cols}")
+        raise ArchConfigError(f"cols must be positive, got {cols}")
     if n_shards <= 0:
-        raise ValueError(f"n_shards must be positive, got {n_shards}")
+        raise ArchConfigError(f"n_shards must be positive, got {n_shards}")
     rows_per_shard = -(-n_rows // n_shards)  # ceil
     return _chunk_reads(rows_per_shard, cols)
 
@@ -223,7 +223,7 @@ def plan_service_pool(n_shards: int = 1,
         make plans reproducible across machines (tests pin this).
     """
     if n_shards < 1:
-        raise ValueError(f"n_shards must be positive, got {n_shards}")
+        raise ArchConfigError(f"n_shards must be positive, got {n_shards}")
     cpus = available_cpus(cpu_count)
     fanout = min(int(n_shards), cpus)
     n_workers = max(1, cpus // fanout)
@@ -244,7 +244,7 @@ def sweep_worker_count(n_runs: int,
     spawn more workers than runs).
     """
     if n_runs < 1:
-        raise ValueError(f"n_runs must be positive, got {n_runs}")
+        raise ArchConfigError(f"n_runs must be positive, got {n_runs}")
     return max(1, min(int(n_runs), available_cpus(cpu_count)))
 
 
@@ -286,9 +286,9 @@ def estimate_stored_reference_bytes(n_rows: int, cols: int) -> int:
     per-array alignment padding but packs the planes tighter).
     """
     if n_rows <= 0:
-        raise ValueError(f"n_rows must be positive, got {n_rows}")
+        raise ArchConfigError(f"n_rows must be positive, got {n_rows}")
     if cols <= 0:
-        raise ValueError(f"cols must be positive, got {cols}")
+        raise ArchConfigError(f"cols must be positive, got {cols}")
     return int(n_rows) * int(cols) * ENCODED_BYTES_PER_CELL
 
 
@@ -317,9 +317,9 @@ def plan_engine(n_rows: int, cols: int,
         make plans reproducible across machines (tests pin this).
     """
     if n_rows <= 0:
-        raise ValueError(f"n_rows must be positive, got {n_rows}")
+        raise ArchConfigError(f"n_rows must be positive, got {n_rows}")
     if cols <= 0:
-        raise ValueError(f"cols must be positive, got {cols}")
+        raise ArchConfigError(f"cols must be positive, got {cols}")
     if n_shards is not None and n_shards < 2:
         return "thread"
     if available_cpus(cpu_count) < PROCESS_MIN_CPUS:

@@ -769,13 +769,12 @@ class CamArray:
             noise_keys=None if noise_key is None else [noise_key],
             rotation=rotation,
         )
-        result = SearchResult(
+        return SearchResult(
             matches=matches, mismatch_counts=counts, v_ml=v_ml,
             threshold=threshold, mode=mode,
             energy_joules=float(event.energy_per_query_joules[0]),
             latency_ns=self._search_time_ns,
         )
-        return result
 
     def search_batch(self, queries: np.ndarray,
                      threshold: "int | np.ndarray",
@@ -840,14 +839,13 @@ class CamArray:
         event = self._emit_pass(counts, thresholds, mode, sweep=False,
                                 noise_keys=noise_keys, rotation=rotation)
         energy_per_query = event.energy_per_query_joules
-        result = BatchSearchResult(
+        return BatchSearchResult(
             matches=matches, mismatch_counts=counts, v_ml=v_ml,
             thresholds=thresholds, mode=mode,
             energy_joules=float(energy_per_query.sum()),
             latency_ns=self._search_time_ns * n_queries,
             energy_per_query_joules=energy_per_query,
         )
-        return result
 
     def search_sweep(self, queries: np.ndarray,
                      thresholds: np.ndarray,
@@ -914,13 +912,12 @@ class CamArray:
                                dtype=bool)
         event = self._emit_pass(counts, thresholds, mode, sweep=True,
                                 noise_keys=noise_keys, rotation=rotation)
-        result = SweepSearchResult(
+        return SweepSearchResult(
             matches=matches, mismatch_counts=counts, v_ml=v_ml,
             thresholds=thresholds, mode=mode,
             energy_per_query_joules=event.energy_per_query_joules,
             latency_ns=self._search_time_ns,
         )
-        return result
 
     def search_rotated(self, read: np.ndarray, threshold: int, rotation: int,
                        mode: MatchMode = MatchMode.ED_STAR,

@@ -201,7 +201,7 @@ class AccuracyExperiment:
         if any(t < 0 for t in thresholds):
             raise ExperimentError("thresholds must be non-negative")
         self._dataset = dataset
-        self._thresholds = sorted(set(int(t) for t in thresholds))
+        self._thresholds = sorted({int(t) for t in thresholds})
         self._seed = seed
         self._truth: GroundTruth = label_dataset(dataset,
                                                  max(self._thresholds))
@@ -276,7 +276,7 @@ class AccuracyExperiment:
         )
         matrices = confusion_series(decisions, truth)
         per_threshold = {
-            int(t): matrix for t, matrix in zip(thresholds, matrices)
+            int(t): matrix for t, matrix in zip(thresholds, matrices, strict=True)
         }
         return AccuracyResult(name=name, per_threshold=per_threshold)
 

@@ -43,10 +43,10 @@ def format_table(headers: Sequence[str],
     if title:
         out.write(title + "\n")
     separator = "-+-".join("-" * w for w in widths)
-    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)) + "\n")
     out.write(separator + "\n")
     for row in rendered_rows:
-        out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+        out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)) + "\n")
     return out.getvalue()
 
 

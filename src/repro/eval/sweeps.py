@@ -55,7 +55,7 @@ class SweepSeries:
         return float(self.f1_runs.mean())
 
     def series(self) -> dict[int, float]:
-        return dict(zip(self.thresholds, self.mean.tolist()))
+        return dict(zip(self.thresholds, self.mean.tolist(), strict=True))
 
 
 @dataclass
@@ -123,7 +123,7 @@ def run_sweep(condition: str,
             f"n_workers must be positive, got {n_workers}"
         )
     result = SweepResult(condition=condition,
-                         thresholds=sorted(set(int(t) for t in thresholds)))
+                         thresholds=sorted({int(t) for t in thresholds}))
 
     def one_run(run: int) -> "dict[str, AccuracyResult]":
         """One self-contained Monte-Carlo repetition (seed-keyed)."""

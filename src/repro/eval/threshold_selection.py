@@ -77,7 +77,7 @@ class ThresholdSelector:
         if not candidates:
             raise ExperimentError("candidates must be non-empty")
         self._dataset = dataset
-        self._candidates = sorted(set(int(t) for t in candidates))
+        self._candidates = sorted({int(t) for t in candidates})
         self._truth: GroundTruth = label_dataset(dataset,
                                                  max(self._candidates))
 

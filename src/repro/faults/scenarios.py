@@ -29,7 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ReproError, ServiceError
+from repro.errors import CamConfigError, ReproError, ServiceError
 
 __all__ = [
     "N_DISPATCHES",
@@ -149,19 +149,19 @@ class ChaosScenario:
                 return self._run_catalog(Path(dir_))
             if self.route == "frontend":
                 return self._run_frontend()
-            raise ValueError(f"unknown scenario route {self.route!r}")
+            raise CamConfigError(f"unknown scenario route {self.route!r}")
 
     # -- routes --------------------------------------------------------------
 
     def _service(self, source, **extra):
         from repro.service.stream import StreamingMappingService
 
-        kwargs = dict(
-            error_model=_error_model(), threshold=THRESHOLD,
-            engine=self.engine, micro_batch=MICRO_BATCH,
-            compaction=self.compaction, seed=SEED,
-            backend=self.backend,
-        )
+        kwargs = {
+            "error_model": _error_model(), "threshold": THRESHOLD,
+            "engine": self.engine, "micro_batch": MICRO_BATCH,
+            "compaction": self.compaction, "seed": SEED,
+            "backend": self.backend,
+        }
         if self.engine == "sharded":
             kwargs.update(n_shards=N_SHARDS, max_workers=1,
                           shard_engine=self.shard_engine)
@@ -222,7 +222,7 @@ class ChaosScenario:
                     service.close()
         finally:
             if catalog.stats().pinned_count:
-                raise RuntimeError(
+                raise ServiceError(
                     "chaos scenario leaked a catalog lease"
                 )
             catalog.close()
@@ -231,8 +231,8 @@ class ChaosScenario:
         from repro.service.frontend import MappingFrontend
 
         segments, reads = _workload()
-        kwargs = dict(engine=self.engine, pool_workers=2,
-                      backend=self.backend)
+        kwargs = {"engine": self.engine, "pool_workers": 2,
+                  "backend": self.backend}
         if self.engine == "sharded":
             kwargs.update(n_shards=N_SHARDS,
                           shard_engine=self.shard_engine)
@@ -324,7 +324,7 @@ def get_scenario(name: str) -> ChaosScenario:
     for scenario in SCENARIOS:
         if scenario.name == name:
             return scenario
-    raise KeyError(
+    raise CamConfigError(
         f"unknown chaos scenario {name!r}; known: "
         f"{[s.name for s in SCENARIOS]}"
     )

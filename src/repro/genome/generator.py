@@ -105,15 +105,14 @@ class ReferenceGenerator:
             raise DatasetError(f"reference length must be positive, got {length}")
         codes = alphabet.random_codes(length, self._rng, self.gc_content)
         if self.repeats is not None:
-            codes = self._plant_tandem_repeats(codes)
-            codes = self._plant_interspersed_repeats(codes)
+            codes = self._plant_tandem_repeats(codes, self.repeats)
+            codes = self._plant_interspersed_repeats(codes, self.repeats)
         return DnaSequence(codes)
 
     # ------------------------------------------------------------------
-    def _plant_tandem_repeats(self, codes: np.ndarray) -> np.ndarray:
+    def _plant_tandem_repeats(self, codes: np.ndarray,
+                              profile: RepeatProfile) -> np.ndarray:
         """Overwrite random stretches with tandem-repeated short motifs."""
-        profile = self.repeats
-        assert profile is not None
         target = int(len(codes) * profile.tandem_fraction)
         covered = 0
         codes = codes.copy()
@@ -130,10 +129,9 @@ class ReferenceGenerator:
             covered += run
         return codes
 
-    def _plant_interspersed_repeats(self, codes: np.ndarray) -> np.ndarray:
+    def _plant_interspersed_repeats(self, codes: np.ndarray,
+                                    profile: RepeatProfile) -> np.ndarray:
         """Copy a single long element to many loci with small divergence."""
-        profile = self.repeats
-        assert profile is not None
         element_len = min(profile.interspersed_length, len(codes))
         if element_len == 0:
             return codes

@@ -94,7 +94,7 @@ class DnaSequence:
             return DnaSequence(self._codes[item : item + 1 or None])
         if isinstance(item, slice):
             return DnaSequence(self._codes[item])
-        raise TypeError(f"indices must be int or slice, not {type(item).__name__}")
+        raise SequenceError(f"indices must be int or slice, not {type(item).__name__}")
 
     def __add__(self, other: "DnaSequence") -> "DnaSequence":
         if not isinstance(other, DnaSequence):

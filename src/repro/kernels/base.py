@@ -39,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.distance.ed_star import mismatch_counts_all_reads
+from repro.errors import CamConfigError
 from repro.genome import alphabet
 
 #: Target element count per chunked encoding/comparison buffer — the
@@ -190,7 +191,7 @@ def slice_encoded_reference(encoded: EncodedReference, start: int,
     start, stop = int(start), int(stop)
     n_rows = encoded.segments.shape[0]
     if not (0 <= start < stop <= n_rows):
-        raise ValueError(
+        raise CamConfigError(
             f"row slice [{start}, {stop}) is outside the encoding's "
             f"{n_rows} rows"
         )
@@ -216,7 +217,7 @@ def encoded_reference_from_arrays(
     missing = [name for name in ENCODED_REFERENCE_FIELDS
                if name not in arrays]
     if missing:
-        raise ValueError(
+        raise CamConfigError(
             f"encoded-reference payload is missing arrays: {missing}"
         )
     for name in ENCODED_REFERENCE_FIELDS:

@@ -157,8 +157,7 @@ class BitpackedBackend(KernelBackend):
                     ^ variants[:, :, start:stop, None, :])
             miss = diff[0] | diff[1]                  # (3, b, M, W)
             miss_centre, miss_prev, miss_next = miss
-            if with_hd:
-                assert hd is not None
+            if hd is not None:
                 hd[start:stop] = self._popcount_sum(
                     miss_centre & encoded.valid)
             miss[1:] |= force_edges

@@ -88,18 +88,17 @@ def validate_reference_source(segments, *,
     # gate, so the reference type cannot be imported at module level.
     from repro.cam.array import StoredReference
 
-    if catalog is not None:
-        if not isinstance(segments, str):
-            raise CamConfigError(
-                f"with catalog=, pass the reference name (a str) in "
-                f"the segments position, got {type(segments).__name__}"
-            )
-    elif isinstance(segments, str):
+    if catalog is not None and not isinstance(segments, str):
+        raise CamConfigError(
+            f"with catalog=, pass the reference name (a str) in "
+            f"the segments position, got {type(segments).__name__}"
+        )
+    if catalog is None and isinstance(segments, str):
         raise CamConfigError(
             f"a reference name ({segments!r}) needs catalog=; without "
             f"one, pass a segment matrix or a sealed StoredReference"
         )
-    elif isinstance(segments, StoredReference) and not segments.sealed:
+    if isinstance(segments, StoredReference) and not segments.sealed:
         raise CamConfigError(
             "a StoredReference passed to the service layer must be "
             "sealed (StoredReference.encode(...) seals; adopted "

@@ -117,7 +117,7 @@ def write_payload(buf, layout: ContainerLayout,
     *buf* must be zero-initialised and at least ``layout.total`` bytes
     — the payload CRC covers the alignment padding between arrays.
     """
-    for spec, (_, array) in zip(layout.specs, arrays):
+    for spec, (_, array) in zip(layout.specs, arrays, strict=True):
         array = np.ascontiguousarray(array)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=buf,
                           offset=layout.payload_start + spec["offset"])

@@ -47,7 +47,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cam.array import StoredReference
-from repro.errors import RefStoreError
+from repro.errors import CamConfigError, RefStoreError
 from repro.faults.hooks import fire as _fire_fault
 from repro.kernels import (
     ENCODED_REFERENCE_FIELDS,
@@ -251,7 +251,7 @@ def open_stored_reference(
                     else int(handle.stop))
             try:
                 encoded = slice_encoded_reference(encoded, start, stop)
-            except ValueError as exc:
+            except CamConfigError as exc:
                 raise RefStoreError(
                     f"reference store {handle.path!r}: {exc}"
                 ) from exc
@@ -304,7 +304,7 @@ def slice_stored_reference(
     for start, stop in ranges:
         try:
             sliced = slice_encoded_reference(encoded, start, stop)
-        except ValueError as exc:
+        except CamConfigError as exc:
             raise RefStoreError(str(exc)) from exc
         source = None
         if path is not None:

@@ -120,7 +120,7 @@ class TestBatchedBroadcast:
         before = [array.stats.n_searches for array in acc.arrays]
         acc.match_batch(reads, threshold=8)
         after = [array.stats.n_searches for array in acc.arrays]
-        for b, a in zip(before, after):
+        for b, a in zip(before, after, strict=True):
             assert a - b == reads.shape[0]
 
     def test_empty_batch(self, accelerator, dataset):

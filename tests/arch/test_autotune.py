@@ -20,7 +20,7 @@ from repro.arch.autotune import (
     resolve_engine,
     sweep_worker_count,
 )
-from repro.errors import CamConfigError
+from repro.errors import ArchConfigError, CamConfigError
 from repro.core.pipeline import ShardedReadMappingPipeline
 from repro.genome.datasets import build_dataset
 
@@ -66,9 +66,9 @@ class TestPlanShards:
         assert plan.max_workers <= 6
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ArchConfigError):
             plan_shards(0, 256)
-        with pytest.raises(ValueError):
+        with pytest.raises(ArchConfigError):
             plan_shards(128, 0)
 
     def test_plan_is_frozen(self):
@@ -101,11 +101,11 @@ class TestPlanMicrobatch:
         assert split >= whole
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ArchConfigError):
             plan_microbatch(0, 64)
-        with pytest.raises(ValueError):
+        with pytest.raises(ArchConfigError):
             plan_microbatch(64, 0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ArchConfigError):
             plan_microbatch(64, 64, n_shards=0)
 
 
@@ -120,7 +120,7 @@ class TestSweepWorkers:
         assert sweep_worker_count(1, cpu_count=1) == 1
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ArchConfigError):
             sweep_worker_count(0)
 
     def test_available_cpus_floor(self):
@@ -156,9 +156,9 @@ class TestPlanEngine:
                            cpu_count=8) == "process"
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ArchConfigError):
             plan_engine(0, 64)
-        with pytest.raises(ValueError):
+        with pytest.raises(ArchConfigError):
             plan_engine(64, 0)
 
 
@@ -209,5 +209,5 @@ class TestPipelineIntegration:
         )
         report_auto = auto.run(reads, threshold=8)
         report_explicit = explicit.run(reads, threshold=8)
-        for a, b in zip(report_auto.mappings, report_explicit.mappings):
+        for a, b in zip(report_auto.mappings, report_explicit.mappings, strict=True):
             assert a.matched_rows == b.matched_rows

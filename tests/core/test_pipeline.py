@@ -32,7 +32,7 @@ class TestMapping:
         assert report.n_reads == 16
         assert report.mapped_fraction >= 0.8
         hits = 0
-        for record, mapping in zip(dataset.reads, report.mappings):
+        for record, mapping in zip(dataset.reads, report.mappings, strict=True):
             if dataset.origin_segment_index(record) in mapping.matched_rows:
                 hits += 1
         assert hits >= 13
@@ -138,7 +138,7 @@ class TestBatchedPipeline:
         b = make_noisy_pipeline(noisy_dataset, seed=5)
         ra = a.run_batched(noisy_dataset.reads, threshold=8)
         rb = b.run_batched(noisy_dataset.reads, threshold=8)
-        for ma, mb in zip(ra.mappings, rb.mappings):
+        for ma, mb in zip(ra.mappings, rb.mappings, strict=True):
             assert ma.matched_rows == mb.matched_rows
 
 
@@ -175,7 +175,7 @@ class TestShardedPipeline:
         """Matched rows are reported in whole-reference coordinates."""
         report = sharded.run(noisy_dataset.reads, threshold=8)
         hits = 0
-        for record, mapping in zip(noisy_dataset.reads, report.mappings):
+        for record, mapping in zip(noisy_dataset.reads, report.mappings, strict=True):
             origin = noisy_dataset.origin_segment_index(record)
             hits += int(origin in mapping.matched_rows)
         assert hits >= len(noisy_dataset.reads) * 0.8
@@ -194,7 +194,7 @@ class TestShardedPipeline:
         ))
         sharded_report = sharded.run(noisy_dataset.reads, threshold=8)
         flat_report = flat.run(noisy_dataset.reads, threshold=8)
-        for a, b in zip(sharded_report.mappings, flat_report.mappings):
+        for a, b in zip(sharded_report.mappings, flat_report.mappings, strict=True):
             assert a.matched_rows == b.matched_rows
 
     def test_more_shards_than_rows(self, noisy_dataset):
@@ -317,7 +317,7 @@ class TestStoredShardConstruction:
         ours = shared.run(noisy_dataset.reads, threshold=8)
         theirs = reference.run(noisy_dataset.reads, threshold=8)
         assert ours.total_energy_joules == theirs.total_energy_joules
-        for a, b in zip(ours.mappings, theirs.mappings):
+        for a, b in zip(ours.mappings, theirs.mappings, strict=True):
             assert a.matched_rows == b.matched_rows
             assert a.outcome.energy_joules == b.outcome.energy_joules
             assert a.outcome.latency_ns == b.outcome.latency_ns

@@ -32,12 +32,12 @@ class TestHdacProbability:
     def test_decreases_with_threshold(self):
         values = [policy.hdac_probability(0.01, 0.001, t)
                   for t in range(1, 9)]
-        assert all(a > b for a, b in zip(values, values[1:]))
+        assert all(a > b for a, b in zip(values, values[1:], strict=False))
 
     def test_decreases_with_indels(self):
         values = [policy.hdac_probability(0.01, eid, 2)
                   for eid in (0.0, 0.001, 0.01, 0.1)]
-        assert all(a > b for a, b in zip(values, values[1:]))
+        assert all(a > b for a, b in zip(values, values[1:], strict=False))
 
     def test_is_probability(self):
         for t in range(20):

@@ -32,6 +32,7 @@ from repro.cost.events import (
 )
 from repro.cost.ledger import CostLedger
 from repro.cost.profile import profile_from_ledger
+from repro.errors import ExperimentError
 from repro.cost.views import component_energy_totals, search_stats
 from repro.errors import CamConfigError, LedgerCompactionError
 
@@ -205,7 +206,7 @@ class TestSweepCompaction:
         assert folded > 0
         assert not ledger.search_passes()
         assert search_stats(ledger) == search_stats(plain)
-        with pytest.raises(Exception):
+        with pytest.raises(ExperimentError):
             profile_from_ledger(ledger, range(1, 9))
 
 
@@ -234,7 +235,7 @@ class TestShardedCompaction:
         assert (reports[2].total_latency_ns
                 == reports[None].total_latency_ns)
         # Per-shard ledger views are exact...
-        for ours, theirs in zip(compacted.matchers, plain.matchers):
+        for ours, theirs in zip(compacted.matchers, plain.matchers, strict=True):
             assert (search_stats(ours.array.ledger)
                     == search_stats(theirs.array.ledger))
         # ...and so is the deterministic shard-ordered aggregation.

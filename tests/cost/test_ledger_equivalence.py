@@ -69,7 +69,7 @@ class TestArrayPathIdentity:
 
         scalar_energies = np.asarray([
             array_scalar.search(q, 5, mode, noise_key=k).energy_joules
-            for q, k in zip(queries, keys)
+            for q, k in zip(queries, keys, strict=True)
         ])
         batch = array_batch.search_batch(queries, 5, mode, noise_keys=keys)
         sweep = array_sweep.search_sweep(queries, np.array([2, 5, 9]),
@@ -130,7 +130,7 @@ class TestMatcherPathReconstruction:
                     for i, read in enumerate(reads)]
         groups = _scalar_groups(matcher.array.ledger)
         assert len(groups) == len(outcomes)
-        for outcome, group in zip(outcomes, groups):
+        for outcome, group in zip(outcomes, groups, strict=True):
             energy = 0.0
             latency = 0.0
             for event in group:

@@ -57,7 +57,7 @@ class TestLabelling:
     def test_positives_per_threshold_monotone(self, truth):
         counts = truth.positives_per_threshold(list(range(0, truth.band + 1)))
         values = list(counts.values())
-        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert all(a <= b for a, b in zip(values, values[1:], strict=False))
 
     def test_negative_threshold_rejected(self, dataset):
         with pytest.raises(ExperimentError):

@@ -79,10 +79,10 @@ class TestWorkerDeterminism:
     """Monte-Carlo runs are self-contained, so fan-out cannot matter."""
 
     def test_one_vs_four_workers_bit_identical(self):
-        kwargs = dict(
-            thresholds=[2, 4, 6],
-            n_runs=4, n_reads=12, read_length=96, n_segments=16, seed=9,
-        )
+        kwargs = {
+            "thresholds": [2, 4, 6], "n_runs": 4, "n_reads": 12,
+            "read_length": 96, "n_segments": 16, "seed": 9,
+        }
         systems = {"EDAM": edam_system, "plain": asmcap_plain_system}
         serial = run_sweep("A", systems, n_workers=1, **kwargs)
         parallel = run_sweep("A", systems, n_workers=4, **kwargs)
@@ -91,10 +91,10 @@ class TestWorkerDeterminism:
                                   parallel.systems[name].f1_runs)
 
     def test_default_workers_match_serial(self):
-        kwargs = dict(
-            thresholds=[2, 4],
-            n_runs=2, n_reads=8, read_length=96, n_segments=16, seed=1,
-        )
+        kwargs = {
+            "thresholds": [2, 4], "n_runs": 2, "n_reads": 8,
+            "read_length": 96, "n_segments": 16, "seed": 1,
+        }
         systems = {"plain": asmcap_plain_system}
         serial = run_sweep("A", systems, n_workers=1, **kwargs)
         auto = run_sweep("A", systems, **kwargs)

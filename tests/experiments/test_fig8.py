@@ -33,11 +33,11 @@ class TestOrdering:
     def test_latency_ordering(self, fig8):
         latencies = [fig8.costs[name].latency_ns for name in SYSTEMS[:5]]
         # CM-CPU > ReSMA > SaVI > EDAM > ASMCap w/o.
-        assert all(a > b for a, b in zip(latencies, latencies[1:]))
+        assert all(a > b for a, b in zip(latencies, latencies[1:], strict=False))
 
     def test_energy_ordering(self, fig8):
         energies = [fig8.costs[name].energy_joules for name in SYSTEMS[:5]]
-        assert all(a > b for a, b in zip(energies, energies[1:]))
+        assert all(a > b for a, b in zip(energies, energies[1:], strict=False))
 
     def test_strategies_cost_something(self, fig8):
         plain = fig8.costs["ASMCap w/o H&T"]

@@ -13,7 +13,7 @@ import pytest
 from repro.errors import CamConfigError, RefStoreError, ServiceError
 from repro.faults import Fault, FaultPlan
 from repro.faults.checker import judge, resource_snapshot
-from repro.faults.scenarios import SCENARIOS, get_scenario
+from repro.faults.scenarios import SCENARIOS, ChaosScenario, get_scenario
 
 BASE = (18, 12)  # stand-in canonical results for the pure-judge tests
 _POISON = Fault("poisoned_read", "service.stream.dispatch", 1)
@@ -214,5 +214,16 @@ class TestScenarioMatrix:
                     (scenario.name, kind)
 
     def test_unknown_scenario_name_raises(self):
-        with pytest.raises(KeyError, match="unknown chaos scenario"):
+        with pytest.raises(CamConfigError, match="unknown chaos scenario"):
             get_scenario("nope")
+
+    def test_unknown_route_raises_typed_error(self):
+        # Error-contract regression (contractlint CL401): a bad route
+        # raises the typed config error, not a bare ValueError.
+        scenario = ChaosScenario(
+            name="bogus", engine="batched", shard_engine=None,
+            backend="numpy-gemm", compaction=None, route="teleport",
+            fault_kinds=(),
+        )
+        with pytest.raises(CamConfigError, match="unknown scenario route"):
+            scenario.run()

@@ -121,7 +121,7 @@ class TestBufferActions:
         corrupted = bytes(buf[start:start + len(payload)])
         assert corrupted != payload
         # Exactly one byte differs, at arg % payload_length.
-        diffs = [i for i, (a, b) in enumerate(zip(payload, corrupted))
+        diffs = [i for i, (a, b) in enumerate(zip(payload, corrupted, strict=True))
                  if a != b]
         assert diffs == [130 % layout.payload_length]
 

@@ -58,7 +58,7 @@ class TestBuildDataset:
         b = build_dataset("A", n_reads=4, read_length=64, n_segments=8,
                           seed=33)
         assert np.array_equal(a.segments, b.segments)
-        assert all(x.read == y.read for x, y in zip(a.reads, b.reads))
+        assert all(x.read == y.read for x, y in zip(a.reads, b.reads, strict=True))
 
     def test_condition_label_attached(self, small_dataset_b):
         assert small_dataset_b.condition == "B"

@@ -108,7 +108,7 @@ class TestInjection:
         _, plan = inject_edits(seq, model, rng)
         deletions = [e.position for e in plan.edits
                      if e.kind is EditKind.DELETION]
-        runs = sum(1 for a, b in zip(deletions, deletions[1:]) if b == a + 1)
+        runs = sum(1 for a, b in zip(deletions, deletions[1:], strict=False) if b == a + 1)
         assert runs > 0  # with burst_prob=0.9 consecutive runs must appear
 
     def test_deterministic_given_rng_state(self):

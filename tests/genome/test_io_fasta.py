@@ -126,5 +126,5 @@ class TestFastqParsing:
         assert all(
             a.name == b.name and a.sequence == b.sequence
             and np.array_equal(a.qualities, b.qualities)
-            for a, b in zip(records, again)
+            for a, b in zip(records, again, strict=True)
         )

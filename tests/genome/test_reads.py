@@ -44,7 +44,7 @@ class TestSampler:
         a = ReadSampler(reference, 128, model, seed=9).sample_batch(5)
         b = ReadSampler(reference, 128, model, seed=9).sample_batch(5)
         assert all(x.read == y.read and x.origin == y.origin
-                   for x, y in zip(a, b))
+                   for x, y in zip(a, b, strict=True))
 
     def test_model_attached_to_record(self, reference):
         model = ErrorModel.condition_b()

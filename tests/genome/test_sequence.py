@@ -66,6 +66,12 @@ class TestProtocol:
         assert str(seq[0]) == "G"
         assert str(seq[::-1]) == "ACATTAG"
 
+    def test_bad_index_type_raises_typed_error(self):
+        # Error-contract regression (contractlint CL401): a bad index
+        # raises the typed SequenceError, not a bare TypeError.
+        with pytest.raises(SequenceError, match="int or slice"):
+            DnaSequence("GATTACA")["not-an-index"]
+
     def test_concatenation(self):
         assert str(DnaSequence("AC") + DnaSequence("GT")) == "ACGT"
 

@@ -28,8 +28,11 @@ from repro.kernels import (
     as_backend,
     available_backends,
     encode_reference,
+    encoded_reference_arrays,
+    encoded_reference_from_arrays,
     get_backend,
     resolve_backend,
+    slice_encoded_reference,
 )
 from repro.knobs import validate_service_knobs
 
@@ -70,6 +73,23 @@ class TestRegistry:
         validate_service_knobs(backend=GemmBackend())
         with pytest.raises(CamConfigError):
             validate_service_knobs(backend="no-such-backend")
+
+
+class TestEncodedReferenceErrors:
+    """Error-contract regressions (contractlint CL401): encoding
+    helpers raise typed config errors, not bare ``ValueError``."""
+
+    def test_slice_out_of_range_raises_typed_error(self):
+        encoded = encode_reference(np.zeros((4, 8), dtype=np.uint8))
+        with pytest.raises(CamConfigError, match="outside the encoding"):
+            slice_encoded_reference(encoded, 2, 9)
+
+    def test_from_arrays_missing_field_raises_typed_error(self):
+        encoded = encode_reference(np.zeros((2, 8), dtype=np.uint8))
+        arrays = dict(encoded_reference_arrays(encoded))
+        del arrays["segments"]
+        with pytest.raises(CamConfigError, match="missing arrays"):
+            encoded_reference_from_arrays(arrays)
 
 
 class TestResolutionOrder:

@@ -52,7 +52,7 @@ def _assert_reports_identical(a, b):
     assert a.total_energy_joules == b.total_energy_joules
     assert a.total_latency_ns == b.total_latency_ns
     assert len(a.mappings) == len(b.mappings)
-    for left, right in zip(a.mappings, b.mappings):
+    for left, right in zip(a.mappings, b.mappings, strict=True):
         assert left.read_index == right.read_index
         assert left.matched_rows == right.matched_rows
 
@@ -67,7 +67,7 @@ class TestScalarPath:
                         for i, read in enumerate(reads)]
             per_backend.append((outcomes, matcher.array.stats))
         (ref_outcomes, ref_stats), (alt_outcomes, alt_stats) = per_backend
-        for ref, alt in zip(ref_outcomes, alt_outcomes):
+        for ref, alt in zip(ref_outcomes, alt_outcomes, strict=True):
             assert np.array_equal(ref.decisions, alt.decisions)
             assert ref.n_searches == alt.n_searches
             assert ref.energy_joules == alt.energy_joules

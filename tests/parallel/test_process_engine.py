@@ -53,7 +53,7 @@ def _reports_identical(a, b) -> None:
     assert a.n_searches == b.n_searches
     assert a.total_energy_joules == b.total_energy_joules
     assert a.total_latency_ns == b.total_latency_ns
-    for left, right in zip(a.mappings, b.mappings):
+    for left, right in zip(a.mappings, b.mappings, strict=True):
         assert left.read_index == right.read_index
         assert left.matched_rows == right.matched_rows
         assert left.outcome.energy_joules == right.outcome.energy_joules
@@ -319,7 +319,7 @@ class TestEngineLifecycle:
             assert not failures
             for seed in (1, 2, 3):
                 for (got, _), (want, _) in zip(raced[seed],
-                                               expected[seed]):
+                                               expected[seed], strict=True):
                     np.testing.assert_array_equal(got.decisions,
                                                   want.decisions)
                     assert got.energy_joules == want.energy_joules

@@ -116,7 +116,7 @@ class TestFrontend:
         process_run = self._run(workload, "process")
         assert (thread_run[2], process_run[2]) == ("thread", "process")
         for thread_report, process_report in zip(thread_run[0],
-                                                 process_run[0]):
+                                                 process_run[0], strict=True):
             _reports_identical(thread_report, process_report)
         assert process_run[1].n_searches == thread_run[1].n_searches
         assert process_run[1].pass_counts == thread_run[1].pass_counts

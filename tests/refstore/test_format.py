@@ -136,7 +136,7 @@ class TestSlicing:
                 mapped.reference, [(0, 10), (10, 25), (25, 32)]
             )
             for shard, (start, stop) in zip(
-                    shards, [(0, 10), (10, 25), (25, 32)]):
+                    shards, [(0, 10), (10, 25), (25, 32)], strict=True):
                 assert shard.sealed
                 assert shard.n_encodes == 0
                 _assert_bit_exact(

@@ -47,7 +47,7 @@ def _assert_reports_identical(ours: MappingReport,
     assert ours.n_searches == theirs.n_searches
     assert ours.total_energy_joules == theirs.total_energy_joules
     assert ours.total_latency_ns == theirs.total_latency_ns
-    for a, b in zip(ours.mappings, theirs.mappings):
+    for a, b in zip(ours.mappings, theirs.mappings, strict=True):
         assert a.read_index == b.read_index
         assert a.matched_rows == b.matched_rows
         assert a.outcome.energy_joules == b.outcome.energy_joules
@@ -145,7 +145,7 @@ class TestSessionBitIdentity:
             threads = [
                 threading.Thread(target=feed,
                                  args=(session, p["chunk_seed"]))
-                for session, p in zip(sessions, profiles)
+                for session, p in zip(sessions, profiles, strict=True)
             ]
             for thread in threads:
                 thread.start()
@@ -153,7 +153,7 @@ class TestSessionBitIdentity:
                 thread.join()
             assert not errors
             results = [session.close() for session in sessions]
-        for result, p in zip(results, profiles):
+        for result, p in zip(results, profiles, strict=True):
             reference = _standalone(
                 small_dataset_a, reads, engine=engine, seed=p["seed"],
                 micro_batch=p["micro_batch"], threshold=p["threshold"],

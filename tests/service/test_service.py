@@ -55,7 +55,7 @@ def _assert_reports_identical(ours: MappingReport,
     assert ours.n_searches == theirs.n_searches
     assert ours.total_energy_joules == theirs.total_energy_joules
     assert ours.total_latency_ns == theirs.total_latency_ns
-    for a, b in zip(ours.mappings, theirs.mappings):
+    for a, b in zip(ours.mappings, theirs.mappings, strict=True):
         assert a.read_index == b.read_index
         assert a.matched_rows == b.matched_rows
         assert a.outcome.energy_joules == b.outcome.energy_joules
@@ -314,7 +314,7 @@ class TestStreamMapped:
         )
         mappings = list(stream_mapped(service, iter(reads)))
         assert len(mappings) == reads.shape[0]
-        for ours, theirs in zip(mappings, reference.mappings):
+        for ours, theirs in zip(mappings, reference.mappings, strict=True):
             assert ours.read_index == theirs.read_index
             assert ours.matched_rows == theirs.matched_rows
 
@@ -336,7 +336,7 @@ class TestStreamMapped:
             # ...and the hand-off buffer holds at most one batch.
             assert len(service.last_batch_mappings) <= 7
         assert len(mappings) == reads.shape[0]
-        for ours, theirs in zip(mappings, reference.mappings):
+        for ours, theirs in zip(mappings, reference.mappings, strict=True):
             assert ours.read_index == theirs.read_index
             assert ours.matched_rows == theirs.matched_rows
         assert service.report.total_energy_joules \

@@ -1,0 +1,13 @@
+"""Contractlint fixture: the clean twin of determinism_violation."""
+
+import random
+import time
+
+import numpy as np
+
+
+def keyed_entropy(seed):
+    rng = np.random.default_rng(seed)
+    lottery = random.Random(seed)
+    started = time.perf_counter()
+    return rng.random(), lottery.random(), started

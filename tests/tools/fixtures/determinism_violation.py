@@ -1,0 +1,17 @@
+"""Contractlint fixture: seeded CL1xx determinism violations."""
+
+import random
+import time
+import uuid
+
+import numpy as np
+
+
+def entropy_soup():
+    stamp = time.time()  # expect: CL101
+    token = uuid.uuid4()  # expect: CL101
+    rng = np.random.default_rng()  # expect: CL102
+    lottery = random.Random()  # expect: CL102
+    draw = np.random.rand(3)  # expect: CL103
+    pick = random.random()  # expect: CL103
+    return stamp, token, rng, lottery, draw, pick

@@ -1,0 +1,11 @@
+"""Contractlint fixture: the clean twin of error_contract_violation."""
+
+from repro.errors import CamConfigError
+
+
+def guard(value):
+    if value < 0:
+        raise CamConfigError("value must be non-negative")
+    if value > 100:
+        raise NotImplementedError("large values need the sharded path")
+    return value

@@ -1,0 +1,8 @@
+"""Contractlint fixture: seeded CL4xx error-contract violations."""
+
+
+def guard(value):
+    assert value >= 0  # expect: CL402
+    if value > 100:
+        raise ValueError("too large")  # expect: CL401
+    return value

@@ -1,0 +1,11 @@
+"""Contractlint fixture: the clean twin of fault_hooks_violation."""
+
+from repro.faults.hooks import fire as _fire_fault
+
+
+def persist(buf, path):
+    _fire_fault("refstore.save", buf=buf, path=path)
+
+
+def reachable_points(self):
+    return ("refstore.save", "refstore.open")

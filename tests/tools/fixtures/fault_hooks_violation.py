@@ -1,0 +1,12 @@
+"""Contractlint fixture: seeded CL6xx fault-hook violations."""
+
+from repro.faults.hooks import fire as _fire_fault
+
+
+def persist(buf, path, point):
+    _fire_fault("refstore.sav", buf=buf)  # expect: CL601
+    _fire_fault(point, path=path)  # expect: CL602
+
+
+def reachable_points(self):
+    return ("refstore.open", "refstore.warp")  # expect: CL604

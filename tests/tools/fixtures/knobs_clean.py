@@ -1,0 +1,9 @@
+"""Contractlint fixture: the clean twin of knobs_violation."""
+
+DEFAULT_WORKERS = 4
+
+
+def configure(micro_batch=None, max_workers=None):
+    workers = DEFAULT_WORKERS if max_workers is None else max_workers
+    batch = 8 if micro_batch is None else micro_batch
+    return workers, batch

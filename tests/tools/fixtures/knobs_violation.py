@@ -1,0 +1,16 @@
+"""Contractlint fixture: seeded CL3xx knob-hygiene violations."""
+
+DEFAULT_WORKERS = 4
+
+
+class Plan:
+    max_workers = DEFAULT_WORKERS
+
+
+def configure(micro_batch, max_workers=0):  # expect: CL303
+    plan = Plan()
+    workers = max_workers or plan.max_workers  # expect: CL301
+    batch = micro_batch if micro_batch else 8  # expect: CL301
+    if not micro_batch:  # expect: CL302
+        batch = 8
+    return workers, batch

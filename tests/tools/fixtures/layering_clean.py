@@ -1,0 +1,5 @@
+"""Contractlint fixture: the clean twin of layering_violation."""
+
+from repro.cam import CamArray
+
+__all__ = ["CamArray"]

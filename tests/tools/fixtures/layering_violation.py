@@ -1,0 +1,5 @@
+"""Contractlint fixture: seeded CL5xx layering violations."""
+
+from repro.service import StreamingMappingService  # expect: CL501
+
+__all__ = ["StreamingMappingService"]

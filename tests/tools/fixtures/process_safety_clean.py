@@ -1,0 +1,17 @@
+"""Contractlint fixture: the clean twin of process_safety_violation."""
+
+from dataclasses import dataclass
+
+_PENDING_LIMIT = 4
+
+
+@dataclass
+class ShardTask:
+    backend_name: "str | None"
+    rows: int = 0
+
+
+def resolve(backend_name):
+    from repro.kernels import get_backend
+
+    return get_backend(backend_name)

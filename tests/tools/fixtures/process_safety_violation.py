@@ -1,0 +1,13 @@
+"""Contractlint fixture: seeded CL2xx process-safety violations."""
+
+from dataclasses import dataclass
+
+from repro.kernels.base import KernelBackend  # expect: CL201
+
+pending_tasks = []  # expect: CL202
+
+
+@dataclass
+class ShardTask:
+    backend: KernelBackend  # expect: CL203
+    rows: int = 0

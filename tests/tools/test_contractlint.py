@@ -1,0 +1,175 @@
+"""Golden-fixture tests for every contractlint checker.
+
+Each checker has a seeded-violation fixture and a clean twin under
+``tests/tools/fixtures/``.  Violation fixtures annotate every
+offending line with ``# expect: CLxxx`` markers; the test asserts the
+linter reports **exactly** that multiset of ``(line, code)`` pairs —
+no misses, no extras, right lines.  Clean twins must produce zero
+findings, which pins the checkers' false-positive boundary (seeded
+RNGs, function-level imports, ``is None`` tests, typed raises,
+downward imports, registered hook points).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from tools.contractlint import LintConfig, RepoContext, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Knob names pinned for fixture runs (the production run reads them
+#: from src/repro/knobs.py; fixtures must not depend on the tree).
+KNOBS = ("micro_batch", "compaction", "max_workers", "backend",
+         "engine", "shard_engine")
+
+#: Hook points pinned for fixture runs.
+HOOKS = ("refstore.save", "refstore.open")
+
+_MARKER = re.compile(r"#\s*expect:\s*([A-Z0-9, ]+)$")
+
+
+def make_repo(*, closure=(), hook_points=HOOKS) -> RepoContext:
+    """A RepoContext independent of cwd and of the real tree."""
+    repo = RepoContext(root=Path("."), config=LintConfig(),
+                       knob_names=KNOBS, hook_points=hook_points)
+    repo.shared["process_safety.closure"] = set(closure)
+    return repo
+
+
+def expected_markers(source: str) -> "list[tuple[int, str]]":
+    """The ``(line, code)`` pairs declared by ``# expect:`` markers."""
+    out = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _MARKER.search(line)
+        if match:
+            for code in match.group(1).split(","):
+                out.append((lineno, code.strip()))
+    return sorted(out)
+
+
+def lint_fixture(name: str, rel_path: str, repo=None):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    findings = lint_source(source, rel_path, repo=repo or make_repo())
+    return source, findings
+
+
+#: (violation fixture, clean twin, rel_path it impersonates, repo kwargs)
+CHECKER_CASES = [
+    pytest.param("determinism_violation.py", "determinism_clean.py",
+                 "src/repro/cam/fixture.py", {}, id="determinism"),
+    pytest.param("process_safety_violation.py", "process_safety_clean.py",
+                 "src/repro/parallel/fixture.py",
+                 {"closure": ("src/repro/parallel/fixture.py",)},
+                 id="process-safety"),
+    pytest.param("knobs_violation.py", "knobs_clean.py",
+                 "src/repro/cam/fixture.py", {}, id="knobs"),
+    pytest.param("error_contract_violation.py", "error_contract_clean.py",
+                 "src/repro/cam/fixture.py", {}, id="error-contract"),
+    pytest.param("layering_violation.py", "layering_clean.py",
+                 "src/repro/cam/fixture.py", {}, id="layering"),
+    pytest.param("fault_hooks_violation.py", "fault_hooks_clean.py",
+                 "src/repro/cam/fixture.py", {}, id="fault-hooks"),
+]
+
+
+class TestGoldenFixtures:
+    @pytest.mark.parametrize("violation, clean, rel_path, repo_kwargs",
+                             CHECKER_CASES)
+    def test_violation_fixture_flags_exactly_the_marked_lines(
+            self, violation, clean, rel_path, repo_kwargs):
+        source, findings = lint_fixture(violation, rel_path,
+                                        make_repo(**repo_kwargs))
+        expected = expected_markers(source)
+        assert expected, f"{violation} declares no # expect: markers"
+        got = sorted((f.line, f.code) for f in findings)
+        assert got == expected
+
+    @pytest.mark.parametrize("violation, clean, rel_path, repo_kwargs",
+                             CHECKER_CASES)
+    def test_clean_twin_produces_zero_findings(
+            self, violation, clean, rel_path, repo_kwargs):
+        _, findings = lint_fixture(clean, rel_path,
+                                   make_repo(**repo_kwargs))
+        assert findings == []
+
+    @pytest.mark.parametrize("violation, clean, rel_path, repo_kwargs",
+                             CHECKER_CASES)
+    def test_findings_carry_rel_path_and_messages(
+            self, violation, clean, rel_path, repo_kwargs):
+        _, findings = lint_fixture(violation, rel_path,
+                                   make_repo(**repo_kwargs))
+        for finding in findings:
+            assert finding.path == rel_path
+            assert finding.message
+            assert finding.render().startswith(f"{rel_path}:{finding.line}:")
+
+
+class TestExactMessages:
+    """One exact-message pin per checker family (golden renderings)."""
+
+    def test_cl101_message(self):
+        _, findings = lint_fixture("determinism_violation.py",
+                                   "src/repro/cam/fixture.py")
+        cl101 = [f for f in findings if f.code == "CL101"]
+        assert cl101[0].message == (
+            "'time.time' reads wall-clock/OS entropy; decisions must "
+            "be keyed by explicit seeds")
+
+    def test_cl301_message_names_the_fix(self):
+        _, findings = lint_fixture("knobs_violation.py",
+                                   "src/repro/cam/fixture.py")
+        messages = [f.message for f in findings if f.code == "CL301"]
+        assert ("'max_workers or ...' silently swallows falsy explicit "
+                "values (the PR 5 max_workers=0 bug); use 'max_workers "
+                "if max_workers is not None else ...'") in messages
+
+    def test_cl402_message(self):
+        _, findings = lint_fixture("error_contract_violation.py",
+                                   "src/repro/cam/fixture.py")
+        cl402 = [f for f in findings if f.code == "CL402"]
+        assert cl402[0].message == (
+            "assert vanishes under 'python -O'; restructure or raise "
+            "a typed repro.errors error")
+
+    def test_cl601_message_lists_known_points(self):
+        _, findings = lint_fixture("fault_hooks_violation.py",
+                                   "src/repro/cam/fixture.py")
+        cl601 = [f for f in findings if f.code == "CL601"]
+        assert "refstore.sav" in cl601[0].message
+        assert "refstore.save" in cl601[0].message  # the known list
+
+
+class TestKnobCheckerCatchesThePr5Bug:
+    """ISSUE acceptance: the falsy-`or` checker provably catches the
+    reverted PR 5 pattern — ``max_workers=0`` silently autotuning
+    instead of raising."""
+
+    PR5_PATTERN = (
+        "class ProcessShardEngine:\n"
+        "    def __init__(self, max_workers, plan):\n"
+        "        self._max_workers = max_workers or plan.max_workers\n"
+    )
+
+    def test_pr5_pattern_is_flagged(self):
+        findings = lint_source(self.PR5_PATTERN,
+                               "src/repro/parallel/engine.py",
+                               repo=make_repo())
+        assert [(f.code, f.line) for f in findings] == [("CL301", 3)]
+
+    def test_pr5_fix_is_clean(self):
+        fixed = self.PR5_PATTERN.replace(
+            "max_workers or plan.max_workers",
+            "max_workers if max_workers is not None else plan.max_workers")
+        assert lint_source(fixed, "src/repro/parallel/engine.py",
+                           repo=make_repo()) == []
+
+    def test_attribute_spelling_is_flagged_too(self):
+        source = ("def plan(self, config):\n"
+                  "    return config.micro_batch or 8\n")
+        findings = lint_source(source, "src/repro/core/planner.py",
+                               repo=make_repo())
+        assert [f.code for f in findings] == ["CL301"]

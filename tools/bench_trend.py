@@ -51,7 +51,8 @@ def load_document(path: Path) -> dict:
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
-        raise SystemExit(f"FAIL: cannot read bench JSON {path}: {exc}")
+        raise SystemExit(
+            f"FAIL: cannot read bench JSON {path}: {exc}") from exc
     missing = [key for key in REQUIRED_KEYS if key not in document]
     if missing:
         raise SystemExit(
@@ -68,7 +69,8 @@ def load_trajectory(path: Path) -> dict:
     try:
         trajectory = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
-        raise SystemExit(f"FAIL: cannot read trajectory {path}: {exc}")
+        raise SystemExit(
+            f"FAIL: cannot read trajectory {path}: {exc}") from exc
     if trajectory.get("version") != TRAJECTORY_VERSION:
         raise SystemExit(
             f"FAIL: trajectory {path} has version "

@@ -1,0 +1,13 @@
+"""``python -m tools.contractlint`` dispatch."""
+
+import sys
+
+from tools.contractlint.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # The reader went away (e.g. `--list-codes | head`); exit quietly
+    # like any well-behaved filter instead of dumping a traceback.
+    sys.stderr.close()
+    sys.exit(0)

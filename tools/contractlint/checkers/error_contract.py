@@ -1,0 +1,80 @@
+"""CL4xx — error contract: production paths fail loud *and typed*.
+
+The binding contract (``repro/errors.py``): everything ``src/repro``
+raises derives from :class:`repro.errors.ReproError`, so callers
+distinguish configuration problems from data problems with one
+``except`` clause and the fault-injection checker can judge surfaced
+errors against a documented typed surface.  Bare builtins punch holes
+in both.
+
+* ``CL401`` — ``raise`` of a builtin exception constructor
+  (``ValueError``, ``RuntimeError``, ``KeyError``, ...) on a
+  ``src/repro`` path.  ``NotImplementedError`` is exempt (the
+  abstract-method convention), as is re-raising (``raise`` /
+  ``raise exc``) and raising names the module defined or imported from
+  :mod:`repro.errors`.
+* ``CL402`` — ``assert`` on a production path: stripped under
+  ``python -O``, so the guard silently vanishes exactly when someone
+  optimises.  Restructure so the invariant holds by construction, or
+  raise a typed error.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.contractlint.core import Checker, FileContext, Finding, RepoContext, register
+
+#: Builtin exceptions whose *construction* in a raise is a violation.
+_BUILTIN_EXCEPTIONS = {
+    "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
+    "BufferError", "BytesWarning", "EOFError", "EnvironmentError",
+    "Exception", "FloatingPointError", "IOError", "ImportError",
+    "IndexError", "KeyError", "LookupError", "MemoryError", "NameError",
+    "OSError", "OverflowError", "RecursionError", "ReferenceError",
+    "RuntimeError", "StopAsyncIteration", "StopIteration", "SyntaxError",
+    "SystemError", "TypeError", "UnboundLocalError", "UnicodeDecodeError",
+    "UnicodeEncodeError", "UnicodeError", "ValueError", "ZeroDivisionError",
+}
+
+
+@register
+class ErrorContractChecker(Checker):
+    name = "error-contract"
+    codes = {
+        "CL401": "raise of a builtin exception on a src/repro path "
+                 "(only the typed repro.errors hierarchy fails loud "
+                 "AND catchable)",
+        "CL402": "assert on a production path (vanishes under -O); "
+                 "raise a typed repro.errors error instead",
+    }
+    scope = ("src/repro",)
+
+    def check(self, ctx: FileContext, repo: RepoContext) -> "list[Finding]":
+        findings: "list[Finding]" = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                findings.append(Finding(
+                    path=ctx.rel_path, line=node.lineno,
+                    col=node.col_offset, code="CL402",
+                    message="assert vanishes under 'python -O'; "
+                            "restructure or raise a typed repro.errors "
+                            "error",
+                ))
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                name = None
+                if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                    name = exc.func.id
+                elif isinstance(exc, ast.Name):
+                    # `raise ValueError` without a call still raises it.
+                    name = exc.id if exc.id in _BUILTIN_EXCEPTIONS else None
+                if name in _BUILTIN_EXCEPTIONS:
+                    findings.append(Finding(
+                        path=ctx.rel_path, line=node.lineno,
+                        col=node.col_offset, code="CL401",
+                        message=f"raise {name} on a production path; use "
+                                f"the typed repro.errors hierarchy "
+                                f"(CamConfigError, ServiceError, ...)",
+                    ))
+        return findings

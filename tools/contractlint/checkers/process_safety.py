@@ -1,0 +1,177 @@
+"""CL2xx — process-safety: the spawn boundary stays name-and-value only.
+
+The binding contract (DESIGN.md, "Process-safety contract"): shard
+workers are ``spawn``-started and self-contained — kernel backends
+cross the process boundary **by name only** and are re-resolved inside
+the worker, and nothing a spawn-entry module executes at import time
+may carry hidden mutable state (the parent's copy would silently
+diverge from every worker's).
+
+* ``CL201`` — a module reachable from ``repro/parallel/worker.py``
+  through *module-level* imports must not import :mod:`repro.kernels`
+  at module level: backend resolution belongs inside worker functions,
+  after spawn.
+* ``CL202`` — no module-level mutable state (list/dict/set literals or
+  constructors bound to non-constant names) in the spawn-entry import
+  closure.
+* ``CL203`` — no ``KernelBackend``-typed annotation on anything in
+  ``repro/parallel`` (task fields, function parameters): the pickled
+  task surface carries backend *names* (``str | None``), never backend
+  objects.
+
+The closure is computed from the source tree (module-level
+``import``/``from`` statements only — function-level imports are the
+sanctioned post-spawn escape hatch).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from tools.contractlint.core import Checker, FileContext, Finding, RepoContext, register
+
+#: The spawn entry point whose module-level import closure is checked.
+SPAWN_ENTRY = "src/repro/parallel/worker.py"
+
+_CONSTANT_NAME = re.compile(r"^(__.*__|_?[A-Z][A-Z0-9_]*)$")
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "deque",
+                         "defaultdict", "OrderedDict", "Counter"}
+
+
+def _module_level_repro_imports(tree: ast.Module) -> "list[tuple[str, int]]":
+    """Top-level ``repro.*`` imports as (dotted module, lineno)."""
+    out: "list[tuple[str, int]]" = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    out.append((alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            if module == "repro" or module.startswith("repro."):
+                out.append((module, node.lineno))
+    return out
+
+
+def _module_file(root: Path, dotted: str) -> "Path | None":
+    rel = Path("src", *dotted.split("."))
+    if (root / rel).with_suffix(".py").is_file():
+        return (root / rel).with_suffix(".py")
+    if (root / rel / "__init__.py").is_file():
+        return root / rel / "__init__.py"
+    return None
+
+
+def spawn_closure(root: Path) -> "set[str]":
+    """Repo-relative paths module-level-reachable from the spawn entry."""
+    entry = root / SPAWN_ENTRY
+    if not entry.is_file():
+        return set()
+    closure: "set[str]" = set()
+    queue = [entry]
+    while queue:
+        path = queue.pop()
+        rel = path.relative_to(root).as_posix()
+        if rel in closure:
+            continue
+        closure.add(rel)
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue
+        for dotted, _ in _module_level_repro_imports(tree):
+            target = _module_file(root, dotted)
+            if target is not None:
+                queue.append(target)
+    return closure
+
+
+def _closure(repo: RepoContext) -> "set[str]":
+    cached = repo.shared.get("process_safety.closure")
+    if cached is None:
+        cached = spawn_closure(repo.root)
+        repo.shared["process_safety.closure"] = cached
+    return cached
+
+
+def _is_mutable_value(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set,
+                          ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_CONSTRUCTORS)
+
+
+def _annotation_mentions_backend(annotation: "ast.AST | None") -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return "KernelBackend" in annotation.value
+    return "KernelBackend" in ast.unparse(annotation)
+
+
+@register
+class ProcessSafetyChecker(Checker):
+    name = "process-safety"
+    codes = {
+        "CL201": "spawn-entry import closure imports repro.kernels at "
+                 "module level (backends resolve by name, post-spawn)",
+        "CL202": "module-level mutable state in the spawn-entry import "
+                 "closure (parent copy would diverge from workers)",
+        "CL203": "KernelBackend-typed annotation on the repro.parallel "
+                 "pickle surface (backends cross the boundary by name)",
+    }
+    scope = ("src/repro",)
+
+    def check(self, ctx: FileContext, repo: RepoContext) -> "list[Finding]":
+        findings: "list[Finding]" = []
+        in_closure = ctx.rel_path in _closure(repo)
+        if in_closure:
+            for dotted, lineno in _module_level_repro_imports(ctx.tree):
+                if dotted == "repro.kernels" or dotted.startswith("repro.kernels."):
+                    findings.append(Finding(
+                        path=ctx.rel_path, line=lineno, col=0, code="CL201",
+                        message=f"module-level import of {dotted!r} inside "
+                                f"the spawn-entry closure; resolve backends "
+                                f"by name inside worker functions",
+                    ))
+            for node in ctx.tree.body:
+                targets: "list[ast.expr]" = []
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                for target in targets:
+                    if (isinstance(target, ast.Name)
+                            and not _CONSTANT_NAME.match(target.id)
+                            and _is_mutable_value(value)):
+                        findings.append(Finding(
+                            path=ctx.rel_path, line=node.lineno,
+                            col=node.col_offset, code="CL202",
+                            message=f"module-level mutable binding "
+                                    f"{target.id!r} in the spawn-entry "
+                                    f"closure; make it a function local, "
+                                    f"or an immutable ALL_CAPS constant",
+                        ))
+        if ctx.rel_path.startswith("src/repro/parallel/"):
+            for node in ast.walk(ctx.tree):
+                annotation = None
+                if isinstance(node, ast.AnnAssign):
+                    annotation = node.annotation
+                elif isinstance(node, ast.arg):
+                    annotation = node.annotation
+                if _annotation_mentions_backend(annotation):
+                    findings.append(Finding(
+                        path=ctx.rel_path, line=node.lineno,
+                        col=node.col_offset, code="CL203",
+                        message="KernelBackend-typed annotation on the "
+                                "process boundary; carry the backend "
+                                "*name* (str | None) instead",
+                    ))
+        return findings
